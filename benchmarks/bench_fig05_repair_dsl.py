@@ -1,0 +1,109 @@
+"""F5 — Figure 5: the repair strategy and tactics, parsed and executed.
+
+Regenerates the strategy's observable behaviour from the near-verbatim
+DSL text: the overload path applies ``fixServerLoad`` (addServer), the
+bandwidth path applies ``fixBandwidth`` (move), and the no-op path aborts
+with ``ModelError`` — exactly the control flow of the paper's listing.
+"""
+
+import pytest
+
+from repro.errors import RepairAborted
+from repro.repair import ModelTransaction, RepairContext
+from repro.repair.context import RuntimeView
+from repro.repair.dsl import parse_repair_dsl
+from repro.repair.dsl.interp import build_strategies
+from repro.styles import FIGURE5_DSL, build_client_server_model, style_operators
+from repro.util.tables import render_table
+
+
+class ScriptedRuntime(RuntimeView):
+    def __init__(self, spare, sg2_bw):
+        self.spare = spare
+        self.sg2_bw = sg2_bw
+
+    def find_server(self, client_name, bw_thresh):
+        return self.spare
+
+    def bandwidth_between(self, client_name, group_name):
+        return {"SG1": 8e3, "SG2": self.sg2_bw}[group_name]
+
+
+def run_case(load, role_bw, spare, sg2_bw):
+    """Run fixLatency under one condition; returns (outcome-ish, intents)."""
+    system = build_client_server_model(
+        "F5", assignments={"C3": "SG1"}, groups={"SG1": ["S1"], "SG2": ["S5"]},
+    )
+    system.component("SG1").set_property("load", load)
+    role = system.connector("link_C3").role("client")
+    role.set_property("bandwidth", role_bw)
+    txn = ModelTransaction(system).begin()
+    ctx = RepairContext(
+        system, runtime=ScriptedRuntime(spare, sg2_bw),
+        bindings={
+            "maxLatency": 2.0, "maxServerLoad": 6.0, "minBandwidth": 10e3,
+            "__strategy_args__": [role],
+        },
+        functions=style_operators(lambda: 0.0),
+        transaction=txn,
+    )
+    strategy = build_strategies(parse_repair_dsl(FIGURE5_DSL))["fixLatency"]
+    try:
+        outcome = strategy.run(ctx)
+        txn.commit()
+        return outcome.tactic_applied, [str(i) for i in ctx.intents]
+    except RepairAborted as abort:
+        txn.abort()
+        return f"abort:{abort.reason}", []
+
+
+CASES = [
+    # (description, load, role_bw, spare, sg2_bw) -> expected tactic
+    ("overloaded group, spare available", 12.0, 1e6, "S4", 3e6,
+     "fixServerLoad"),
+    ("overloaded, no spare, bandwidth low", 12.0, 8e3, None, 3e6,
+     "fixBandwidth"),
+    ("healthy load, bandwidth low", 0.0, 8e3, None, 3e6,
+     "fixBandwidth"),
+    ("healthy load, bandwidth low, nowhere to go", 0.0, 8e3, None, 8e3,
+     "abort:NoServerGroupFound"),
+    ("all healthy (spurious trigger)", 0.0, 1e6, "S4", 3e6,
+     "abort:ModelError"),
+]
+
+
+def run_all_cases():
+    outcomes = [run_case(load, bw, spare, sg2)
+                for _, load, bw, spare, sg2, _ in CASES]
+    # The bandwidth path emits exactly the paper's moveClient operation.
+    move_case = outcomes[2]
+    assert move_case[1] == ["moveClient(client=C3, frm=SG1, to=SG2)"]
+    return [tactic for tactic, _ in outcomes]
+
+
+def test_figure5_decision_table(benchmark, artifact):
+    applied = benchmark.pedantic(run_all_cases, rounds=1, iterations=1)
+    rows = []
+    for (desc, load, bw, spare, sg2, expected), got in zip(CASES, applied):
+        assert got == expected, f"{desc}: expected {expected}, got {got}"
+        rows.append([desc, load, f"{bw / 1e3:.0f}K", spare or "-", got])
+    text = render_table(
+        ["condition", "group load", "role bw", "spare", "tactic applied"],
+        rows, title="Figure 5 repair strategy: decision behaviour",
+    )
+    print(text)
+    artifact("fig05", text)
+
+
+def test_figure5_parses_verbatim_shapes(benchmark):
+    doc = benchmark.pedantic(
+        lambda: parse_repair_dsl(FIGURE5_DSL), rounds=1, iterations=1
+    )
+    assert set(doc.strategies) == {"fixLatency"}
+    assert set(doc.tactics) == {"fixServerLoad", "fixBandwidth"}
+    assert doc.invariants[0].expression == "averageLatency <= maxLatency"
+    # Figure 5's tactic signatures
+    assert [p.name for p in doc.tactics["fixServerLoad"].params] == ["client"]
+    assert [p.name for p in doc.tactics["fixBandwidth"].params] == [
+        "client", "role",
+    ]

@@ -1,0 +1,88 @@
+"""F6 — Figure 6: the experimental testbed.
+
+Regenerates the topology inventory (5 routers, 11 application machines,
+10 Mbps links, shared machines, spare servers) and verifies the routing
+properties the experiment depends on.
+"""
+
+from repro.experiment.testbed import build_testbed
+from repro.net import FlowNetwork, RoutingTable
+from repro.sim import Simulator
+from repro.util.tables import render_table
+
+
+def build_and_route():
+    tb = build_testbed()
+    routes = RoutingTable(tb.topology)
+    # warm every host pair (the routing table the experiment relies on)
+    hosts = [h.name for h in tb.topology.hosts]
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1:]:
+            routes.path(a, b)
+    return tb, routes
+
+
+def test_figure6_testbed(benchmark, artifact):
+    tb, routes = benchmark.pedantic(build_and_route, rounds=1, iterations=1)
+
+    assert len(tb.topology.routers) == 5          # "five routers"
+    app_machines = sorted(set(tb.machine_of.values()))
+    assert len(app_machines) == 11                # "eleven machines"
+    assert tb.machine_of["C1"] == tb.machine_of["C2"]
+    assert tb.machine_of["RQ"] == tb.machine_of["S5"]
+    assert tb.spare_servers == ["S4", "S7"]       # "Servers 4 and 7 were spare"
+    for link in tb.topology.links:
+        assert link.capacity == 10e6              # "10Mbps links"
+
+    placement_rows = [
+        [m, ", ".join(e for e, mm in sorted(tb.machine_of.items()) if mm == m)]
+        for m in app_machines
+    ]
+    lines = [
+        render_table(["machine", "hosts"], placement_rows,
+                     title="Figure 6 testbed: placement (11 machines, 5 routers)"),
+        "",
+        render_table(
+            ["path", "hops", "crosses comp-link SG1", "crosses comp-link SG2"],
+            [
+                [
+                    f"{a} -> {b}",
+                    routes.hop_count(a, b),
+                    ("R2", "R3") in {l.key for l in routes.links_on_path(a, b)},
+                    ("R2", "R4") in {l.key for l in routes.links_on_path(a, b)},
+                ]
+                for a, b in [
+                    ("M_S1", "M_C3"), ("M_S5RQ", "M_C3"), ("M_S1", "M_C12"),
+                    ("M_S1", "M_C56"), ("M_S4", "M_C3"), ("M_S7", "M_C3"),
+                ]
+            ],
+            title="Routing properties the experiment depends on",
+        ),
+    ]
+    text = "\n".join(lines)
+    print(text)
+    artifact("fig06", text)
+
+    # The competition isolates exactly one server-group path per client pair.
+    a_links = {l.key for l in routes.links_on_path(*tb.competition_a)}
+    b_links = {l.key for l in routes.links_on_path(*tb.competition_b)}
+    assert ("R2", "R3") in a_links and ("R2", "R4") not in a_links
+    assert ("R2", "R4") in b_links and ("R2", "R3") not in b_links
+
+
+def test_figure6_supports_flow_engine(benchmark):
+    """The testbed carries max-min flows end to end."""
+
+    def transfer_once():
+        tb = build_testbed()
+        sim = Simulator()
+        net = FlowNetwork(sim, tb.topology)
+        done = []
+        net.transfer("M_S1", "M_C3", 20e3).add_callback(
+            lambda e: done.append(sim.now)
+        )
+        sim.run()
+        return done[0]
+
+    t = benchmark.pedantic(transfer_once, rounds=1, iterations=1)
+    assert 0.0 < t < 0.1  # 20 KB at 10 Mbps: ~16 ms + epsilon

@@ -1,0 +1,46 @@
+"""F7 — Figure 7: bandwidth-competition and server-load stepping functions.
+
+Regenerates the schedule table (the paper's stepping functions) and checks
+the phase structure: quiescent start, deep squeeze below the 10 Kbps
+threshold, the ">2/sec at 20KB" stress phase, and the final SG2 boost.
+"""
+
+from repro.experiment.reporting import render_workload
+from repro.experiment.workload import LIGHT, MODERATE, STARVE, build_workload
+
+
+def test_figure7_schedule(benchmark, artifact):
+    workload = benchmark.pedantic(build_workload, rounds=1, iterations=1)
+    text = render_workload(
+        workload, "Figure 7: bandwidth and server load generation"
+    )
+    print(text)
+    artifact("fig07", text)
+
+    # quiescent start ("we ran the system in a quiescent state")
+    assert workload.competition_a(60) == 0.0
+    assert workload.competition_b(60) == 0.0
+    # deep squeeze leaves residual below the paper's 10 Kbps dashed line
+    assert 10e6 - STARVE < 10e3
+    # moderate competition leaves the paper's 3 Mbps
+    assert 10e6 - MODERATE == 3e6
+    # stress raises every client above 2 requests/second at 20 KB
+    assert workload.request_rate(800) > 2.0
+    assert workload.size_fn()(800.0, __import__("numpy").random.default_rng(0)) == 20e3
+    # final period: increased bandwidth between C3&C4 and SG2
+    assert workload.competition_b(1500) == LIGHT
+    assert 10e6 - LIGHT > 9e6
+
+
+def test_figure7_identical_across_runs(benchmark):
+    """Control methodology: both runs see the same generators."""
+
+    def build_pair():
+        return build_workload(), build_workload()
+
+    w1, w2 = benchmark.pedantic(build_pair, rounds=1, iterations=1)
+    probe_times = [0, 60, 120, 300, 600, 750, 900, 1000, 1050, 1100, 1200, 1500]
+    for t in probe_times:
+        assert w1.competition_a(t) == w2.competition_a(t)
+        assert w1.competition_b(t) == w2.competition_b(t)
+        assert w1.request_rate(t) == w2.request_rate(t)

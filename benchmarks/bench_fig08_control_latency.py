@@ -1,0 +1,46 @@
+"""F8 — Figure 8: average latency for the control (no adaptation).
+
+Paper: "The average latency continues to rise.  Once the latency rises to
+above two seconds... it never falls below this required threshold" and
+recovery only begins toward the end of the run.
+"""
+
+from repro.experiment import ScenarioConfig, run_scenario
+from repro.experiment.reporting import render_latency_figure
+
+
+def test_figure8_control_latency(benchmark, artifact, control_result):
+    result = benchmark.pedantic(
+        lambda: run_scenario(ScenarioConfig.control()), rounds=1, iterations=1
+    )
+    text = render_latency_figure(result, "Figure 8: Average Latency for Control")
+    print(text)
+    artifact("fig08", text)
+
+    cfg = result.config
+    # The squeezed clients collapse early (paper: ~140 s; we measure the
+    # windowed-mean crossing).
+    for client in ("C3", "C4"):
+        crossing = result.s(f"latency.{client}").first_crossing(2.0, after=120)
+        assert crossing is not None and crossing < 300, (client, crossing)
+
+    # Every client is above threshold once the stress phase bites.
+    for client in result.clients:
+        crossing = result.s(f"latency.{client}").first_crossing(2.0, after=120)
+        assert crossing is not None and crossing < 700, (client, crossing)
+
+    # "it never falls below this required threshold": pinned above 2 s
+    # throughout the stressed heart of the run.
+    for client in result.clients:
+        frac = result.s(f"latency.{client}").fraction_above(
+            2.0, start=700, end=1500
+        )
+        assert frac == 1.0, (client, frac)
+
+    # Latencies reach the figure's order of magnitude (log axis to 1000 s).
+    worst = max(result.s(f"latency.{c}").max() for c in result.clients)
+    assert worst > 50.0
+
+    # "toward the end of our run the servers actually begin to recover"
+    c1 = result.s("latency.C1")
+    assert c1.value_at(cfg.horizon) < c1.max(start=1200, end=1700)

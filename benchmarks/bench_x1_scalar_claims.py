@@ -1,0 +1,52 @@
+"""X1 — the §5.2/§5.3 scalar claims, control vs adapted.
+
+Regenerates the quantitative prose of the evaluation: violation onset,
+time above threshold, the ~30 s mean repair duration, spare-server
+activation times, and the client-move oscillation during stress.
+"""
+
+from repro.experiment import ScenarioConfig, run_scenario
+from repro.experiment.metrics import extract_claims
+from repro.experiment.reporting import render_comparison
+
+
+def both_claims():
+    control = extract_claims(run_scenario(ScenarioConfig.control()))
+    adapted = extract_claims(run_scenario(ScenarioConfig.adapted()))
+    return control, adapted
+
+
+def test_x1_scalar_claims(benchmark, artifact, control_result, adapted_result):
+    control, adapted = benchmark.pedantic(both_claims, rounds=1, iterations=1)
+    text = render_comparison(control, adapted)
+    print(text)
+    artifact("x1_claims", text)
+
+    # Violation onset near the paper's ~140 s in both runs (same workload).
+    assert 125 <= control.first_violation <= 260
+    assert 125 <= adapted.first_violation <= 260
+
+    # Control "spent a considerable amount of time over two seconds";
+    # the adapted run is below threshold "for most of the time".
+    assert control.violation_fraction > 0.5
+    assert adapted.violation_fraction < 0.25
+    # Control is still pinned at the end; adapted has fully recovered.
+    assert control.final_window_fraction > 0.5
+    assert adapted.final_window_fraction == 0.0
+
+    # "The time that it takes to effect a repair averages 30 seconds."
+    assert 15.0 <= adapted.mean_repair_duration <= 40.0
+
+    # "we were able to recruit only two extra servers. Once these were
+    # activated (at times 700 seconds and 800 seconds)..."
+    assert len(adapted.server_activations) == 2
+    t1, t2 = (t for t, _, _ in adapted.server_activations)
+    assert 600 <= t1 <= 900 and 600 <= t2 <= 950
+
+    # "...the only repair possible was to move clients. During this period,
+    # we observed some oscillation."
+    assert adapted.client_moves >= 4
+    assert adapted.oscillations >= 2
+
+    # The control performs no repairs at all.
+    assert control.repairs_committed == 0 and control.client_moves == 0

@@ -1,0 +1,61 @@
+"""X2 — the §5 design-time analysis inputs.
+
+Paper: "Given these inputs, we calculated that an initial starting point
+of 3 replicated servers in one server group would be sufficient to serve
+our six clients, and that the bandwidth between the clients and servers
+should not be less than 10Kbps."
+"""
+
+from repro.analysis import (
+    MMcQueue,
+    min_bandwidth_for,
+    required_servers,
+)
+from repro.util.tables import render_table
+
+SERVICE_TIME = 0.25  # experiment service model at 20 KB responses
+
+
+def size_paper_system():
+    return required_servers(
+        arrival_rate=6.0,       # "approximately six per second"
+        service_time=SERVICE_TIME,
+        max_latency=2.0,        # "less than 2 seconds"
+        response_bytes=20e3,    # "20K on average"
+        bandwidth_bps=10e6,
+    )
+
+
+def test_x2_sizing(benchmark, artifact):
+    result = benchmark.pedantic(size_paper_system, rounds=1, iterations=1)
+
+    # The paper's headline sizing: 3 replicated servers.
+    assert result.servers == 3
+    assert result.predicted_latency < 2.0
+
+    healthy = MMcQueue(6.0, 1.0 / SERVICE_TIME, 3)
+    stressed = MMcQueue(18.0, 1.0 / SERVICE_TIME, 3)
+    rows = [
+        ["required servers (6 req/s, 2 s bound)",
+         f"{result.servers}  (paper: 3)"],
+        ["predicted latency at sizing point",
+         f"{result.predicted_latency:.2f} s"],
+        ["steady-state queue (3 servers, 6 req/s)",
+         f"{healthy.mean_queue_length:.2f}  (overload line: 6)"],
+        ["stress phase stability (18 req/s)",
+         f"unstable, queue grows {stressed.queue_growth_rate():.0f}/s"],
+        ["latency-derived bandwidth floor",
+         f"{min_bandwidth_for(20e3, 2.0, healthy.mean_wait + SERVICE_TIME) / 1e3:.0f} Kbps"],
+        ["paper's operational repair trigger", "10 Kbps (used by fixBandwidth)"],
+    ]
+    text = render_table(
+        ["analysis quantity", "value"], rows,
+        title="X2: design-time queuing analysis (paper section 5 inputs)",
+    )
+    print(text)
+    artifact("x2_analysis", text)
+
+    # Sanity around the sizing point: 2 servers cannot absorb the design
+    # peak; 3 leave the queue far below the overload threshold.
+    assert not MMcQueue(9.0, 1.0 / SERVICE_TIME, 2).stable
+    assert healthy.mean_queue_length < 6.0

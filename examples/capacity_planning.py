@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Design-time queuing analysis: the calculations behind the paper's §5.
+
+"Given these inputs, we calculated that an initial starting point of 3
+replicated servers in one server group would be sufficient to serve our
+six clients" — this example reproduces that sizing and explores the
+neighbourhood (arrival rates, latency bounds, bandwidth floors).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import (
+    MMcQueue,
+    min_bandwidth_for,
+    predicted_latency,
+    required_servers,
+)
+from repro.util.tables import render_table
+
+SERVICE_TIME = 0.25  # s: the experiment's 0.10 base + 7.5e-6 * 20 KB
+RESPONSE = 20e3      # bytes (paper: 20 K average responses)
+
+
+def main() -> None:
+    # --- the paper's headline sizing -------------------------------------
+    result = required_servers(
+        arrival_rate=6.0, service_time=SERVICE_TIME, max_latency=2.0,
+        response_bytes=RESPONSE, bandwidth_bps=10e6,
+    )
+    print("paper's inputs (6 req/s aggregate, 20 KB responses, 2 s bound):")
+    print(f"  -> {result}")
+    print()
+
+    # --- sizing sweep -----------------------------------------------------
+    rows = []
+    for rate in (3.0, 6.0, 12.0, 18.0, 24.0):
+        r = required_servers(rate, SERVICE_TIME, 2.0, RESPONSE, 10e6)
+        rows.append([rate, r.servers, round(r.predicted_latency, 3),
+                     f"{r.utilization:.0%}"])
+    print(render_table(
+        ["aggregate req/s", "servers needed", "predicted latency (s)",
+         "utilization @1.5x"],
+        rows, title="Sizing sweep (2 s bound)",
+    ))
+    print()
+
+    # --- what the stress phase does to a 3-server group -------------------
+    stress = MMcQueue(lam=18.0, mu=1.0 / SERVICE_TIME, c=3)
+    print(f"stress phase (18 req/s on 3 servers): stable={stress.stable}, "
+          f"queue growth {stress.queue_growth_rate():.1f} requests/s")
+    for c in (4, 5, 6):
+        q = MMcQueue(18.0, 1.0 / SERVICE_TIME, c)
+        if q.stable:
+            print(f"  with {c} servers: Lq = {q.mean_queue_length:.1f}, "
+                  f"W = {q.mean_response:.2f} s")
+    print()
+
+    # --- bandwidth floors ---------------------------------------------------
+    w3 = MMcQueue(6.0, 1.0 / SERVICE_TIME, 3).mean_wait + SERVICE_TIME
+    rows = [
+        ["latency-derived floor (2 s budget)",
+         f"{min_bandwidth_for(RESPONSE, 2.0, w3) / 1e3:.0f} Kbps"],
+        ["paper's operational repair trigger", "10 Kbps"],
+        ["transfer time at 10 Kbps",
+         f"{RESPONSE * 8 / 10e3:.0f} s (necessarily violates the 2 s bound)"],
+    ]
+    print(render_table(["quantity", "value"], rows,
+                       title="Bandwidth thresholds (EXPERIMENTS.md discusses the gap)"))
+    print()
+
+    # --- latency model at various bandwidths --------------------------------
+    rows = []
+    for bw in (10e3, 100e3, 1e6, 3e6, 10e6):
+        rows.append([
+            f"{bw / 1e3:.0f} Kbps",
+            round(predicted_latency(6.0, SERVICE_TIME, 3, RESPONSE, bw), 2),
+        ])
+    print(render_table(
+        ["client<->group bandwidth", "predicted latency (s)"],
+        rows, title="Why the bandwidth repair matters",
+    ))
+
+
+if __name__ == "__main__":
+    main()

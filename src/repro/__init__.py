@@ -1,0 +1,81 @@
+"""repro — reproduction of *Software Architecture-Based Adaptation for Grid
+Computing* (Cheng, Garlan, Schmerl, Steenkiste, Hu; HPDC 2002).
+
+Public surface re-exported here; see README.md for a tour and DESIGN.md for
+the system inventory.  Subpackages:
+
+* ``repro.sim`` / ``repro.bus`` / ``repro.net`` / ``repro.app`` — the
+  simulated runtime layer (testbed, network, application, Table 1 ops);
+* ``repro.acme`` / ``repro.constraints`` / ``repro.styles`` — architectural
+  models, the constraint language, and the client/server style;
+* ``repro.monitoring`` — probes, gauges, gauge consumers;
+* ``repro.repair`` — strategies, tactics, the Figure 5 DSL, the engine;
+* ``repro.translation`` / ``repro.task`` — model/runtime bridge, profiles;
+* ``repro.analysis`` — design-time queuing analysis;
+* ``repro.experiment`` — the Figure 6/7 apparatus and runners.
+"""
+
+from repro.acme import ArchSystem, Component, Connector, Family, parse_acme
+from repro.analysis import MMcQueue, required_servers
+from repro.app import EnvironmentManager, GridApplication
+from repro.bus import EventBus, Message
+from repro.constraints import ConstraintChecker, Invariant, parse_expression
+from repro.errors import ReproError
+from repro.experiment import ScenarioConfig, run_scenario
+from repro.monitoring import GaugeManager, ModelUpdater
+from repro.net import FlowNetwork, RemosService, Topology
+from repro.repair import ArchitectureManager, ModelTransaction, parse_repair_dsl
+from repro.sim import Process, Simulator
+from repro.styles import (
+    FIGURE5_DSL,
+    build_client_server_family,
+    build_client_server_model,
+    style_operators,
+)
+from repro.task import PerformanceProfile, TaskManager
+from repro.translation import TranslationCosts, Translator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # model layer
+    "ArchSystem",
+    "Component",
+    "Connector",
+    "Family",
+    "parse_acme",
+    "ConstraintChecker",
+    "Invariant",
+    "parse_expression",
+    "ArchitectureManager",
+    "ModelTransaction",
+    "parse_repair_dsl",
+    "FIGURE5_DSL",
+    "build_client_server_family",
+    "build_client_server_model",
+    "style_operators",
+    # runtime layer
+    "Simulator",
+    "Process",
+    "EventBus",
+    "Message",
+    "Topology",
+    "FlowNetwork",
+    "RemosService",
+    "GridApplication",
+    "EnvironmentManager",
+    # bridging layers
+    "GaugeManager",
+    "ModelUpdater",
+    "Translator",
+    "TranslationCosts",
+    "PerformanceProfile",
+    "TaskManager",
+    # analysis + experiments
+    "MMcQueue",
+    "required_servers",
+    "ScenarioConfig",
+    "run_scenario",
+]

@@ -1,0 +1,37 @@
+"""Acme-style architectural models (substrate S7).
+
+A lightweight reimplementation of the AcmeLib core the paper builds on
+[11, 21]: systems are graphs of **components** (with **ports**) and
+**connectors** (with **roles**) joined by **attachments**; every element
+carries a property list; **families** (architectural styles) declare
+element types, required properties, invariants, and style-specific
+operators.  A textual parser/unparser round-trips an Acme-ish surface
+syntax so models can be written as design-time artifacts (paper §2).
+"""
+
+from repro.acme.properties import Property, PropertyBag
+from repro.acme.elements import Element, Port, Role, Component, Connector, Attachment
+from repro.acme.system import ArchSystem
+from repro.acme.family import ElementType, Family
+from repro.acme.validation import validate_system, ValidationIssue
+from repro.acme.parser import parse_acme
+from repro.acme.unparser import unparse_system, unparse_family
+
+__all__ = [
+    "Property",
+    "PropertyBag",
+    "Element",
+    "Port",
+    "Role",
+    "Component",
+    "Connector",
+    "Attachment",
+    "ArchSystem",
+    "ElementType",
+    "Family",
+    "validate_system",
+    "ValidationIssue",
+    "parse_acme",
+    "unparse_system",
+    "unparse_family",
+]

@@ -1,0 +1,168 @@
+"""Families (architectural styles): element types, rules, and operators.
+
+"These operators will be specific to the structure of the architecture
+(this is called an architecture style)" (§3.3).  A family declares:
+
+* component/connector/port/role **types** with required properties and
+  defaults;
+* **invariants** — constraint expressions every conforming system must
+  satisfy (checked by :func:`repro.acme.validation.validate_system` and at
+  runtime by the architecture manager);
+* **operators** — named style-specific adaptation operations (``addServer``,
+  ``move``, ``remove``, ``findGoodSGroup``) bound to Python callables that
+  receive ``(system, target_element, *args)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.acme.elements import Element
+from repro.errors import DuplicateElementError, TypeViolationError, UnknownElementError
+
+__all__ = ["ElementType", "Family"]
+
+# validator(system, element) -> list of problem strings
+StructuralRule = Callable[[Any, Element], List[str]]
+
+
+@dataclass
+class ElementType:
+    """A named element type within a family.
+
+    ``kind`` is one of component/connector/port/role.  ``properties`` maps
+    property name -> (ptype, default); a default of ``None`` with
+    ``required=True`` means instances must supply a value.
+    """
+
+    name: str
+    kind: str
+    properties: Dict[str, Tuple[str, Any]] = field(default_factory=dict)
+    required: Dict[str, bool] = field(default_factory=dict)
+    rules: List[StructuralRule] = field(default_factory=list)
+
+    VALID_KINDS = ("component", "connector", "port", "role")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise TypeViolationError(
+                f"element type kind must be one of {self.VALID_KINDS}, got {self.kind!r}"
+            )
+
+    def declare_property(
+        self, name: str, ptype: str = "any", default: Any = None, required: bool = False
+    ) -> "ElementType":
+        self.properties[name] = (ptype, default)
+        self.required[name] = required
+        return self
+
+    def add_rule(self, rule: StructuralRule) -> "ElementType":
+        self.rules.append(rule)
+        return self
+
+    def apply_defaults(self, element: Element) -> None:
+        """Declare missing typed properties with their defaults."""
+        for pname, (ptype, default) in self.properties.items():
+            if not element.has_property(pname):
+                element.declare_property(pname, default, ptype)
+
+    def check(self, system: Any, element: Element) -> List[str]:
+        """Return conformance problems for ``element`` (empty = conforms)."""
+        problems: List[str] = []
+        if element.kind != self.kind:
+            problems.append(
+                f"{element.qualified_name}: declared {self.name} but is a {element.kind}"
+            )
+            return problems
+        for pname, (_ptype, _default) in self.properties.items():
+            if not element.has_property(pname):
+                if self.required.get(pname):
+                    problems.append(
+                        f"{element.qualified_name}: missing required property {pname!r}"
+                    )
+        for rule in self.rules:
+            problems.extend(rule(system, element))
+        return problems
+
+
+class Family:
+    """A named style: types, invariants, and adaptation operators."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._types: Dict[str, ElementType] = {}
+        self.invariant_sources: List[Tuple[str, str]] = []  # (name, expression)
+        self._operators: Dict[str, Callable[..., Any]] = {}
+
+    # -- types ------------------------------------------------------------------
+    def declare_type(self, etype: ElementType) -> ElementType:
+        if etype.name in self._types:
+            raise DuplicateElementError(
+                f"type {etype.name!r} already declared in family {self.name}"
+            )
+        self._types[etype.name] = etype
+        return etype
+
+    def component_type(self, name: str) -> ElementType:
+        return self.declare_type(ElementType(name, "component"))
+
+    def connector_type(self, name: str) -> ElementType:
+        return self.declare_type(ElementType(name, "connector"))
+
+    def port_type(self, name: str) -> ElementType:
+        return self.declare_type(ElementType(name, "port"))
+
+    def role_type(self, name: str) -> ElementType:
+        return self.declare_type(ElementType(name, "role"))
+
+    def type(self, name: str) -> ElementType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownElementError(
+                f"no type {name!r} in family {self.name}"
+            ) from None
+
+    def has_type(self, name: str) -> bool:
+        return name in self._types
+
+    @property
+    def types(self) -> List[ElementType]:
+        return [self._types[k] for k in sorted(self._types)]
+
+    # -- invariants ----------------------------------------------------------------
+    def add_invariant(self, name: str, expression: str) -> None:
+        self.invariant_sources.append((name, expression))
+
+    # -- operators -----------------------------------------------------------------
+    def register_operator(self, name: str, fn: Callable[..., Any]) -> None:
+        """Bind a style operator; callable signature ``fn(system, target, *args)``."""
+        if name in self._operators:
+            raise DuplicateElementError(
+                f"operator {name!r} already registered in family {self.name}"
+            )
+        self._operators[name] = fn
+
+    def operator(self, name: str) -> Callable[..., Any]:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise UnknownElementError(
+                f"family {self.name} has no operator {name!r}; "
+                f"available: {sorted(self._operators)}"
+            ) from None
+
+    def has_operator(self, name: str) -> bool:
+        return name in self._operators
+
+    @property
+    def operator_names(self) -> List[str]:
+        return sorted(self._operators)
+
+    # -- element initialization --------------------------------------------------------
+    def initialize(self, element: Element) -> None:
+        """Apply the defaults of every type the element declares."""
+        for tname in sorted(element.types):
+            if tname in self._types:
+                self._types[tname].apply_defaults(element)

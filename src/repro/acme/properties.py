@@ -1,0 +1,119 @@
+"""Properties: the annotation mechanism of architectural elements.
+
+"Elements in the graph can be annotated with a property list" (§2) — e.g.
+a connector's ``bandwidth``, a component's ``load``.  Property changes are
+observable so that (a) gauge consumers can drive constraint re-evaluation
+and (b) repair transactions can journal undo information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PropertyError
+
+__all__ = ["Property", "PropertyBag"]
+
+_MISSING = object()
+
+
+@dataclass
+class Property:
+    """One named, typed value.
+
+    ``ptype`` is a free-form type tag ("float", "int", "string", "boolean",
+    "any"); when given, assignments are checked against it.
+    """
+
+    name: str
+    value: Any = None
+    ptype: str = "any"
+
+    _CHECKS = {
+        "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "string": lambda v: isinstance(v, str),
+        "boolean": lambda v: isinstance(v, bool),
+        "any": lambda v: True,
+    }
+
+    def __post_init__(self) -> None:
+        if self.ptype not in self._CHECKS:
+            raise PropertyError(
+                f"unknown property type {self.ptype!r} for {self.name!r}; "
+                f"valid: {sorted(self._CHECKS)}"
+            )
+        if self.value is not None:
+            self.check(self.value)
+
+    def check(self, value: Any) -> None:
+        if value is not None and not self._CHECKS[self.ptype](value):
+            raise PropertyError(
+                f"property {self.name!r} expects {self.ptype}, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+
+
+class PropertyBag:
+    """Mixin: a mapping of :class:`Property` with change notification.
+
+    Subclasses may set ``_prop_listeners`` consumers via
+    :meth:`on_property_change`; listeners receive
+    ``(owner, name, old_value, new_value)`` where ``old_value`` is the
+    sentinel-free previous value or ``None`` for newly declared properties.
+    """
+
+    def __init__(self) -> None:
+        self._props: Dict[str, Property] = {}
+        self._prop_listeners: List[Callable[["PropertyBag", str, Any, Any], None]] = []
+
+    # -- declaration & access ------------------------------------------------
+    def declare_property(self, name: str, value: Any = None, ptype: str = "any") -> Property:
+        """Declare a property (idempotent re-declaration is an error)."""
+        if name in self._props:
+            raise PropertyError(f"property {name!r} already declared")
+        prop = Property(name, value, ptype)
+        self._props[name] = prop
+        self._notify(name, None, value)
+        return prop
+
+    def has_property(self, name: str) -> bool:
+        return name in self._props
+
+    def get_property(self, name: str, default: Any = _MISSING) -> Any:
+        if name not in self._props:
+            if default is _MISSING:
+                raise PropertyError(f"no property {name!r} on {self!r}")
+            return default
+        return self._props[name].value
+
+    def set_property(self, name: str, value: Any) -> Any:
+        """Set (declaring untyped if absent); returns the previous value."""
+        if name in self._props:
+            prop = self._props[name]
+            prop.check(value)
+            old = prop.value
+            prop.value = value
+        else:
+            old = None
+            self._props[name] = Property(name, value, "any")
+        self._notify(name, old, value)
+        return old
+
+    def property_names(self) -> List[str]:
+        return sorted(self._props)
+
+    def properties(self) -> Iterator[Property]:
+        for name in sorted(self._props):
+            yield self._props[name]
+
+    # -- observation ------------------------------------------------------------
+    def on_property_change(
+        self, listener: Callable[["PropertyBag", str, Any, Any], None]
+    ) -> None:
+        self._prop_listeners.append(listener)
+
+    def _notify(self, name: str, old: Any, new: Any) -> None:
+        for listener in self._prop_listeners:
+            listener(self, name, old, new)

@@ -1,0 +1,290 @@
+"""The architectural system: a mutable graph of components and connectors.
+
+Every mutation (element add/remove, attach/detach, property set) is
+observable and reports an **undo closure**, which is what the repair
+engine's transactions stack to implement Figure 5's ``commit repair`` /
+``abort`` semantics (see :mod:`repro.repair.transactions`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.acme.elements import Attachment, Component, Connector, Element, Port, Role
+from repro.errors import (
+    AttachmentError,
+    DuplicateElementError,
+    UnknownElementError,
+)
+
+__all__ = ["ArchSystem"]
+
+# (description, undo_closure) delivered to mutation listeners
+MutationListener = Callable[[str, Callable[[], None]], None]
+
+
+class ArchSystem:
+    """A named architecture instance, optionally conforming to a family."""
+
+    def __init__(self, name: str, family: Optional[str] = None):
+        self.name = name
+        self.family = family  # family *name*; resolved via repro.acme.family
+        self._components: Dict[str, Component] = {}
+        self._connectors: Dict[str, Connector] = {}
+        self._attachments: Dict[tuple, Attachment] = {}
+        self._mutation_listeners: List[MutationListener] = []
+        self._property_listeners: List[Callable[[Element, str, Any, Any], None]] = []
+        self.invariant_sources: List[Tuple[str, str]] = []  # (name, expression text)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def on_mutation(self, listener: MutationListener) -> None:
+        """Hear every structural/property change with its undo closure."""
+        self._mutation_listeners.append(listener)
+
+    def on_property_change(
+        self, listener: Callable[[Element, str, Any, Any], None]
+    ) -> None:
+        """Hear property changes of all owned elements (incl. ports/roles)."""
+        self._property_listeners.append(listener)
+
+    def _mutated(self, description: str, undo: Callable[[], None]) -> None:
+        for listener in self._mutation_listeners:
+            listener(description, undo)
+
+    def _adopt(self, element: Element) -> None:
+        """Take ownership: forward property changes + undo records."""
+        element.system = self
+
+        def forward(owner, name, old, new, _elem=element):
+            for listener in self._property_listeners:
+                listener(_elem if owner is _elem else owner, name, old, new)
+            # Property change undo: restore the previous value.
+            self._mutated(
+                f"set {getattr(owner, 'qualified_name', '?')}.{name}",
+                lambda o=owner, n=name, v=old: o.set_property(n, v),
+            )
+
+        element.on_property_change(forward)
+        if isinstance(element, Component):
+            for port in element.ports:
+                self._adopt(port)
+        if isinstance(element, Connector):
+            for role in element.roles:
+                self._adopt(role)
+
+    # ------------------------------------------------------------------
+    # Components / connectors
+    # ------------------------------------------------------------------
+    def add_component(self, component: Component) -> Component:
+        if component.name in self._components or component.name in self._connectors:
+            raise DuplicateElementError(f"element {component.name!r} already in system")
+        self._components[component.name] = component
+        self._adopt(component)
+        self._mutated(
+            f"add component {component.name}",
+            lambda: self._silent_remove_component(component.name),
+        )
+        return component
+
+    def new_component(self, name: str, types: Iterable[str] = ()) -> Component:
+        return self.add_component(Component(name, set(types)))
+
+    def remove_component(self, name: str) -> Component:
+        """Remove a component and every attachment touching its ports."""
+        comp = self.component(name)
+        dropped = [a for a in self.attachments if a.port.component is comp]
+        for att in dropped:
+            self.detach(att.port, att.role)
+        del self._components[name]
+
+        def undo() -> None:
+            self._components[name] = comp
+            for att in dropped:
+                self._attachments[att.key] = att
+
+        self._mutated(f"remove component {name}", undo)
+        return comp
+
+    def _silent_remove_component(self, name: str) -> None:
+        comp = self._components.pop(name, None)
+        if comp is None:
+            return
+        for key, att in list(self._attachments.items()):
+            if att.port.component is comp:
+                del self._attachments[key]
+
+    def add_connector(self, connector: Connector) -> Connector:
+        if connector.name in self._connectors or connector.name in self._components:
+            raise DuplicateElementError(f"element {connector.name!r} already in system")
+        self._connectors[connector.name] = connector
+        self._adopt(connector)
+        self._mutated(
+            f"add connector {connector.name}",
+            lambda: self._silent_remove_connector(connector.name),
+        )
+        return connector
+
+    def new_connector(self, name: str, types: Iterable[str] = ()) -> Connector:
+        return self.add_connector(Connector(name, set(types)))
+
+    def remove_connector(self, name: str) -> Connector:
+        conn = self.connector(name)
+        dropped = [a for a in self.attachments if a.role.connector is conn]
+        for att in dropped:
+            self.detach(att.port, att.role)
+        del self._connectors[name]
+
+        def undo() -> None:
+            self._connectors[name] = conn
+            for att in dropped:
+                self._attachments[att.key] = att
+
+        self._mutated(f"remove connector {name}", undo)
+        return conn
+
+    def _silent_remove_connector(self, name: str) -> None:
+        conn = self._connectors.pop(name, None)
+        if conn is None:
+            return
+        for key, att in list(self._attachments.items()):
+            if att.role.connector is conn:
+                del self._attachments[key]
+
+    # ------------------------------------------------------------------
+    # Attachments
+    # ------------------------------------------------------------------
+    def attach(self, port: Port, role: Role) -> Attachment:
+        """Bind ``port`` to ``role``; each role holds at most one port."""
+        if port.component.name not in self._components:
+            raise AttachmentError(f"{port.qualified_name}: component not in system")
+        if role.connector.name not in self._connectors:
+            raise AttachmentError(f"{role.qualified_name}: connector not in system")
+        if any(a.role is role for a in self._attachments.values()):
+            raise AttachmentError(f"role {role.qualified_name} is already attached")
+        att = Attachment(port, role)
+        if att.key in self._attachments:
+            raise AttachmentError(f"duplicate attachment {att}")
+        self._attachments[att.key] = att
+        self._mutated(
+            f"attach {att}", lambda: self._attachments.pop(att.key, None)
+        )
+        return att
+
+    def detach(self, port: Port, role: Role) -> None:
+        key = (port.qualified_name, role.qualified_name)
+        att = self._attachments.pop(key, None)
+        if att is None:
+            raise AttachmentError(
+                f"no attachment {port.qualified_name} to {role.qualified_name}"
+            )
+        self._mutated(
+            f"detach {att}", lambda: self._attachments.__setitem__(att.key, att)
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise UnknownElementError(f"no component {name!r} in {self.name}") from None
+
+    def connector(self, name: str) -> Connector:
+        try:
+            return self._connectors[name]
+        except KeyError:
+            raise UnknownElementError(f"no connector {name!r} in {self.name}") from None
+
+    def has_component(self, name: str) -> bool:
+        return name in self._components
+
+    def has_connector(self, name: str) -> bool:
+        return name in self._connectors
+
+    @property
+    def components(self) -> List[Component]:
+        return [self._components[k] for k in sorted(self._components)]
+
+    @property
+    def connectors(self) -> List[Connector]:
+        return [self._connectors[k] for k in sorted(self._connectors)]
+
+    @property
+    def attachments(self) -> List[Attachment]:
+        return [self._attachments[k] for k in sorted(self._attachments)]
+
+    # ------------------------------------------------------------------
+    # Graph queries (used by the constraint stdlib and repair scripts)
+    # ------------------------------------------------------------------
+    def components_of_type(self, type_name: str) -> List[Component]:
+        return [c for c in self.components if c.declares_type(type_name)]
+
+    def connectors_of_type(self, type_name: str) -> List[Connector]:
+        return [c for c in self.connectors if c.declares_type(type_name)]
+
+    def attached_role(self, port: Port) -> Optional[Role]:
+        for att in self._attachments.values():
+            if att.port is port:
+                return att.role
+        return None
+
+    def attached_port(self, role: Role) -> Optional[Port]:
+        for att in self._attachments.values():
+            if att.role is role:
+                return att.port
+        return None
+
+    def is_attached(self, a: Element, b: Element) -> bool:
+        """True when (port, role) in either order form an attachment."""
+        if isinstance(a, Port) and isinstance(b, Role):
+            return (a.qualified_name, b.qualified_name) in self._attachments
+        if isinstance(a, Role) and isinstance(b, Port):
+            return (b.qualified_name, a.qualified_name) in self._attachments
+        return False
+
+    def connectors_of(self, component: Component) -> List[Connector]:
+        """Connectors reachable from any of the component's ports."""
+        found: Dict[str, Connector] = {}
+        for att in self._attachments.values():
+            if att.port.component is component:
+                found[att.role.connector.name] = att.role.connector
+        return [found[k] for k in sorted(found)]
+
+    def components_on(self, connector: Connector) -> List[Component]:
+        found: Dict[str, Component] = {}
+        for att in self._attachments.values():
+            if att.role.connector is connector:
+                found[att.port.component.name] = att.port.component
+        return [found[k] for k in sorted(found)]
+
+    def connected(self, a: Component, b: Component) -> bool:
+        """True when some connector links components ``a`` and ``b``."""
+        if a is b:
+            return False
+        for conn in self.connectors_of(a):
+            if any(c is b for c in self.components_on(conn)):
+                return True
+        return False
+
+    def neighbors(self, component: Component) -> List[Component]:
+        out: Dict[str, Component] = {}
+        for conn in self.connectors_of(component):
+            for other in self.components_on(conn):
+                if other is not component:
+                    out[other.name] = other
+        return [out[k] for k in sorted(out)]
+
+    # ------------------------------------------------------------------
+    # Invariants (source text; evaluated by repro.constraints)
+    # ------------------------------------------------------------------
+    def add_invariant(self, name: str, expression: str) -> None:
+        self.invariant_sources.append((name, expression))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ArchSystem {self.name}: {len(self._components)} components, "
+            f"{len(self._connectors)} connectors, {len(self._attachments)} attachments>"
+        )

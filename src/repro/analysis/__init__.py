@@ -1,0 +1,26 @@
+"""Design-time performance analysis (substrate S15).
+
+The paper derives its repairs from an architecture-level queuing analysis
+[23]: "a queuing-theoretic analysis of performance can indicate possible
+points of adaptation".  This package provides the M/M/c machinery plus the
+sizing calculations behind §5's inputs ("we calculated that an initial
+starting point of 3 replicated servers in one server group would be
+sufficient to serve our six clients").
+"""
+
+from repro.analysis.queueing import MMcQueue, erlang_c
+from repro.analysis.sizing import (
+    SizingResult,
+    required_servers,
+    min_bandwidth_for,
+    predicted_latency,
+)
+
+__all__ = [
+    "MMcQueue",
+    "erlang_c",
+    "SizingResult",
+    "required_servers",
+    "min_bandwidth_for",
+    "predicted_latency",
+]

@@ -1,0 +1,105 @@
+"""M/M/c queueing formulas (Erlang-C) for server-group analysis.
+
+A server group with ``c`` replicated servers draining one FIFO queue is an
+M/M/c station: Poisson arrivals at rate ``lam``, exponential service at
+rate ``mu`` per server.  These closed forms drive the design-time sizing
+and the repair-threshold sanity checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+__all__ = ["erlang_c", "MMcQueue"]
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """Probability an arrival waits (Erlang-C), offered load ``a = lam/mu``.
+
+    Computed with a numerically stable recurrence on the Erlang-B blocking
+    probability: ``B(0)=1; B(k) = a*B(k-1) / (k + a*B(k-1))`` and
+    ``C = B(c) / (1 - rho*(1 - B(c)))``.
+    """
+    if c < 1:
+        raise AnalysisError(f"need at least one server, got {c}")
+    if offered_load < 0:
+        raise AnalysisError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    rho = offered_load / c
+    if rho >= 1.0:
+        return 1.0  # saturated: every arrival waits
+    b = 1.0
+    for k in range(1, c + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b / (1.0 - rho * (1.0 - b))
+
+
+@dataclass(frozen=True)
+class MMcQueue:
+    """An M/M/c station: ``lam`` arrivals/s, ``mu`` services/s per server."""
+
+    lam: float
+    mu: float
+    c: int
+
+    def __post_init__(self) -> None:
+        if self.lam < 0 or self.mu <= 0:
+            raise AnalysisError("need lam >= 0 and mu > 0")
+        if self.c < 1:
+            raise AnalysisError("need at least one server")
+
+    @property
+    def offered_load(self) -> float:
+        return self.lam / self.mu
+
+    @property
+    def utilization(self) -> float:
+        return self.lam / (self.c * self.mu)
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.stable:
+            raise AnalysisError(
+                f"unstable system: rho = {self.utilization:.3f} >= 1 "
+                f"(lam={self.lam}, mu={self.mu}, c={self.c})"
+            )
+
+    @property
+    def wait_probability(self) -> float:
+        """P(arrival must queue)."""
+        self._require_stable()
+        return erlang_c(self.c, self.offered_load)
+
+    @property
+    def mean_wait(self) -> float:
+        """Wq: mean time in queue (s)."""
+        self._require_stable()
+        return self.wait_probability / (self.c * self.mu - self.lam)
+
+    @property
+    def mean_response(self) -> float:
+        """W: queueing + service (s)."""
+        return self.mean_wait + 1.0 / self.mu
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Lq: mean number waiting (the paper's measured 'server load')."""
+        return self.lam * self.mean_wait
+
+    def wait_exceeds(self, t: float) -> float:
+        """P(Wq > t) = C * exp(-(c*mu - lam) * t)."""
+        self._require_stable()
+        if t < 0:
+            raise AnalysisError(f"t must be >= 0, got {t}")
+        return self.wait_probability * math.exp(-(self.c * self.mu - self.lam) * t)
+
+    def queue_growth_rate(self) -> float:
+        """Requests/s the queue grows when unstable (0 when stable)."""
+        return max(0.0, self.lam - self.c * self.mu)

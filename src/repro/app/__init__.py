@@ -1,0 +1,35 @@
+"""The client/server grid application (substrate S5) and the environment
+manager exposing the paper's Table 1 operators (substrate S6).
+
+Architecture (paper §1 example and §5 experiment):
+
+* :class:`~repro.app.client.Client` — issues requests open-loop on a rate
+  schedule; responses return directly from servers;
+* :class:`~repro.app.request_queue.RequestQueueService` — the "entity that
+  splits the requests into queues, corresponding to the client's server
+  group" (one logical FIFO per server group);
+* :class:`~repro.app.server.Server` — pulls requests FIFO from its group's
+  queue, computes, and streams the response to the client over the
+  simulated network (one in-order stream per destination);
+* :class:`~repro.app.system.GridApplication` — wiring, placement of
+  entities onto testbed machines, and runtime statistics;
+* :class:`~repro.app.env_manager.EnvironmentManager` — Table 1.
+"""
+
+from repro.app.messages import Request
+from repro.app.client import Client
+from repro.app.request_queue import RequestQueueService
+from repro.app.server import Server
+from repro.app.server_group import ServerGroupRuntime
+from repro.app.system import GridApplication
+from repro.app.env_manager import EnvironmentManager
+
+__all__ = [
+    "Request",
+    "Client",
+    "RequestQueueService",
+    "Server",
+    "ServerGroupRuntime",
+    "GridApplication",
+    "EnvironmentManager",
+]

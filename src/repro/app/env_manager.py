@@ -1,0 +1,171 @@
+"""The environment manager: the paper's Table 1 operators and queries.
+
+Each operator mutates the running (simulated) application and emits a trace
+record under ``runtime.op.*``.  Operators are instantaneous state changes;
+the *time cost* of invoking them from the model layer (RMI latency, gauge
+redeployment, Remos queries) is charged by :mod:`repro.translation`, which
+is where the paper's ~30 s repair duration lives.
+
+Table 1 mapping:
+
+=====================  ==========================================
+Paper                   Here
+=====================  ==========================================
+createReqQueue()        :meth:`EnvironmentManager.create_req_queue`
+findServer(cli, bw)     :meth:`EnvironmentManager.find_server`
+moveClient(newQ)        :meth:`EnvironmentManager.move_client`
+connectServer(srv, q)   :meth:`EnvironmentManager.connect_server`
+activateServer()        :meth:`EnvironmentManager.activate_server`
+deactivateServer()      :meth:`EnvironmentManager.deactivate_server`
+remos_get_flow(a, b)    :meth:`EnvironmentManager.remos_get_flow`
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.app.server_group import ServerGroupRuntime
+from repro.app.system import GridApplication
+from repro.errors import EnvironmentError_
+from repro.net.remos import RemosService
+from repro.sim.kernel import Event
+
+__all__ = ["EnvironmentManager"]
+
+
+class EnvironmentManager:
+    """Runtime-layer change operators (Table 1)."""
+
+    def __init__(self, app: GridApplication, remos: RemosService):
+        self.app = app
+        self.remos = remos
+        self.sim = app.sim
+        self.trace = app.trace
+        self.op_count = 0
+
+    def _emit(self, op: str, **data) -> None:
+        self.op_count += 1
+        self.trace.emit(self.sim.now, f"runtime.op.{op}", **data)
+
+    # ------------------------------------------------------------------
+    # Table 1 operators
+    # ------------------------------------------------------------------
+    def create_req_queue(self, group_name: str) -> ServerGroupRuntime:
+        """Add a logical request queue (and its group) to the RQ machine."""
+        group = self.app.create_group(group_name)
+        self._emit("createReqQueue", group=group_name)
+        return group
+
+    def find_server(
+        self, client_name: str, bw_thresh: float
+    ) -> Optional[str]:
+        """Find a spare server with at least ``bw_thresh`` bandwidth to the client.
+
+        Spares are registered servers not in any group.  Candidates are
+        ranked by predicted bandwidth (descending, name-tiebreak) using the
+        flow engine's current state — the runtime-layer query the paper
+        implements with Remos data.  Returns None when nothing qualifies.
+        """
+        client = self.app.client(client_name)
+        candidates: List[Tuple[float, str]] = []
+        for server in self.app.spare_servers:
+            bw = self.app.network.predicted_bandwidth(server.machine, client.machine)
+            if bw >= bw_thresh:
+                candidates.append((-bw, server.name))
+        candidates.sort()
+        found = candidates[0][1] if candidates else None
+        self._emit("findServer", client=client_name, bw_thresh=bw_thresh, found=found)
+        return found
+
+    def move_client(self, client_name: str, group_name: str) -> str:
+        """Re-route a client's future requests to ``group_name``'s queue.
+
+        Moving tears down the client's old response connections: responses
+        still queued or in flight at the old group's servers are dropped
+        (they travel the path the move is escaping from; re-routing the
+        client abandons that stream).  Dropped counts are tracked on the
+        servers and reported by the experiment harness.
+        """
+        old = self.app.rq.move_client(client_name, group_name)
+        dropped = 0
+        for server in self.app.group(old).members:
+            dropped += server.purge_destination(client_name)
+        self._emit(
+            "moveClient", client=client_name, frm=old, to=group_name,
+            dropped=dropped,
+        )
+        return old
+
+    def connect_server(self, server_name: str, group_name: str) -> None:
+        """Configure a server to pull from ``group_name``'s request queue."""
+        server = self.app.server(server_name)
+        group = self.app.group(group_name)
+        current = self.app.group_of_server(server_name)
+        if current is not None and current.name != group_name:
+            raise EnvironmentError_(
+                f"server {server_name} is in group {current.name}; remove it first"
+            )
+        server.connect(group_name, group.queue)
+        if current is None:
+            group.add(server)
+        self._emit("connectServer", server=server_name, group=group_name)
+
+    def activate_server(self, server_name: str) -> None:
+        """Signal a connected server to begin pulling requests."""
+        server = self.app.server(server_name)
+        if self.app.group_of_server(server_name) is None:
+            raise EnvironmentError_(
+                f"server {server_name} must be connected to a group before activation"
+            )
+        server.activate()
+        self._emit("activateServer", server=server_name, group=server.group)
+
+    def deactivate_server(self, server_name: str, detach: bool = True) -> None:
+        """Signal a server to stop pulling requests.
+
+        With ``detach`` (default) the server also leaves its group and
+        becomes a spare again — the paper's ``remove()`` model operator
+        "deletes the server from its containing server group and changes
+        the replication count".
+        """
+        server = self.app.server(server_name)
+        group = self.app.group_of_server(server_name)
+        server.deactivate()
+        if detach and group is not None:
+            group.remove(server)
+        self._emit(
+            "deactivateServer",
+            server=server_name,
+            group=group.name if group else None,
+            detached=detach,
+        )
+
+    def remos_get_flow(self, entity_a: str, entity_b: str) -> Event:
+        """Predicted bandwidth between the machines of two entities.
+
+        Asynchronous like the real Remos API: returns an event that yields
+        bits/second after the (cold or warm) query delay.
+        """
+        ma = self.app.machine_of(entity_a)
+        mb = self.app.machine_of(entity_b)
+        self._emit("remos_get_flow", a=entity_a, b=entity_b, warm=self.remos.is_warm(ma, mb))
+        return self.remos.get_flow(ma, mb)
+
+    # ------------------------------------------------------------------
+    # Composite helper used by the translator's addServer mapping
+    # ------------------------------------------------------------------
+    def recruit_server(self, client_name: str, group_name: str, bw_thresh: float) -> str:
+        """findServer + connectServer + activateServer in one step.
+
+        Raises :class:`EnvironmentError_` when no spare qualifies, which the
+        repair tactic surfaces as a failed ``addServer`` operator.
+        """
+        found = self.find_server(client_name, bw_thresh)
+        if found is None:
+            raise EnvironmentError_(
+                f"no spare server with {bw_thresh:.0f} bps to {client_name}"
+            )
+        self.connect_server(found, group_name)
+        self.activate_server(found)
+        return found

@@ -1,0 +1,153 @@
+"""The event bus proper.
+
+Delivery semantics: ``publish`` never invokes handlers synchronously.
+Each matching subscription receives the message after a delay chosen by the
+bus's :class:`DeliveryModel` (default: a small fixed latency).  Because the
+underlying simulator breaks ties in scheduling order, delivery is
+deterministic.
+
+The delivery model is the hook for the paper's in-band-monitoring effect:
+the experiment harness installs a model whose delay grows when the network
+path carrying monitoring traffic is congested, and the A2 ablation swaps in
+a fixed-latency (QoS-prioritized) model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bus.filters import AttributeFilter, subject_matches
+from repro.bus.messages import Message
+from repro.sim.kernel import Simulator
+from repro.util.ids import IdGenerator
+
+__all__ = ["DeliveryModel", "FixedDelay", "Subscription", "EventBus"]
+
+
+class DeliveryModel:
+    """Strategy returning the bus transit delay for a message."""
+
+    def delay(self, message: Message) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class FixedDelay(DeliveryModel):
+    """Constant transit delay (default 10 ms; a LAN-ish event bus)."""
+
+    seconds: float = 0.010
+
+    def delay(self, message: Message) -> float:
+        return self.seconds
+
+
+class CallableDelay(DeliveryModel):
+    """Adapts a plain ``message -> seconds`` callable."""
+
+    def __init__(self, fn: Callable[[Message], float]):
+        self._fn = fn
+
+    def delay(self, message: Message) -> float:
+        return self._fn(message)
+
+
+@dataclass
+class Subscription:
+    """A registered interest: subject pattern + optional attribute filter."""
+
+    sid: str
+    pattern: str
+    handler: Callable[[Message], None]
+    attr_filter: Optional[AttributeFilter] = None
+    active: bool = True
+
+    def wants(self, message: Message) -> bool:
+        if not self.active:
+            return False
+        if not subject_matches(self.pattern, message.subject):
+            return False
+        if self.attr_filter is not None and not self.attr_filter.matches(message.attributes):
+            return False
+        return True
+
+
+class EventBus:
+    """Wide-area event bus simulacrum.
+
+    Statistics (published/delivered counts, cumulative transit time) feed
+    the monitoring-overhead reporting in the experiment harness.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delivery: Optional[DeliveryModel] = None,
+        name: str = "bus",
+    ):
+        self.sim = sim
+        self.name = name
+        self.delivery = delivery or FixedDelay()
+        self._subs: Dict[str, Subscription] = {}
+        self._ids = IdGenerator()
+        self.published = 0
+        self.delivered = 0
+        self.total_transit = 0.0
+
+    # -- subscription management -------------------------------------------
+    def subscribe(
+        self,
+        pattern: str,
+        handler: Callable[[Message], None],
+        attr_filter: Optional[AttributeFilter] = None,
+    ) -> Subscription:
+        """Register ``handler`` for messages matching ``pattern`` (+filter)."""
+        subject_matches(pattern, "x")  # validate pattern eagerly
+        sub = Subscription(self._ids.next("sub"), pattern, handler, attr_filter)
+        self._subs[sub.sid] = sub
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Deactivate and forget a subscription (idempotent)."""
+        sub.active = False
+        self._subs.pop(sub.sid, None)
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subs.values())
+
+    # -- publication ----------------------------------------------------------
+    def publish(self, message: Message) -> int:
+        """Route ``message`` to matching subscribers; returns match count.
+
+        The message timestamp is normalized to the current simulation time.
+        """
+        msg = message.with_time(self.sim.now)
+        self.published += 1
+        matched = 0
+        # Snapshot: handlers subscribing during delivery see later messages only.
+        for sub in list(self._subs.values()):
+            if not sub.wants(msg):
+                continue
+            matched += 1
+            delay = float(self.delivery.delay(msg))
+            if delay < 0:
+                delay = 0.0
+            self.total_transit += delay
+            self.sim.schedule(delay, self._deliver, sub, msg)
+        return matched
+
+    def publish_subject(self, subject: str, sender: str = "", **attributes) -> int:
+        """Convenience: build and publish a message in one call."""
+        return self.publish(Message(subject, attributes, self.sim.now, sender))
+
+    def _deliver(self, sub: Subscription, msg: Message) -> None:
+        if not sub.active:
+            return  # unsubscribed while in flight
+        self.delivered += 1
+        sub.handler(msg)
+
+    # -- reporting -------------------------------------------------------------
+    @property
+    def mean_transit(self) -> float:
+        return self.total_transit / self.delivered if self.delivered else 0.0

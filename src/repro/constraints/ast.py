@@ -1,0 +1,114 @@
+"""AST node types for the constraint language (shared with the repair DSL)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "Node",
+    "Literal",
+    "Name",
+    "PropertyAccess",
+    "Call",
+    "Unary",
+    "Binary",
+    "Quantifier",
+    "Select",
+    "SetLiteral",
+]
+
+
+class Node:
+    """Base class; nodes carry their source position for error reporting."""
+
+    line: int = 0
+    column: int = 0
+
+    def at(self, line: int, column: int) -> "Node":
+        self.line = line
+        self.column = column
+        return self
+
+
+@dataclass
+class Literal(Node):
+    """Number, string, boolean, or nil."""
+
+    value: Any
+
+
+@dataclass
+class Name(Node):
+    """A bare identifier, resolved against the evaluation scope."""
+
+    ident: str
+
+
+@dataclass
+class PropertyAccess(Node):
+    """``obj.attr`` — element property or built-in attribute."""
+
+    obj: Node
+    attr: str
+
+
+@dataclass
+class Call(Node):
+    """``fn(args...)`` or ``obj.method(args...)`` (receiver non-None)."""
+
+    func: str
+    args: List[Node] = field(default_factory=list)
+    receiver: Optional[Node] = None
+
+
+@dataclass
+class Unary(Node):
+    """``!x``, ``-x``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass
+class Binary(Node):
+    """Binary operation; op is one of
+    ``or and == != < <= > >= + - * / -> in``."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class Quantifier(Node):
+    """``forall|exists [unique] var [: Type] in domain | body``."""
+
+    kind: str  # 'forall' | 'exists' | 'exists_unique'
+    var: str
+    type_name: Optional[str]
+    domain: Node
+    body: Node
+
+
+@dataclass
+class Select(Node):
+    """``select [one] var [: Type] in domain | predicate``.
+
+    Evaluates to the filtered list, or — with ``one`` — to the single
+    matching element (nil if none; first match if several, mirroring the
+    paper's "select one ... | ..." usage).
+    """
+
+    var: str
+    type_name: Optional[str]
+    domain: Node
+    body: Node
+    one: bool = False
+
+
+@dataclass
+class SetLiteral(Node):
+    """``{e1, e2, ...}``."""
+
+    items: List[Node] = field(default_factory=list)

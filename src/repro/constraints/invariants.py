@@ -1,0 +1,168 @@
+"""Invariants and the constraint checker.
+
+An :class:`Invariant` pairs a name with a constraint expression and a
+*scope*: either the whole system or an element type.  Type-scoped
+invariants are evaluated once per element of that type with ``self`` bound
+to the element — the paper's ``averageLatency <= maxLatency`` is scoped to
+client roles, producing one violation per misbehaving client.
+
+:class:`ConstraintChecker` evaluates a set of invariants and returns
+structured results; the architecture manager reacts to violations by
+dispatching the associated repair strategy (Figure 5 line 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.acme.elements import Element
+from repro.acme.system import ArchSystem
+from repro.constraints.ast import Node
+from repro.constraints.evaluator import EvalContext, Evaluator
+from repro.constraints.parser import parse_expression
+from repro.errors import ConstraintError, EvaluationError
+
+__all__ = ["Invariant", "ConstraintResult", "ConstraintChecker"]
+
+
+@dataclass(frozen=True)
+class ConstraintResult:
+    """Outcome of evaluating one invariant against one scope element."""
+
+    invariant: str
+    ok: bool
+    scope: Optional[str] = None  # qualified element name; None = system scope
+    element: Optional[Element] = None
+    error: Optional[str] = None
+
+    @property
+    def violated(self) -> bool:
+        return not self.ok
+
+    def __str__(self) -> str:
+        state = "OK" if self.ok else ("ERROR: " + self.error if self.error else "VIOLATED")
+        where = f" @ {self.scope}" if self.scope else ""
+        return f"[{self.invariant}{where}] {state}"
+
+
+class Invariant:
+    """One named constraint with an optional type scope.
+
+    ``repair`` optionally names the repair strategy to trigger on violation
+    (Figure 5's ``! -> fixLatency(r)``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        expression: str,
+        scope_type: Optional[str] = None,
+        repair: Optional[str] = None,
+    ):
+        self.name = name
+        self.source = expression
+        self.scope_type = scope_type
+        self.repair = repair
+        try:
+            self.ast: Node = parse_expression(expression)
+        except Exception as exc:
+            raise ConstraintError(
+                f"invariant {name!r} does not parse: {exc}"
+            ) from exc
+
+    def _scopes(self, system: ArchSystem) -> List[Optional[Element]]:
+        if self.scope_type is None:
+            return [None]
+        scopes: List[Element] = []
+        for comp in system.components:
+            if comp.declares_type(self.scope_type):
+                scopes.append(comp)
+            for port in comp.ports:
+                if port.declares_type(self.scope_type):
+                    scopes.append(port)
+        for conn in system.connectors:
+            if conn.declares_type(self.scope_type):
+                scopes.append(conn)
+            for role in conn.roles:
+                if role.declares_type(self.scope_type):
+                    scopes.append(role)
+        return scopes or []
+
+    def check(
+        self,
+        system: ArchSystem,
+        bindings: Optional[Dict[str, Any]] = None,
+        functions: Optional[Dict[str, Callable[..., Any]]] = None,
+    ) -> List[ConstraintResult]:
+        """Evaluate over every scope element; one result per scope."""
+        results: List[ConstraintResult] = []
+        evaluator = Evaluator()
+        for scope in self._scopes(system):
+            ctx = EvalContext(system, scope=scope, bindings=bindings,
+                              functions=functions)
+            scope_name = scope.qualified_name if scope is not None else None
+            try:
+                value = evaluator.evaluate(self.ast, ctx)
+            except EvaluationError as exc:
+                results.append(
+                    ConstraintResult(self.name, False, scope_name, scope, str(exc))
+                )
+                continue
+            if not isinstance(value, bool):
+                results.append(
+                    ConstraintResult(
+                        self.name, False, scope_name, scope,
+                        f"invariant must be boolean, got {value!r}",
+                    )
+                )
+                continue
+            results.append(ConstraintResult(self.name, value, scope_name, scope))
+        return results
+
+
+class ConstraintChecker:
+    """Holds invariants + global bindings; evaluates them on demand."""
+
+    def __init__(
+        self,
+        bindings: Optional[Dict[str, Any]] = None,
+        functions: Optional[Dict[str, Callable[..., Any]]] = None,
+    ):
+        self.bindings: Dict[str, Any] = dict(bindings or {})
+        self.functions: Dict[str, Callable[..., Any]] = dict(functions or {})
+        self._invariants: Dict[str, Invariant] = {}
+
+    def add(self, invariant: Invariant) -> Invariant:
+        if invariant.name in self._invariants:
+            raise ConstraintError(f"duplicate invariant {invariant.name!r}")
+        self._invariants[invariant.name] = invariant
+        return invariant
+
+    def add_source(
+        self,
+        name: str,
+        expression: str,
+        scope_type: Optional[str] = None,
+        repair: Optional[str] = None,
+    ) -> Invariant:
+        return self.add(Invariant(name, expression, scope_type, repair))
+
+    def invariant(self, name: str) -> Invariant:
+        try:
+            return self._invariants[name]
+        except KeyError:
+            raise ConstraintError(f"no invariant {name!r}") from None
+
+    @property
+    def invariants(self) -> List[Invariant]:
+        return [self._invariants[k] for k in sorted(self._invariants)]
+
+    def check_all(self, system: ArchSystem) -> List[ConstraintResult]:
+        results: List[ConstraintResult] = []
+        for inv in self.invariants:
+            results.extend(inv.check(system, self.bindings, self.functions))
+        return results
+
+    def violations(self, system: ArchSystem) -> List[ConstraintResult]:
+        return [r for r in self.check_all(system) if r.violated]

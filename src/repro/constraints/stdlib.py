@@ -1,0 +1,167 @@
+"""Built-in functions available to constraint and repair expressions.
+
+Each function receives an :class:`~repro.constraints.evaluator.EvalContext`
+first (for access to the system under evaluation), then the evaluated
+arguments.  All collection arguments accept any Python sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.acme.elements import Component, Connector, Element, Port, Role
+from repro.errors import EvaluationError
+
+__all__ = ["STDLIB"]
+
+
+def _seq(value: Any, what: str) -> List[Any]:
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return list(value)
+    raise EvaluationError(f"{what} expects a collection, got {type(value).__name__}")
+
+
+def _fn_size(ctx, value: Any) -> int:
+    return len(_seq(value, "size"))
+
+
+def _fn_is_empty(ctx, value: Any) -> bool:
+    return len(_seq(value, "isEmpty")) == 0
+
+
+def _fn_contains(ctx, collection: Any, item: Any) -> bool:
+    return item in _seq(collection, "contains")
+
+
+def _numbers(value: Any, what: str) -> List[float]:
+    out = []
+    for v in _seq(value, what):
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            raise EvaluationError(f"{what} expects numbers, found {v!r}")
+        out.append(float(v))
+    return out
+
+
+def _fn_sum(ctx, value: Any) -> float:
+    return float(sum(_numbers(value, "sum")))
+
+
+def _fn_avg(ctx, value: Any) -> float:
+    nums = _numbers(value, "avg")
+    if not nums:
+        raise EvaluationError("avg of an empty collection")
+    return sum(nums) / len(nums)
+
+
+def _fn_max(ctx, value: Any) -> float:
+    nums = _numbers(value, "max")
+    if not nums:
+        raise EvaluationError("max of an empty collection")
+    return max(nums)
+
+
+def _fn_min(ctx, value: Any) -> float:
+    nums = _numbers(value, "min")
+    if not nums:
+        raise EvaluationError("min of an empty collection")
+    return min(nums)
+
+
+def _element(value: Any, what: str) -> Element:
+    if not isinstance(value, Element):
+        raise EvaluationError(f"{what} expects a model element, got {value!r}")
+    return value
+
+
+def _as_component(ctx, value: Any, what: str) -> Component:
+    el = _element(value, what)
+    if isinstance(el, Component):
+        return el
+    raise EvaluationError(f"{what} expects a component, got {el.kind}")
+
+
+def _fn_connected(ctx, a: Any, b: Any) -> bool:
+    """True when a connector links the two components."""
+    return ctx.system.connected(
+        _as_component(ctx, a, "connected"), _as_component(ctx, b, "connected")
+    )
+
+
+def _fn_attached(ctx, a: Any, b: Any) -> bool:
+    """True for an attached (port, role) pair, in either order.
+
+    Also accepts (component, connector): true when any of the component's
+    ports attaches to any of the connector's roles — the loose usage in
+    Figure 5's ``attached(badRole, r)``-style tests.
+    """
+    ea, eb = _element(a, "attached"), _element(b, "attached")
+    if isinstance(ea, (Port, Role)) and isinstance(eb, (Port, Role)):
+        return ctx.system.is_attached(ea, eb)
+    comp = conn = None
+    for e in (ea, eb):
+        if isinstance(e, Component):
+            comp = e
+        elif isinstance(e, Connector):
+            conn = e
+        elif isinstance(e, Role):
+            conn = e.connector
+        elif isinstance(e, Port):
+            comp = e.component
+    if comp is None or conn is None:
+        raise EvaluationError("attached expects port/role or component/connector")
+    return any(c is comp for c in ctx.system.components_on(conn))
+
+
+def _fn_declares_type(ctx, element: Any, type_name: Any) -> bool:
+    if not isinstance(type_name, str):
+        raise EvaluationError("declaresType expects a type name string")
+    return _element(element, "declaresType").declares_type(type_name)
+
+
+def _fn_has_property(ctx, element: Any, name: Any) -> bool:
+    return _element(element, "hasProperty").has_property(str(name))
+
+
+def _fn_union(ctx, a: Any, b: Any) -> List[Any]:
+    out = _seq(a, "union")
+    for item in _seq(b, "union"):
+        if item not in out:
+            out.append(item)
+    return out
+
+
+def _fn_intersection(ctx, a: Any, b: Any) -> List[Any]:
+    bs = _seq(b, "intersection")
+    return [x for x in _seq(a, "intersection") if x in bs]
+
+
+def _fn_abs(ctx, x: Any) -> float:
+    if not isinstance(x, (int, float)) or isinstance(x, bool):
+        raise EvaluationError(f"abs expects a number, got {x!r}")
+    return abs(float(x))
+
+
+def _fn_sqrt(ctx, x: Any) -> float:
+    if not isinstance(x, (int, float)) or isinstance(x, bool) or x < 0:
+        raise EvaluationError(f"sqrt expects a non-negative number, got {x!r}")
+    return math.sqrt(float(x))
+
+
+STDLIB: Dict[str, Callable[..., Any]] = {
+    "size": _fn_size,
+    "isEmpty": _fn_is_empty,
+    "contains": _fn_contains,
+    "sum": _fn_sum,
+    "avg": _fn_avg,
+    "max": _fn_max,
+    "min": _fn_min,
+    "connected": _fn_connected,
+    "attached": _fn_attached,
+    "declaresType": _fn_declares_type,
+    "hasProperty": _fn_has_property,
+    "union": _fn_union,
+    "intersection": _fn_intersection,
+    "abs": _fn_abs,
+    "sqrt": _fn_sqrt,
+}

@@ -1,0 +1,38 @@
+"""Experiment apparatus (substrate S16): the paper's §5 evaluation.
+
+* :mod:`repro.experiment.testbed` — the Figure 6 dedicated testbed
+  (5 routers, 11 application machines, 10 Mbps links);
+* :mod:`repro.experiment.workload` — the Figure 7 stepping functions for
+  bandwidth competition and request load;
+* :mod:`repro.experiment.scenario` — run configurations (control,
+  adapted, ablations);
+* :mod:`repro.experiment.runner` — wires everything and runs 30 minutes
+  of simulated time, with result caching for the benchmark harness;
+* :mod:`repro.experiment.metrics` — time-series sampling and the §5
+  scalar claims;
+* :mod:`repro.experiment.reporting` — text rendering of each figure.
+"""
+
+from repro.experiment.testbed import Testbed, build_testbed
+from repro.experiment.workload import Workload, build_workload
+from repro.experiment.scenario import ScenarioConfig
+from repro.experiment.series import TimeSeries
+from repro.experiment.runner import Experiment, ExperimentResult, run_scenario
+from repro.experiment.metrics import MetricsSampler, ClaimReport, extract_claims
+from repro.experiment import reporting
+
+__all__ = [
+    "Testbed",
+    "build_testbed",
+    "Workload",
+    "build_workload",
+    "ScenarioConfig",
+    "TimeSeries",
+    "Experiment",
+    "ExperimentResult",
+    "run_scenario",
+    "MetricsSampler",
+    "ClaimReport",
+    "extract_claims",
+    "reporting",
+]

@@ -1,0 +1,213 @@
+"""Metric sampling and the paper's §5 scalar claims.
+
+The sampler is the *experimenter's* out-of-band instrumentation (the
+paper's measurement scripts): it reads ground truth (client windows, queue
+lengths, flow-engine bandwidth) every ``sample_period`` seconds.  The
+adaptation loop never sees these series — it only sees gauge reports with
+their delays and windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.experiment.series import TimeSeries
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiment.runner import Experiment, ExperimentResult
+
+__all__ = ["MetricsSampler", "ClaimReport", "extract_claims"]
+
+
+class MetricsSampler:
+    """Samples the running experiment into named time series.
+
+    Series:
+
+    * ``latency.<client>``   — windowed mean latency (Figures 8/11);
+    * ``load.<group>``       — request-queue length (Figures 9/13);
+    * ``bandwidth.<client>`` — predicted bandwidth to the client's current
+      group, worst active member (Figures 10/12; sampled for C3 and C4,
+      the clients the competition targets);
+    * ``replication.<group>`` — active replicas (spare activations);
+    * ``repair.active``      — 1 while a repair is in flight (the interval
+      marks at the top of Figures 11-13).
+    """
+
+    BANDWIDTH_CLIENTS = ("C3", "C4")
+
+    def __init__(self, experiment: "Experiment"):
+        self.experiment = experiment
+        self.period = experiment.config.sample_period
+        self.series: Dict[str, TimeSeries] = {}
+        for client in experiment.testbed.clients:
+            self._new(f"latency.{client}", "s")
+        for group in experiment.testbed.initial_groups:
+            self._new(f"load.{group}", "requests")
+            self._new(f"replication.{group}", "servers")
+            self._new(f"utilization.{group}", "")
+        for client in self.BANDWIDTH_CLIENTS:
+            self._new(f"bandwidth.{client}", "bps")
+        self._new("repair.active", "")
+
+    def _new(self, name: str, unit: str) -> TimeSeries:
+        ts = TimeSeries(name, unit)
+        self.series[name] = ts
+        return ts
+
+    def start(self) -> Process:
+        return Process(
+            self.experiment.sim, self._run(), name="metrics-sampler"
+        )
+
+    def _run(self):
+        exp = self.experiment
+        sim = exp.sim
+        while True:
+            self.sample()
+            yield sim.timeout(self.period)
+
+    def sample(self) -> None:
+        exp = self.experiment
+        now = exp.sim.now
+        for name, client in sorted(exp.app.clients.items()):
+            self.series[f"latency.{name}"].append(
+                now, client.latency_window.mean(now)
+            )
+        for name, group in sorted(exp.app.groups.items()):
+            self.series[f"load.{name}"].append(now, float(group.load))
+            self.series[f"replication.{name}"].append(now, float(group.replication))
+            self.series[f"utilization.{name}"].append(now, group.utilization(now))
+        for client in self.BANDWIDTH_CLIENTS:
+            group = exp.app.rq.assignment_of(client)
+            self.series[f"bandwidth.{client}"].append(
+                now, exp.app.bandwidth_between(client, group)
+            )
+        busy = 1.0 if (exp.manager is not None and exp.manager.busy) else 0.0
+        self.series["repair.active"].append(now, busy)
+
+
+# ---------------------------------------------------------------------------
+# Scalar claims (§5.2 / §5.3)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClaimReport:
+    """Derived quantities mirroring the paper's §5 prose."""
+
+    name: str
+    # latency behaviour
+    first_violation: Optional[float] = None       # earliest client crossing 2 s
+    violation_fraction: float = 0.0               # fraction of samples > 2 s
+    final_window_fraction: float = 0.0            # > 2 s within last 5 minutes
+    worst_latency: Optional[float] = None
+    # load behaviour
+    max_load: Optional[float] = None
+    load_over_limit_outside_stress: float = 0.0
+    load_over_limit_inside_stress: float = 0.0
+    # bandwidth behaviour
+    min_bandwidth_observed: Optional[float] = None
+    # repair behaviour
+    repairs_committed: int = 0
+    repairs_aborted: int = 0
+    mean_repair_duration: float = 0.0
+    server_activations: List = field(default_factory=list)
+    client_moves: int = 0
+    oscillations: int = 0
+    dropped_responses: int = 0
+
+    def rows(self) -> List[List[object]]:
+        def fmt(v):
+            return "-" if v is None else v
+
+        return [
+            ["first latency violation (s)", fmt(self.first_violation)],
+            ["fraction of samples > 2 s", round(self.violation_fraction, 4)],
+            ["fraction > 2 s in final 5 min", round(self.final_window_fraction, 4)],
+            ["worst windowed latency (s)", fmt(self.worst_latency)],
+            ["max queue length", fmt(self.max_load)],
+            ["load > 6 outside stress (frac)", round(self.load_over_limit_outside_stress, 4)],
+            ["load > 6 inside stress (frac)", round(self.load_over_limit_inside_stress, 4)],
+            ["min observed bandwidth (bps)", fmt(self.min_bandwidth_observed)],
+            ["repairs committed", self.repairs_committed],
+            ["repairs aborted", self.repairs_aborted],
+            ["mean repair duration (s)", round(self.mean_repair_duration, 1)],
+            ["spare-server activations", self.server_activations],
+            ["client moves", self.client_moves],
+            ["oscillating moves", self.oscillations],
+            ["responses dropped by moves", self.dropped_responses],
+        ]
+
+
+def extract_claims(result: "ExperimentResult") -> ClaimReport:
+    """Compute the §5 claims from one run's result."""
+    cfg = result.config
+    report = ClaimReport(name=cfg.name)
+
+    latencies = [result.s(f"latency.{c}") for c in result.clients]
+    crossings = [
+        ts.first_crossing(cfg.max_latency, after=cfg.quiescent_end)
+        for ts in latencies
+    ]
+    crossings = [c for c in crossings if c is not None]
+    report.first_violation = min(crossings) if crossings else None
+
+    total = above = final_total = final_above = 0
+    final_start = cfg.horizon - 300.0
+    worst = None
+    for ts in latencies:
+        _, v = ts.window(start=cfg.quiescent_end)
+        total += v.size
+        above += int((v > cfg.max_latency).sum())
+        _, vf = ts.window(start=final_start)
+        final_total += vf.size
+        final_above += int((vf > cfg.max_latency).sum())
+        m = ts.max()
+        if m is not None:
+            worst = m if worst is None else max(worst, m)
+    report.violation_fraction = above / total if total else 0.0
+    report.final_window_fraction = final_above / final_total if final_total else 0.0
+    report.worst_latency = worst
+
+    loads = [result.s(f"load.{g}") for g in ("SG1", "SG2")]
+    report.max_load = max(
+        (ts.max() for ts in loads if ts.max() is not None), default=None
+    )
+    out_n = out_a = in_n = in_a = 0
+    for ts in loads:
+        _, vo = ts.window(start=cfg.quiescent_end, end=cfg.stress_start)
+        out_n += vo.size
+        out_a += int((vo > cfg.max_server_load).sum())
+        _, vo2 = ts.window(start=cfg.stress_end)
+        out_n += vo2.size
+        out_a += int((vo2 > cfg.max_server_load).sum())
+        _, vi = ts.window(start=cfg.stress_start, end=cfg.stress_end)
+        in_n += vi.size
+        in_a += int((vi > cfg.max_server_load).sum())
+    report.load_over_limit_outside_stress = out_a / out_n if out_n else 0.0
+    report.load_over_limit_inside_stress = in_a / in_n if in_n else 0.0
+
+    bw_mins = [
+        result.s(f"bandwidth.{c}").min()
+        for c in MetricsSampler.BANDWIDTH_CLIENTS
+        if f"bandwidth.{c}" in result.series
+    ]
+    bw_mins = [b for b in bw_mins if b is not None]
+    report.min_bandwidth_observed = min(bw_mins) if bw_mins else None
+
+    history = result.history
+    report.repairs_committed = len(history.committed)
+    report.repairs_aborted = len(history.aborted)
+    report.mean_repair_duration = history.mean_duration()
+    report.server_activations = [
+        (round(t, 1), server, group)
+        for t, server, group in history.server_activations()
+    ]
+    report.client_moves = len(history.client_moves())
+    report.oscillations = sum(
+        history.oscillation_count(c) for c in result.clients
+    )
+    report.dropped_responses = result.dropped
+    return report

@@ -1,0 +1,111 @@
+"""Text rendering of the paper's figures and tables.
+
+Headless environment: figures render as log-scale ASCII strips plus the
+summary statistics a reviewer needs to check the *shape* against the
+paper (who collapses, where thresholds are crossed, what recovers).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.util.tables import render_series, render_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiment.metrics import ClaimReport
+    from repro.experiment.runner import ExperimentResult
+    from repro.experiment.workload import Workload
+
+__all__ = [
+    "render_workload",
+    "render_latency_figure",
+    "render_load_figure",
+    "render_bandwidth_figure",
+    "render_repair_intervals",
+    "render_claims",
+    "render_comparison",
+]
+
+
+def render_workload(workload: "Workload", title: str) -> str:
+    rows = [
+        [
+            r["time_s"],
+            r["phase"],
+            r["request_rate_per_client"],
+            r["competition_sg1_bps"] / 1e6,
+            r["competition_sg2_bps"] / 1e6,
+            r["residual_sg1_bps"] / 1e6,
+            r["residual_sg2_bps"] / 1e6,
+        ]
+        for r in workload.describe()
+    ]
+    return render_table(
+        [
+            "t (s)", "phase", "req/s/client",
+            "comp SG1 (Mbps)", "comp SG2 (Mbps)",
+            "avail SG1 (Mbps)", "avail SG2 (Mbps)",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def _series_block(result: "ExperimentResult", names: Sequence[str],
+                  log: bool, unit: str) -> str:
+    blocks = []
+    for name in names:
+        ts = result.s(name)
+        times, values = ts.as_lists()
+        blocks.append(render_series(name, times, values, log=log, unit=unit))
+    return "\n".join(blocks)
+
+
+def render_latency_figure(result: "ExperimentResult", title: str) -> str:
+    """Figures 8 / 11: per-client average latency (log scale)."""
+    names = [f"latency.{c}" for c in result.clients]
+    header = f"{title}  [{result.config.name} run, threshold 2 s]"
+    return header + "\n" + _series_block(result, names, log=True, unit="s")
+
+
+def render_load_figure(result: "ExperimentResult", title: str) -> str:
+    """Figures 9 / 13: server load = queue length (log scale, limit 6)."""
+    names = [f"load.{g}" for g in ("SG1", "SG2")]
+    header = f"{title}  [{result.config.name} run, overload limit 6]"
+    return header + "\n" + _series_block(result, names, log=True, unit="req")
+
+
+def render_bandwidth_figure(result: "ExperimentResult", title: str) -> str:
+    """Figures 10 / 12: available bandwidth (log scale, 10 Kbps line)."""
+    names = [f"bandwidth.{c}" for c in ("C3", "C4")]
+    header = f"{title}  [{result.config.name} run, threshold 10 Kbps]"
+    return header + "\n" + _series_block(result, names, log=True, unit="bps")
+
+
+def render_repair_intervals(result: "ExperimentResult") -> str:
+    """The repair-duration marks atop Figures 11-13."""
+    intervals = result.repair_intervals()
+    if not intervals:
+        return "repairs: none"
+    rows = [[f"{a:.1f}", f"{b:.1f}", f"{b - a:.1f}"] for a, b in intervals]
+    return render_table(
+        ["repair start (s)", "repair end (s)", "duration (s)"], rows,
+        title=f"repairs: {len(intervals)}",
+    )
+
+
+def render_claims(report: "ClaimReport", title: str) -> str:
+    return render_table(["claim", "measured"], report.rows(), title=title)
+
+
+def render_comparison(control: "ClaimReport", adapted: "ClaimReport") -> str:
+    """Side-by-side control vs adapted (the §5.2 comparison)."""
+    c_rows = {row[0]: row[1] for row in control.rows()}
+    a_rows = {row[0]: row[1] for row in adapted.rows()}
+    rows: List[List[object]] = [
+        [key, c_rows[key], a_rows[key]] for key in c_rows
+    ]
+    return render_table(
+        ["claim", "control", "adapted"], rows,
+        title="Control vs adaptation (paper §5.2)",
+    )

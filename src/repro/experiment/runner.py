@@ -1,0 +1,411 @@
+"""Builds and runs complete experiments (control and adapted).
+
+This module performs the Figure 1 wiring: runtime layer (testbed network,
+application, competition generators), model layer (architectural model,
+constraint checker, repair strategies from the Figure 5 DSL, translator),
+and the monitoring infrastructure connecting them.  The control run omits
+the model layer and monitoring entirely — it is the same application under
+the same seeded workload with no adaptation.
+
+Full runs simulate 30 minutes and several benches share them, so results
+are cached per :class:`ScenarioConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.app.client import Client
+from repro.app.env_manager import EnvironmentManager
+from repro.app.server import Server
+from repro.app.system import GridApplication
+from repro.bus.bus import CallableDelay, EventBus, FixedDelay
+from repro.constraints.invariants import ConstraintChecker
+from repro.experiment.metrics import MetricsSampler
+from repro.experiment.scenario import ScenarioConfig
+from repro.experiment.series import TimeSeries
+from repro.experiment.testbed import Testbed, build_testbed
+from repro.experiment.workload import Workload, build_workload
+from repro.monitoring.consumers import ModelUpdater
+from repro.monitoring.gauges import (
+    AverageLatencyGauge,
+    BandwidthGauge,
+    LoadGauge,
+    UtilizationGauge,
+)
+from repro.monitoring.manager import GaugeManager
+from repro.monitoring.probes import (
+    BandwidthProbe,
+    ClientLatencyProbe,
+    QueueLengthProbe,
+    UtilizationProbe,
+)
+from repro.net.flows import FlowNetwork
+from repro.net.remos import RemosService
+from repro.net.traffic import CrossTrafficGenerator
+from repro.repair.context import AppRuntimeView
+from repro.repair.dsl import parse_repair_dsl
+from repro.repair.dsl.interp import build_strategies
+from repro.repair.engine import ArchitectureManager
+from repro.repair.history import RepairHistory
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+from repro.styles.client_server import (
+    FIGURE5_DSL,
+    UNDERUTILIZATION_DSL,
+    build_client_server_family,
+    build_client_server_model,
+    style_operators,
+)
+from repro.task.manager import TaskManager
+from repro.task.profiles import PerformanceProfile
+from repro.translation.costs import TranslationCosts
+from repro.translation.translator import Translator
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = ["Experiment", "ExperimentResult", "run_scenario", "clear_cache"]
+
+#: invariant name (from the DSL) -> scope element type
+_INVARIANT_SCOPES = {"r": "ClientRoleT", "u": "ServerGroupT"}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench or test needs from one finished run."""
+
+    config: ScenarioConfig
+    series: Dict[str, TimeSeries]
+    trace: Trace
+    history: RepairHistory
+    issued: int
+    completed: int
+    dropped: int
+    remos_stats: Any = None
+    bus_stats: Dict[str, float] = field(default_factory=dict)
+    gauge_stats: Dict[str, int] = field(default_factory=dict)
+
+    def s(self, name: str) -> TimeSeries:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise KeyError(
+                f"no series {name!r}; available: {sorted(self.series)}"
+            ) from None
+
+    @property
+    def clients(self) -> List[str]:
+        return sorted(
+            n.split(".", 1)[1] for n in self.series if n.startswith("latency.C")
+        )
+
+    def repair_intervals(self) -> List[Tuple[float, float]]:
+        """(start, end) of every repair (the marks atop Figures 11-13)."""
+        return [
+            (a, b) for a, b, _ in self.trace.intervals("repair.start", "repair.end")
+        ]
+
+
+class Experiment:
+    """One wired experiment, ready to run."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.seeds = SeedSequenceFactory(config.seed)
+        self.testbed: Testbed = build_testbed()
+        self.network = FlowNetwork(self.sim, self.testbed.topology)
+        self.remos = RemosService(
+            self.sim, self.network,
+            cold_delay=config.remos_cold_delay,
+            warm_delay=config.remos_warm_delay,
+        )
+        self.workload: Workload = build_workload(
+            horizon=config.horizon,
+            baseline_rate=config.baseline_rate,
+            stress_rate=config.stress_rate,
+            quiescent_end=config.quiescent_end,
+            stress_start=config.stress_start,
+            stress_end=config.stress_end,
+        )
+        self._build_application()
+        self._build_competition()
+        # adaptation stack (model layer + monitoring)
+        self.manager: Optional[ArchitectureManager] = None
+        self.model = None
+        self.gauge_manager: Optional[GaugeManager] = None
+        self.probe_bus: Optional[EventBus] = None
+        self.gauge_bus: Optional[EventBus] = None
+        self._periodic_probes: List[Any] = []
+        if config.adaptation:
+            self._build_adaptation()
+        self.metrics = MetricsSampler(self)
+
+    # ------------------------------------------------------------------
+    # Runtime layer
+    # ------------------------------------------------------------------
+    def _build_application(self) -> None:
+        cfg = self.config
+        tb = self.testbed
+        self.app = GridApplication(
+            self.sim, self.network,
+            rq_machine=tb.machine_of["RQ"], trace=self.trace,
+        )
+        self.env = EnvironmentManager(self.app, self.remos)
+        size_fn = self.workload.size_fn()
+        for name in tb.clients:
+            self.app.add_client(
+                Client(
+                    self.sim,
+                    name,
+                    machine=tb.machine_of[name],
+                    rate=self.workload.request_rate,
+                    size_fn=size_fn,
+                    rng=self.seeds.rng(f"client.{name}"),
+                    request_size=self.workload.request_size,
+                    latency_horizon=cfg.latency_horizon,
+                )
+            )
+        for name in tb.servers:
+            self.app.add_server(
+                Server(
+                    self.sim,
+                    name,
+                    machine=tb.machine_of[name],
+                    network=self.network,
+                    service_base=cfg.service_base,
+                    service_per_byte=cfg.service_per_byte,
+                )
+            )
+        for group, servers in tb.initial_groups.items():
+            self.env.create_req_queue(group)
+            for server in servers:
+                self.env.connect_server(server, group)
+                self.env.activate_server(server)
+        for client, group in tb.initial_assignments.items():
+            self.app.rq.assign(client, group)
+
+    def _build_competition(self) -> None:
+        tb, wl = self.testbed, self.workload
+        self.generators = [
+            CrossTrafficGenerator(
+                self.sim, self.network, "comp_A",
+                tb.competition_a[0], tb.competition_a[1],
+                wl.competition_a, horizon=wl.horizon,
+            ),
+            CrossTrafficGenerator(
+                self.sim, self.network, "comp_B",
+                tb.competition_b[0], tb.competition_b[1],
+                wl.competition_b, horizon=wl.horizon,
+            ),
+        ]
+
+    # ------------------------------------------------------------------
+    # Model layer + monitoring
+    # ------------------------------------------------------------------
+    def _monitoring_delay(self) -> Any:
+        """Bus delivery model: in-band monitoring slows under congestion.
+
+        "The same network is being used to monitor the system as to run
+        it" (§5.3).  Without QoS, delivery delay grows steeply once the
+        competition links saturate; the A2 ablation turns on QoS
+        prioritization (fixed small delay).
+        """
+        if self.config.monitoring_qos:
+            return FixedDelay(0.05)
+        penalty = self.config.congestion_penalty
+        net = self.network
+
+        def delay(_message) -> float:
+            util = max(
+                net.link_utilization("R2", "R3"),
+                net.link_utilization("R2", "R4"),
+            )
+            if util <= 0.9:
+                return 0.05
+            return 0.05 + penalty * min(1.0, (util - 0.9) / 0.1)
+
+        return CallableDelay(delay)
+
+    def _build_adaptation(self) -> None:
+        cfg = self.config
+        tb = self.testbed
+
+        family = build_client_server_family()
+        self.model = build_client_server_model(
+            "GridModel",
+            assignments=tb.initial_assignments,
+            groups=tb.initial_groups,
+            family=family,
+        )
+        profile = PerformanceProfile(
+            max_latency=cfg.max_latency,
+            max_server_load=cfg.max_server_load,
+            min_bandwidth=cfg.min_bandwidth,
+            extras={
+                "minServers": cfg.min_servers,
+                "minUtilization": cfg.min_utilization,
+            },
+        )
+        checker = ConstraintChecker()
+        TaskManager(profile).configure(checker)
+
+        dsl_source = FIGURE5_DSL
+        if cfg.underutilization_repair:
+            dsl_source = dsl_source + "\n" + UNDERUTILIZATION_DSL
+        document = parse_repair_dsl(dsl_source)
+        strategies = build_strategies(document)
+        for decl in document.invariants:
+            checker.add_source(
+                decl.name, decl.expression,
+                scope_type=_INVARIANT_SCOPES.get(decl.name),
+                repair=decl.strategy,
+            )
+
+        self.gauge_manager = GaugeManager(
+            self.sim, self.trace, create_delay=14.0, cached=cfg.gauge_caching
+        )
+        costs = TranslationCosts(cached_gauges=cfg.gauge_caching)
+        translator = Translator(
+            self.env, costs, gauge_manager=self.gauge_manager, trace=self.trace
+        )
+        self.manager = ArchitectureManager(
+            self.sim,
+            self.model,
+            checker,
+            translator=translator,
+            runtime=AppRuntimeView(self.env),
+            operators=style_operators(lambda: self.sim.now),
+            trace=self.trace,
+            settle_time=cfg.settle_time,
+            failed_repair_cost=cfg.failed_repair_cost,
+            violation_policy=cfg.violation_policy,
+        )
+        for strategy in strategies.values():
+            self.manager.register_strategy(strategy)
+
+        # Monitoring: probe bus -> gauges -> gauge bus -> model updater.
+        delivery = self._monitoring_delay()
+        self.probe_bus = EventBus(self.sim, delivery=delivery, name="probe-bus")
+        self.gauge_bus = EventBus(self.sim, delivery=delivery, name="gauge-bus")
+
+        for client in tb.clients:
+            ClientLatencyProbe(self.sim, self.probe_bus, self.app.client(client))
+            self._periodic_probes.append(
+                BandwidthProbe(
+                    self.sim, self.probe_bus, self.app, self.remos,
+                    client, period=cfg.bandwidth_probe_period,
+                )
+            )
+            self.gauge_manager.create(
+                AverageLatencyGauge(
+                    self.sim, self.probe_bus, self.gauge_bus, client,
+                    period=cfg.gauge_period, horizon=cfg.latency_horizon,
+                ),
+                entities=[client],
+            )
+            self.gauge_manager.create(
+                BandwidthGauge(
+                    self.sim, self.probe_bus, self.gauge_bus, client,
+                    period=cfg.gauge_period,
+                ),
+                entities=[client],
+            )
+        for group in tb.initial_groups:
+            self._periodic_probes.append(
+                QueueLengthProbe(
+                    self.sim, self.probe_bus, self.app, group,
+                    period=cfg.load_probe_period,
+                )
+            )
+            self.gauge_manager.create(
+                LoadGauge(
+                    self.sim, self.probe_bus, self.gauge_bus, group,
+                    period=cfg.gauge_period, horizon=cfg.load_horizon,
+                ),
+                entities=[group],
+            )
+            if cfg.underutilization_repair:
+                self._periodic_probes.append(
+                    UtilizationProbe(
+                        self.sim, self.probe_bus, self.app, group,
+                        period=cfg.gauge_period,
+                    )
+                )
+                self.gauge_manager.create(
+                    UtilizationGauge(
+                        self.sim, self.probe_bus, self.gauge_bus, group,
+                        period=cfg.gauge_period,
+                    ),
+                    entities=[group],
+                )
+        self.updater = ModelUpdater(self.model, self.gauge_bus, self.manager)
+
+        if cfg.remos_prewarm:
+            self.remos.prewarm_all_hosts()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        cfg = self.config
+        for generator in self.generators:
+            generator.start()
+        for probe in self._periodic_probes:
+            probe.start()
+        self.app.start_clients(cfg.horizon)
+        self.metrics.start()
+        self.sim.run(until=cfg.horizon)
+        return self._result()
+
+    def _result(self) -> ExperimentResult:
+        dropped = sum(s.dropped for s in self.app.servers.values())
+        history = self.manager.history if self.manager else RepairHistory()
+        bus_stats: Dict[str, float] = {}
+        if self.probe_bus is not None:
+            bus_stats = {
+                "probe_published": self.probe_bus.published,
+                "probe_mean_transit": self.probe_bus.mean_transit,
+                "gauge_published": self.gauge_bus.published,
+                "gauge_mean_transit": self.gauge_bus.mean_transit,
+            }
+        gauge_stats: Dict[str, int] = {}
+        if self.gauge_manager is not None:
+            gauge_stats = {
+                "created": self.gauge_manager.created,
+                "redeployments": self.gauge_manager.redeployments,
+            }
+        return ExperimentResult(
+            config=self.config,
+            series=self.metrics.series,
+            trace=self.trace,
+            history=history,
+            issued=self.app.total_issued,
+            completed=self.app.total_completed,
+            dropped=dropped,
+            remos_stats=self.remos.stats,
+            bus_stats=bus_stats,
+            gauge_stats=gauge_stats,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Result cache (benches share the two 30-minute headline runs)
+# ---------------------------------------------------------------------------
+
+_CACHE: Dict[Tuple, ExperimentResult] = {}
+
+
+def run_scenario(config: ScenarioConfig, fresh: bool = False) -> ExperimentResult:
+    """Run (or fetch the cached result of) one scenario."""
+    key = config.cache_key()
+    if not fresh and key in _CACHE:
+        return _CACHE[key]
+    result = Experiment(config).run()
+    _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,84 @@
+"""Run configurations: control, adapted, and ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines one experiment run.
+
+    Frozen + hashable so the runner can cache results per configuration
+    (full runs simulate 30 minutes and are shared by several benches).
+    """
+
+    name: str = "adapted"
+    seed: int = 2002  # HPDC'02
+    horizon: float = 1800.0
+
+    # adaptation stack
+    adaptation: bool = True
+    underutilization_repair: bool = True
+
+    # task-layer profile (paper §5 thresholds)
+    max_latency: float = 2.0
+    max_server_load: float = 6.0
+    min_bandwidth: float = 10e3
+    min_servers: int = 3
+    min_utilization: float = 0.35
+
+    # workload (Figure 7)
+    baseline_rate: float = 1.0
+    stress_rate: float = 3.0
+    quiescent_end: float = 120.0
+    stress_start: float = 600.0
+    stress_end: float = 1200.0
+
+    # application service model
+    service_base: float = 0.10       # s per request
+    service_per_byte: float = 7.5e-6  # s per response byte (20 KB -> +0.15 s)
+
+    # monitoring
+    gauge_period: float = 5.0
+    latency_horizon: float = 30.0
+    load_horizon: float = 30.0
+    load_probe_period: float = 1.0
+    bandwidth_probe_period: float = 10.0
+    monitoring_qos: bool = False      # A2: prioritize monitoring traffic
+    congestion_penalty: float = 8.0   # extra bus delay at full congestion, s
+
+    # repair machinery
+    settle_time: float = 20.0
+    failed_repair_cost: float = 2.0
+    violation_policy: str = "first"   # or "worst" (the paper's §7 proposal)
+    gauge_caching: bool = False       # A1: cache gauges instead of recreate
+    remos_prewarm: bool = True        # A3: pre-query Remos (paper's fix)
+    remos_cold_delay: float = 90.0
+    remos_warm_delay: float = 0.5
+
+    # measurement
+    sample_period: float = 5.0
+
+    # -- named variants -------------------------------------------------------
+    @staticmethod
+    def control(seed: int = 2002) -> "ScenarioConfig":
+        """The paper's control run: no adaptation at all."""
+        return ScenarioConfig(name="control", seed=seed, adaptation=False)
+
+    @staticmethod
+    def adapted(seed: int = 2002) -> "ScenarioConfig":
+        """The paper's repair run: full adaptation framework."""
+        return ScenarioConfig(name="adapted", seed=seed, adaptation=True)
+
+    def but(self, **changes) -> "ScenarioConfig":
+        """A modified copy (ablations)."""
+        return replace(self, **changes)
+
+    def cache_key(self) -> Tuple:
+        return tuple(
+            getattr(self, f.name) for f in self.__dataclass_fields__.values()
+        )

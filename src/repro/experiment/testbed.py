@@ -1,0 +1,135 @@
+"""The Figure 6 experimental testbed.
+
+"The experiment was conducted ... inside a dedicated experimental testbed
+consisting of five routers and eleven machines ... Clients 1 and 2 share a
+machine, and the request queue shares a machine with Server 5.  In the
+initial state, Servers 4 and 7 were spare servers ... The routers are
+connected via 10Mbps links; each application node is connected to a router
+by a connection that is at least 10Mbps."
+
+Our concrete wiring (documented in DESIGN.md §4; the paper's figure is a
+sketch, so the inter-router graph is our reading):
+
+* routers R1..R5 in a ring, plus two chords:
+  R1--R3 (so C1/C2's traffic to SG1 avoids the competition link) and
+  R2--R4 (so C3/C4 reach SG2 without crossing R3);
+* machine placement: M_C12 (C1,C2) and M_S4 on R1; M_C3, M_C4 on R2
+  (with the repair infrastructure conceptually on M_S4, as in the paper);
+  M_S1..M_S3 (Server Group 1) on R3; M_S5RQ (S5 + request queue) and
+  M_S6 (Server Group 2) on R4; M_S7 and M_C56 (C5,C6) on R5;
+* dedicated background hosts (BG2A/BG2B on R2, BG3 on R3, BG4 on R4) carry
+  the bandwidth-competition flows so that competition saturates exactly
+  the C3&C4<->SG1 link (R2--R3) or the C3&C4<->SG2 link (R2--R4), matching
+  the paper's description of competition "between the machines running
+  Clients 3 and 4 and the machines representing Server Group 1/2".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.net.topology import Topology
+
+__all__ = ["Testbed", "build_testbed", "MACHINE_OF", "LINK_CAPACITY"]
+
+LINK_CAPACITY = 10e6  # 10 Mbps everywhere, like the paper's testbed
+
+#: Application entity -> machine placement (paper Figure 6).
+MACHINE_OF: Dict[str, str] = {
+    "C1": "M_C12",
+    "C2": "M_C12",
+    "C3": "M_C3",
+    "C4": "M_C4",
+    "C5": "M_C56",
+    "C6": "M_C56",
+    "S1": "M_S1",
+    "S2": "M_S2",
+    "S3": "M_S3",
+    "S4": "M_S4",
+    "S5": "M_S5RQ",
+    "S6": "M_S6",
+    "S7": "M_S7",
+    "RQ": "M_S5RQ",
+}
+
+_ROUTER_OF_MACHINE: Dict[str, str] = {
+    "M_C12": "R1",
+    "M_S4": "R1",
+    "M_C3": "R2",
+    "M_C4": "R2",
+    "M_S1": "R3",
+    "M_S2": "R3",
+    "M_S3": "R3",
+    "M_S5RQ": "R4",
+    "M_S6": "R4",
+    "M_S7": "R5",
+    "M_C56": "R5",
+    # competition hosts (two independent sources on R2 so that the two
+    # competition flows never share an access link; each saturates only
+    # its inter-router target link)
+    "BG2A": "R2",
+    "BG2B": "R2",
+    "BG3": "R3",
+    "BG4": "R4",
+}
+
+_ROUTER_LINKS: List[Tuple[str, str]] = [
+    ("R1", "R2"),
+    ("R2", "R3"),  # the C3&C4 <-> SG1 competition link
+    ("R3", "R4"),
+    ("R4", "R5"),
+    ("R5", "R1"),
+    ("R1", "R3"),  # chord: C1/C2 reach SG1 without crossing R2--R3
+    ("R2", "R4"),  # chord: C3/C4 reach SG2 directly (competition link B)
+]
+
+
+@dataclass
+class Testbed:
+    """The built topology plus the experiment's conventional names."""
+
+    topology: Topology
+    machine_of: Dict[str, str] = field(default_factory=lambda: dict(MACHINE_OF))
+    #: (src, dst) host pair whose traffic saturates C3&C4 <-> SG1
+    competition_a: Tuple[str, str] = ("BG2A", "BG3")
+    #: (src, dst) host pair whose traffic saturates C3&C4 <-> SG2
+    competition_b: Tuple[str, str] = ("BG2B", "BG4")
+
+    @property
+    def clients(self) -> List[str]:
+        return [f"C{i}" for i in range(1, 7)]
+
+    @property
+    def servers(self) -> List[str]:
+        return [f"S{i}" for i in range(1, 8)]
+
+    @property
+    def initial_groups(self) -> Dict[str, List[str]]:
+        """Active groups at t=0: SG1 = S1..S3, SG2 = S5, S6."""
+        return {"SG1": ["S1", "S2", "S3"], "SG2": ["S5", "S6"]}
+
+    @property
+    def spare_servers(self) -> List[str]:
+        """"Servers 4 and 7 were spare servers" (paper §5.1)."""
+        return ["S4", "S7"]
+
+    @property
+    def initial_assignments(self) -> Dict[str, str]:
+        """All six clients start on SG1: the paper sized 3 replicated
+        servers in one group as sufficient for its six clients."""
+        return {c: "SG1" for c in self.clients}
+
+
+def build_testbed(capacity: float = LINK_CAPACITY) -> Testbed:
+    """Construct the Figure 6 topology."""
+    topo = Topology("figure6")
+    for router in ("R1", "R2", "R3", "R4", "R5"):
+        topo.add_router(router)
+    for machine, router in sorted(_ROUTER_OF_MACHINE.items()):
+        topo.add_host(machine)
+        topo.add_link(machine, router, capacity)
+    for a, b in _ROUTER_LINKS:
+        topo.add_link(a, b, capacity)
+    topo.validate()
+    return Testbed(topology=topo)

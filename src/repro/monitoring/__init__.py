@@ -1,0 +1,48 @@
+"""Monitoring infrastructure (substrate S12): probes, gauges, consumers.
+
+The paper's three-level scheme (Figure 4):
+
+* **probes** observe the target system and publish raw observations on the
+  probe bus (``probe.*`` subjects);
+* **gauges** consume probe reports, aggregate them into model-level
+  properties over time windows, and publish on the gauge reporting bus
+  (``gauge.*`` subjects);
+* **gauge consumers** — here the :class:`ModelUpdater` — apply gauge
+  reports to the architectural model and nudge the architecture manager
+  to re-check constraints.
+
+Gauge lifecycle (creation/deletion cost, redeployment on repair) is owned
+by the :class:`GaugeManager`; the translator calls ``redeploy_for`` during
+repairs, which blanks the affected gauges for the redeployment window —
+the paper's dominant repair cost and monitoring blind spot.
+"""
+
+from repro.monitoring.probes import (
+    ClientLatencyProbe,
+    QueueLengthProbe,
+    BandwidthProbe,
+    UtilizationProbe,
+)
+from repro.monitoring.gauges import (
+    Gauge,
+    AverageLatencyGauge,
+    LoadGauge,
+    BandwidthGauge,
+    UtilizationGauge,
+)
+from repro.monitoring.manager import GaugeManager
+from repro.monitoring.consumers import ModelUpdater
+
+__all__ = [
+    "ClientLatencyProbe",
+    "QueueLengthProbe",
+    "BandwidthProbe",
+    "UtilizationProbe",
+    "Gauge",
+    "AverageLatencyGauge",
+    "LoadGauge",
+    "BandwidthGauge",
+    "UtilizationGauge",
+    "GaugeManager",
+    "ModelUpdater",
+]

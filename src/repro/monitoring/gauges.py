@@ -1,0 +1,217 @@
+"""Gauges: the middle monitoring level (paper Figure 4).
+
+"Gauges consume and interpret lower-level probe measurements in terms of
+higher-level model properties" — here, windowed averages reported
+periodically on the gauge bus.  The windows are what give the adaptation
+loop its detection lag (a latency spike must persist long enough to drag
+the window mean over the threshold), matching the paper's observed delay
+between cause and repair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bus.bus import EventBus, Subscription
+from repro.bus.messages import Message
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.util.windows import EWMA, SlidingWindow
+
+__all__ = [
+    "Gauge",
+    "AverageLatencyGauge",
+    "LoadGauge",
+    "BandwidthGauge",
+    "UtilizationGauge",
+]
+
+
+class Gauge:
+    """Base gauge: consumes one probe subject, reports one model property.
+
+    Subclasses define ``_consume(message)`` and ``_value()``; the base
+    runs the report loop and handles activation state.  A gauge reports
+    ``gauge.<kind>.<target>`` messages with a ``value`` attribute plus
+    ``mapping`` hints for the model updater.
+    """
+
+    kind: str = "gauge"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe_bus: EventBus,
+        gauge_bus: EventBus,
+        target: str,
+        probe_subject: str,
+        period: float = 5.0,
+    ):
+        if period <= 0:
+            raise ValueError(f"gauge period must be positive, got {period}")
+        self.sim = sim
+        self.probe_bus = probe_bus
+        self.gauge_bus = gauge_bus
+        self.target = target
+        self.period = float(period)
+        self.active = False
+        self.reports = 0
+        self._sub: Optional[Subscription] = probe_bus.subscribe(
+            probe_subject, self._on_probe
+        )
+        self._process: Optional[Process] = None
+
+    @property
+    def name(self) -> str:
+        return f"gauge.{self.kind}.{self.target}"
+
+    # -- lifecycle ---------------------------------------------------------
+    def activate(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        if self._process is None:
+            self._process = Process(self.sim, self._run(), name=self.name)
+
+    def deactivate(self, clear: bool = True) -> None:
+        """Stop reporting; optionally drop accumulated window state.
+
+        Destroy-and-recreate redeployment (the paper's default) loses the
+        window; the cached-gauge ablation keeps it (``clear=False``).
+        """
+        self.active = False
+        if clear:
+            self._clear()
+
+    def dispose(self) -> None:
+        self.deactivate()
+        if self._sub is not None:
+            self.probe_bus.unsubscribe(self._sub)
+            self._sub = None
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    # -- machinery ------------------------------------------------------------
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.period)
+            if not self.active:
+                continue
+            value = self._value()
+            if value is None:
+                continue
+            self.reports += 1
+            self.gauge_bus.publish_subject(
+                f"gauge.{self.kind}.{self.target}",
+                sender=self.name,
+                target=self.target,
+                value=value,
+            )
+
+    def _on_probe(self, message: Message) -> None:
+        if self.active:
+            self._consume(message)
+
+    # -- subclass API ----------------------------------------------------------
+    def _consume(self, message: Message) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _value(self) -> Optional[float]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _clear(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class AverageLatencyGauge(Gauge):
+    """Windowed mean of completed-request latencies for one client."""
+
+    kind = "latency"
+
+    def __init__(self, sim, probe_bus, gauge_bus, client: str,
+                 period: float = 5.0, horizon: float = 30.0):
+        super().__init__(
+            sim, probe_bus, gauge_bus, client,
+            probe_subject=f"probe.latency.{client}", period=period,
+        )
+        self.window = SlidingWindow(horizon)
+
+    def _consume(self, message: Message) -> None:
+        self.window.add(self.sim.now, float(message["latency"]))
+
+    def _value(self) -> Optional[float]:
+        return self.window.mean(self.sim.now)
+
+    def _clear(self) -> None:
+        self.window.clear()
+
+
+class LoadGauge(Gauge):
+    """Windowed mean queue length for one server group."""
+
+    kind = "load"
+
+    def __init__(self, sim, probe_bus, gauge_bus, group: str,
+                 period: float = 5.0, horizon: float = 30.0):
+        super().__init__(
+            sim, probe_bus, gauge_bus, group,
+            probe_subject=f"probe.load.{group}", period=period,
+        )
+        self.window = SlidingWindow(horizon)
+
+    def _consume(self, message: Message) -> None:
+        self.window.add(self.sim.now, float(message["length"]))
+
+    def _value(self) -> Optional[float]:
+        return self.window.mean(self.sim.now)
+
+    def _clear(self) -> None:
+        self.window.clear()
+
+
+class BandwidthGauge(Gauge):
+    """Latest Remos-predicted client <-> group bandwidth for one client."""
+
+    kind = "bandwidth"
+
+    def __init__(self, sim, probe_bus, gauge_bus, client: str,
+                 period: float = 5.0):
+        super().__init__(
+            sim, probe_bus, gauge_bus, client,
+            probe_subject=f"probe.bandwidth.{client}", period=period,
+        )
+        self._last: Optional[float] = None
+
+    def _consume(self, message: Message) -> None:
+        self._last = float(message["bandwidth"])
+
+    def _value(self) -> Optional[float]:
+        return self._last
+
+    def _clear(self) -> None:
+        self._last = None
+
+
+class UtilizationGauge(Gauge):
+    """EWMA of a group's compute utilization (drives the shrink repair)."""
+
+    kind = "utilization"
+
+    def __init__(self, sim, probe_bus, gauge_bus, group: str,
+                 period: float = 5.0, tau: float = 60.0):
+        super().__init__(
+            sim, probe_bus, gauge_bus, group,
+            probe_subject=f"probe.utilization.{group}", period=period,
+        )
+        self.tau = tau
+        self._ewma = EWMA(tau)
+
+    def _consume(self, message: Message) -> None:
+        self._ewma.add(self.sim.now, float(message["utilization"]))
+
+    def _value(self) -> Optional[float]:
+        return self._ewma.value
+
+    def _clear(self) -> None:
+        self._ewma = EWMA(self.tau)

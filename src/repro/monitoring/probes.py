@@ -1,0 +1,192 @@
+"""Probes: the lowest monitoring level (paper Figure 4).
+
+Probes are "deployed in the target system or physical environment" and
+"announce observations via a probe bus".  The paper used AIDE-instrumented
+application code (method-call events) plus Remos; our equivalents:
+
+* :class:`ClientLatencyProbe` — hooks the client's response-delivery path
+  (the instrumented method) and reports each completed request's latency;
+* :class:`QueueLengthProbe` — samples a server group's request-queue
+  length periodically;
+* :class:`BandwidthProbe` — periodically asks Remos for the predicted
+  bandwidth between a client and its *current* server group;
+* :class:`UtilizationProbe` — samples a group's mean compute utilization.
+
+All probes publish ``probe.<kind>.<target>`` messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.app.client import Client
+from repro.app.system import GridApplication
+from repro.bus.bus import EventBus
+from repro.net.remos import RemosService
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+__all__ = [
+    "ClientLatencyProbe",
+    "QueueLengthProbe",
+    "BandwidthProbe",
+    "UtilizationProbe",
+]
+
+
+class _Probe:
+    """Shared probe plumbing: identity, bus, enable/disable."""
+
+    def __init__(self, sim: Simulator, bus: EventBus, name: str):
+        self.sim = sim
+        self.bus = bus
+        self.name = name
+        self.enabled = True
+        self.reports = 0
+
+    def publish(self, subject: str, **attributes) -> None:
+        if not self.enabled:
+            return
+        self.reports += 1
+        self.bus.publish_subject(subject, sender=self.name, **attributes)
+
+
+class ClientLatencyProbe(_Probe):
+    """Event probe on a client's response path (AIDE-style instrumentation)."""
+
+    def __init__(self, sim: Simulator, bus: EventBus, client: Client):
+        super().__init__(sim, bus, f"probe.latency.{client.name}")
+        self.client = client
+        client.on_response(self._on_response)
+
+    def _on_response(self, req) -> None:
+        self.publish(
+            f"probe.latency.{self.client.name}",
+            client=self.client.name,
+            rid=req.rid,
+            latency=req.latency,
+            group=req.group,
+        )
+
+
+class _PeriodicProbe(_Probe):
+    """A probe that samples every ``period`` seconds once started."""
+
+    def __init__(self, sim: Simulator, bus: EventBus, name: str, period: float):
+        super().__init__(sim, bus, name)
+        if period <= 0:
+            raise ValueError(f"probe period must be positive, got {period}")
+        self.period = float(period)
+        self._process: Optional[Process] = None
+
+    def start(self) -> None:
+        if self._process is not None:
+            raise RuntimeError(f"probe {self.name} already started")
+        self._process = Process(self.sim, self._run(), name=self.name)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def _run(self):
+        while True:
+            self.sample()
+            yield self.sim.timeout(self.period)
+
+    def sample(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class QueueLengthProbe(_PeriodicProbe):
+    """Samples a group's waiting-request count (the paper's server load)."""
+
+    def __init__(
+        self, sim: Simulator, bus: EventBus, app: GridApplication,
+        group: str, period: float = 1.0,
+    ):
+        super().__init__(sim, bus, f"probe.load.{group}", period)
+        self.app = app
+        self.group = group
+
+    def sample(self) -> None:
+        self.publish(
+            f"probe.load.{self.group}",
+            group=self.group,
+            length=float(self.app.group(self.group).load),
+        )
+
+
+class BandwidthProbe(_PeriodicProbe):
+    """Asks Remos for client <-> current-group bandwidth every period.
+
+    Uses the group's *worst* active member path (see
+    :meth:`GridApplication.bandwidth_between`): requests are dispatched to
+    any member, so that is the bandwidth a client can count on.  The Remos
+    query itself is asynchronous; the observation is published when the
+    answer arrives (warm queries: ~0.5 s; cold: the paper's minutes —
+    which is why the experiment pre-queries).
+    """
+
+    def __init__(
+        self, sim: Simulator, bus: EventBus, app: GridApplication,
+        remos: RemosService, client: str, period: float = 5.0,
+    ):
+        super().__init__(sim, bus, f"probe.bandwidth.{client}", period)
+        self.app = app
+        self.remos = remos
+        self.client = client
+
+    def sample(self) -> None:
+        group = self.app.rq.assignment_of(self.client)
+        members = self.app.group(group).active_members
+        if not members:
+            return
+        client_machine = self.app.client(self.client).machine
+        # Worst member path: one Remos query per member, publish the min.
+        pending = {"n": len(members), "min": float("inf")}
+        for member in members:
+            ev = self.remos.get_flow(member.machine, client_machine)
+            ev.add_callback(
+                lambda e, p=pending, g=group: self._collect(e.value, p, g)
+            )
+
+    def _collect(self, bw: float, pending: dict, group: str) -> None:
+        pending["min"] = min(pending["min"], bw)
+        pending["n"] -= 1
+        if pending["n"] == 0:
+            self.publish(
+                f"probe.bandwidth.{self.client}",
+                client=self.client,
+                group=group,
+                bandwidth=pending["min"],
+            )
+
+
+class UtilizationProbe(_PeriodicProbe):
+    """Samples a group's mean compute utilization (for the shrink repair)."""
+
+    def __init__(
+        self, sim: Simulator, bus: EventBus, app: GridApplication,
+        group: str, period: float = 5.0,
+    ):
+        super().__init__(sim, bus, f"probe.utilization.{group}", period)
+        self.app = app
+        self.group = group
+        self._last_busy = 0.0
+        self._last_time: Optional[float] = None
+
+    def sample(self) -> None:
+        group = self.app.group(self.group)
+        busy = sum(s.busy_time for s in group.members)
+        now = self.sim.now
+        if self._last_time is not None and now > self._last_time:
+            capacity = max(1, group.replication) * (now - self._last_time)
+            utilization = max(0.0, min(1.0, (busy - self._last_busy) / capacity))
+            self.publish(
+                f"probe.utilization.{self.group}",
+                group=self.group,
+                utilization=utilization,
+            )
+        self._last_busy = busy
+        self._last_time = now

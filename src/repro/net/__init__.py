@@ -1,0 +1,27 @@
+"""Simulated network (substrate S3) and Remos stand-in (substrate S4).
+
+* :mod:`repro.net.topology` — nodes (hosts/routers) and capacity links;
+* :mod:`repro.net.routing` — deterministic shortest-path routing;
+* :mod:`repro.net.flows` — fluid transfers with max-min fair bandwidth
+  sharing and rate-capped cross traffic;
+* :mod:`repro.net.traffic` — scheduled competition generators (Figure 7);
+* :mod:`repro.net.remos` — bandwidth query service with cold-start delay,
+  caching, and pre-querying (the paper's Remos observations).
+"""
+
+from repro.net.topology import Node, Link, Topology
+from repro.net.routing import RoutingTable
+from repro.net.flows import Flow, FlowNetwork
+from repro.net.traffic import CrossTrafficGenerator
+from repro.net.remos import RemosService
+
+__all__ = [
+    "Node",
+    "Link",
+    "Topology",
+    "RoutingTable",
+    "Flow",
+    "FlowNetwork",
+    "CrossTrafficGenerator",
+    "RemosService",
+]

@@ -1,0 +1,389 @@
+"""Fluid-flow transfers with max-min fair bandwidth allocation.
+
+Every active transfer is a *fluid flow* along its routed path.  Whenever the
+flow set or a demand changes, the engine re-solves a two-tier allocation:
+
+1. **priority (cross-traffic) flows** take their demanded rate first, up to
+   link capacity.  The paper's competition program could starve application
+   traffic to ~10 Kbps on a 10 Mbps network, so competition must *not*
+   yield fairly — it behaves like unresponsive UDP blasting;
+2. **elastic flows** (application transfers) then share the residual
+   capacity of every link max-min fairly (progressive filling, honoring
+   optional per-flow caps).
+
+Between recomputations rates are constant, so completion times are exact and
+the whole simulation stays deterministic.  This reproduces what the paper's
+testbed provides to the adaptation loop: path transfer times and available
+bandwidth under competition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.routing import RoutingTable
+from repro.net.topology import Link, Topology
+from repro.sim.kernel import Event, Simulator
+from repro.util.ids import IdGenerator
+
+__all__ = ["Flow", "FlowNetwork"]
+
+_EPS_BW = 1e-9  # bits/s below which a share is considered zero
+_EPS_BITS = 1e-3  # residual bits considered "transferred"
+
+
+class Flow:
+    """One fluid flow.
+
+    ``cap`` is ``None`` for elastic flows; cross traffic sets a demand cap.
+    ``persistent`` flows never complete (competition sources).
+    """
+
+    __slots__ = (
+        "fid",
+        "src",
+        "dst",
+        "links",
+        "size_bits",
+        "remaining_bits",
+        "rate",
+        "cap",
+        "persistent",
+        "priority",
+        "done",
+        "started_at",
+        "_last_advance",
+    )
+
+    def __init__(
+        self,
+        fid: str,
+        src: str,
+        dst: str,
+        links: List[Link],
+        size_bits: float,
+        done: Optional[Event],
+        cap: Optional[float] = None,
+        persistent: bool = False,
+        priority: bool = False,
+        now: float = 0.0,
+    ):
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.links = links
+        self.size_bits = float(size_bits)
+        self.remaining_bits = float(size_bits)
+        self.rate = 0.0
+        self.cap = cap
+        self.persistent = persistent
+        self.priority = priority
+        self.done = done
+        self.started_at = now
+        self._last_advance = now
+
+    def advance(self, now: float) -> None:
+        """Account for bits moved since the last advance at current rate."""
+        dt = now - self._last_advance
+        if dt > 0 and not self.persistent:
+            self.remaining_bits = max(0.0, self.remaining_bits - dt * self.rate)
+        self._last_advance = now
+
+    @property
+    def finished(self) -> bool:
+        return not self.persistent and self.remaining_bits <= _EPS_BITS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "xtraffic" if self.persistent else "xfer"
+        return (
+            f"<Flow {self.fid} {kind} {self.src}->{self.dst} "
+            f"rate={self.rate:.0f}bps remaining={self.remaining_bits:.0f}b>"
+        )
+
+
+class FlowNetwork:
+    """Manages flows over a topology and keeps allocations max-min fair."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        local_bps: float = 1e9,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.routing = RoutingTable(topology)
+        self.local_bps = float(local_bps)  # co-located endpoints (same machine)
+        self._flows: Dict[str, Flow] = {}
+        self._xtraffic: Dict[str, Flow] = {}  # name -> persistent flow
+        self._ids = IdGenerator()
+        self._epoch = 0
+        self.completed_transfers = 0
+        self.total_bits_delivered = 0.0
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def transfer(self, src: str, dst: str, nbytes: float) -> Event:
+        """Start moving ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that succeeds (value = the Flow) on completion.
+        Co-located endpoints use a fast local channel instead of the net.
+        """
+        return self.start_transfer(src, dst, nbytes)[0]
+
+    def start_transfer(
+        self, src: str, dst: str, nbytes: float
+    ) -> Tuple[Event, Optional[Flow]]:
+        """Like :meth:`transfer` but also returns the Flow handle.
+
+        The handle supports :meth:`cancel` (used when a moved client's
+        pending responses are purged); it is None for co-located endpoints
+        and zero-byte transfers, which cannot be cancelled.
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative transfer size {nbytes}")
+        done = Event(self.sim)
+        links = self.routing.links_on_path(src, dst)
+        fid = self._ids.next("flow")
+        flow = Flow(fid, src, dst, links, nbytes * 8.0, done, now=self.sim.now)
+        if not links:
+            # Same machine: constant local bandwidth, not part of fair sharing.
+            flow.rate = self.local_bps
+            delay = flow.remaining_bits / self.local_bps if nbytes else 0.0
+            self.sim.schedule(delay, self._complete_local, flow)
+            return done, None
+        if nbytes == 0:
+            self.sim.schedule(0.0, self._complete, flow)
+            return done, None
+        self._flows[fid] = flow
+        self.recompute()
+        return done, flow
+
+    def cancel(self, flow: Flow) -> bool:
+        """Abort an in-flight transfer; its done-event fails.
+
+        Returns False if the flow already completed or was cancelled.
+        """
+        if flow.fid not in self._flows:
+            return False
+        del self._flows[flow.fid]
+        if flow.done is not None and not flow.done.triggered:
+            flow.done.fail(NetworkError(f"transfer {flow.fid} cancelled"))
+        self.recompute()
+        return True
+
+    def _complete_local(self, flow: Flow) -> None:
+        flow.remaining_bits = 0.0
+        self._finish(flow)
+
+    def _complete(self, flow: Flow) -> None:
+        self._flows.pop(flow.fid, None)
+        self._finish(flow)
+        self.recompute()
+
+    def _finish(self, flow: Flow) -> None:
+        self.completed_transfers += 1
+        if not flow.persistent and math.isfinite(flow.size_bits):
+            self.total_bits_delivered += flow.size_bits
+        if flow.done is not None and not flow.done.triggered:
+            flow.done.succeed(flow)
+
+    # ------------------------------------------------------------------
+    # Cross traffic (competition)
+    # ------------------------------------------------------------------
+    def set_cross_traffic(self, name: str, src: str, dst: str, rate_bps: float) -> None:
+        """Create/update a persistent competing flow demanding ``rate_bps``.
+
+        A rate of 0 removes the competitor.  Competition is *unresponsive*
+        (priority tier): it takes its full demand before elastic application
+        flows share what remains — matching the paper's competition program,
+        which could drive residual path bandwidth down to ~10 Kbps.
+        """
+        if rate_bps < 0:
+            raise NetworkError(f"negative cross-traffic rate {rate_bps}")
+        existing = self._xtraffic.get(name)
+        if rate_bps == 0:
+            if existing is not None:
+                del self._xtraffic[name]
+                self._flows.pop(existing.fid, None)
+                self.recompute()
+            return
+        if existing is not None:
+            if existing.src != src or existing.dst != dst:
+                raise NetworkError(
+                    f"cross-traffic {name!r} endpoints changed; remove it first"
+                )
+            existing.cap = float(rate_bps)
+        else:
+            links = self.routing.links_on_path(src, dst)
+            if not links:
+                raise NetworkError("cross traffic requires distinct endpoints")
+            fid = self._ids.next("xtraffic")
+            flow = Flow(
+                fid, src, dst, links, math.inf, None,
+                cap=float(rate_bps), persistent=True, priority=True,
+                now=self.sim.now,
+            )
+            self._flows[fid] = flow
+            self._xtraffic[name] = flow
+        self.recompute()
+
+    def cross_traffic_rate(self, name: str) -> float:
+        flow = self._xtraffic.get(name)
+        return flow.cap if flow is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def recompute(self) -> None:
+        """Re-solve the max-min allocation and reschedule completions."""
+        now = self.sim.now
+        finished: List[Flow] = []
+        for flow in self._flows.values():
+            flow.advance(now)
+            if flow.finished:
+                finished.append(flow)
+        for flow in finished:
+            self._flows.pop(flow.fid, None)
+        self._waterfill()
+        self._epoch += 1
+        epoch = self._epoch
+        for flow in self._flows.values():
+            if flow.persistent or flow.rate <= _EPS_BW:
+                continue
+            eta = flow.remaining_bits / flow.rate
+            self.sim.schedule(eta, self._maybe_complete, flow.fid, epoch)
+        # Fire completions after rates settle (callbacks may add new flows).
+        for flow in finished:
+            self._finish(flow)
+
+    def _maybe_complete(self, fid: str, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # allocation changed since this completion was projected
+        flow = self._flows.get(fid)
+        if flow is None:
+            return
+        flow.advance(self.sim.now)
+        if flow.finished or flow.rate <= _EPS_BW:
+            self._complete(flow)
+        else:
+            # float drift: reschedule the residual sliver
+            self.sim.schedule(flow.remaining_bits / flow.rate, self._maybe_complete,
+                              fid, epoch)
+
+    def _waterfill(self) -> None:
+        """Two-tier allocation: priority demands first, then max-min fill."""
+        flows = [self._flows[k] for k in sorted(self._flows)]
+        if not flows:
+            return
+        residual: Dict[Tuple[str, str], float] = {}
+        on_link: Dict[Tuple[str, str], List[Flow]] = {}
+        for f in flows:
+            f.rate = 0.0
+            for link in f.links:
+                residual.setdefault(link.key, link.capacity)
+                on_link.setdefault(link.key, []).append(f)
+
+        # Tier 1: unresponsive competition takes its demand up front.
+        elastic: List[Flow] = []
+        for f in flows:
+            if not f.priority:
+                elastic.append(f)
+                continue
+            take = min(f.cap if f.cap is not None else math.inf,
+                       min(residual[l.key] for l in f.links))
+            take = max(0.0, take)
+            f.rate = take
+            for l in f.links:
+                residual[l.key] -= take
+
+        # Tier 2: progressive filling of elastic flows over the residual.
+        unfrozen = {f.fid: f for f in elastic}
+        headroom = {f.fid: (f.cap if f.cap is not None else math.inf) for f in elastic}
+
+        while unfrozen:
+            # Largest uniform increment every unfrozen flow can take.
+            inc = math.inf
+            for key, members in on_link.items():
+                n = sum(1 for m in members if m.fid in unfrozen)
+                if n:
+                    inc = min(inc, residual[key] / n)
+            for fid in unfrozen:
+                inc = min(inc, headroom[fid])
+            if not math.isfinite(inc):
+                break  # unconstrained (cannot happen: flows have links)
+            if inc > _EPS_BW:
+                for fid, f in unfrozen.items():
+                    f.rate += inc
+                    headroom[fid] -= inc
+                for key, members in on_link.items():
+                    n = sum(1 for m in members if m.fid in unfrozen)
+                    residual[key] -= inc * n
+
+            # Freeze exactly the flows whose constraint binds (a saturated
+            # link or exhausted cap) and keep filling the others — a flow
+            # pinned at zero must not stall its peers.
+            frozen_now: List[str] = []
+            for key, members in on_link.items():
+                if residual[key] <= _EPS_BW:
+                    frozen_now.extend(m.fid for m in members if m.fid in unfrozen)
+            for fid in list(unfrozen):
+                if headroom[fid] <= _EPS_BW:
+                    frozen_now.append(fid)
+            if not frozen_now:
+                break  # numerically stuck; accept current allocation
+            for fid in frozen_now:
+                unfrozen.pop(fid, None)
+
+    # ------------------------------------------------------------------
+    # Measurement (ground truth for Remos and the figures)
+    # ------------------------------------------------------------------
+    @property
+    def flows(self) -> List[Flow]:
+        return [self._flows[k] for k in sorted(self._flows)]
+
+    @property
+    def active_transfers(self) -> List[Flow]:
+        return [f for f in self.flows if not f.persistent]
+
+    def link_load(self, a: str, b: str) -> float:
+        """Sum of current flow rates crossing link (a, b), bits/s."""
+        link = self.topology.link(a, b)
+        return sum(f.rate for f in self._flows.values() if link in f.links)
+
+    def link_utilization(self, a: str, b: str) -> float:
+        link = self.topology.link(a, b)
+        return self.link_load(a, b) / link.capacity
+
+    def residual_bandwidth(self, src: str, dst: str) -> float:
+        """Unused capacity along the path (min over links)."""
+        links = self.routing.links_on_path(src, dst)
+        if not links:
+            return self.local_bps
+        return max(0.0, min(l.capacity - self.link_load(l.a, l.b) for l in links))
+
+    def predicted_bandwidth(self, src: str, dst: str) -> float:
+        """Rate a *new* elastic flow would receive (hypothetical max-min).
+
+        This is Remos's "predicted bandwidth" semantics: it accounts both
+        for idle capacity and for the fair share a newcomer would squeeze
+        out of existing elastic flows — never zero on a live path.
+        """
+        links = self.routing.links_on_path(src, dst)
+        if not links:
+            return self.local_bps
+        probe = Flow("__probe__", src, dst, links, math.inf, None,
+                     persistent=True, now=self.sim.now)
+        saved_rates = {f.fid: f.rate for f in self._flows.values()}
+        self._flows[probe.fid] = probe
+        try:
+            self._waterfill()
+            return probe.rate
+        finally:
+            del self._flows[probe.fid]
+            for fid, r in saved_rates.items():
+                if fid in self._flows:
+                    self._flows[fid].rate = r

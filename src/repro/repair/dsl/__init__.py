@@ -1,0 +1,25 @@
+"""The repair-strategy language of the paper's Figure 5 (substrate S10).
+
+Accepts near-verbatim Figure 5 text::
+
+    strategy fixLatency(badRole : ClientRoleT) = {
+        let badClient : ClientT =
+            select one cli : ClientT in self.components |
+                exists p : RequestT in cli.ports | attached(p, badRole);
+        if (fixServerLoad(badClient)) { commit repair; }
+        else if (fixBandwidth(badClient, badRole)) { commit repair; }
+        else { abort ModelError; }
+    }
+
+    tactic fixServerLoad(client : ClientT) : boolean = { ... }
+
+Expressions are the constraint language; statements add ``let``, ``if``,
+``foreach``, ``return``, ``commit repair`` and ``abort``.  Tactics called
+from a strategy roll back their model edits when they return false
+(savepoint semantics, see :mod:`repro.repair.tactic`).
+"""
+
+from repro.repair.dsl.parser import parse_repair_dsl, RepairDocument
+from repro.repair.dsl.interp import DslStrategy, DslTactic
+
+__all__ = ["parse_repair_dsl", "RepairDocument", "DslStrategy", "DslTactic"]

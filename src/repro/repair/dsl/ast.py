@@ -1,0 +1,114 @@
+"""Statement/declaration AST for the repair DSL (expressions come from
+:mod:`repro.constraints.ast`)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.constraints.ast import Node
+
+__all__ = [
+    "Param",
+    "Stmt",
+    "LetStmt",
+    "IfStmt",
+    "ForeachStmt",
+    "ReturnStmt",
+    "CommitStmt",
+    "AbortStmt",
+    "ExprStmt",
+    "TacticDecl",
+    "StrategyDecl",
+    "InvariantDecl",
+]
+
+
+@dataclass(frozen=True)
+class Param:
+    """A declared parameter: ``badRole : ClientRoleT``."""
+
+    name: str
+    type_name: Optional[str] = None
+
+
+class Stmt:
+    """Base statement."""
+
+
+@dataclass
+class LetStmt(Stmt):
+    """``let x [: T] = expr;`` — binds in the enclosing script scope."""
+
+    name: str
+    type_name: Optional[str]
+    value: Node
+
+
+@dataclass
+class IfStmt(Stmt):
+    """``if (cond) { ... } [else { ... } | else if ...]``."""
+
+    cond: Node
+    then_block: List[Stmt]
+    else_block: Optional[List[Stmt]] = None
+
+
+@dataclass
+class ForeachStmt(Stmt):
+    """``foreach x in expr { ... }``."""
+
+    var: str
+    domain: Node
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    """``return [expr];`` — ends a tactic with its boolean result."""
+
+    value: Optional[Node] = None
+
+
+@dataclass
+class CommitStmt(Stmt):
+    """``commit repair;`` — ends a strategy successfully."""
+
+
+@dataclass
+class AbortStmt(Stmt):
+    """``abort Reason;`` — aborts the whole repair."""
+
+    reason: str
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (operator/tactic invocation)."""
+
+    expr: Node
+
+
+@dataclass
+class TacticDecl:
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+    returns: Optional[str] = None
+
+
+@dataclass
+class StrategyDecl:
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+
+
+@dataclass
+class InvariantDecl:
+    """``invariant name : expr ! -> strategyName(argName);``"""
+
+    name: str
+    expression: str
+    strategy: str
+    argument: Optional[str] = None

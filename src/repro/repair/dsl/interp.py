@@ -1,0 +1,191 @@
+"""Interpreter binding parsed repair-DSL declarations to the repair engine.
+
+A :class:`DslTactic` implements the :class:`~repro.repair.tactic.Tactic`
+interface (savepoint rollback on failure); a :class:`DslStrategy`
+implements :class:`~repro.repair.strategy.RepairStrategy`.  Tactics are
+callable from strategy bodies by name; style operators are callable as
+element methods (``sgrp.addServer()``) through the context's function
+table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.constraints.evaluator import Evaluator
+from repro.errors import EvaluationError, RepairAborted
+from repro.repair.context import RepairContext
+from repro.repair.dsl.ast import (
+    AbortStmt,
+    CommitStmt,
+    ExprStmt,
+    ForeachStmt,
+    IfStmt,
+    LetStmt,
+    ReturnStmt,
+    Stmt,
+    StrategyDecl,
+    TacticDecl,
+)
+from repro.repair.strategy import RepairOutcome, RepairStrategy
+from repro.repair.tactic import Tactic
+
+__all__ = ["DslTactic", "DslStrategy", "build_strategies"]
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _Commit(Exception):
+    pass
+
+
+class _Executor:
+    """Executes statement lists against a RepairContext."""
+
+    def __init__(self) -> None:
+        self.evaluator = Evaluator()
+
+    def run_block(self, stmts: Sequence[Stmt], ctx: RepairContext) -> None:
+        for stmt in stmts:
+            self.run_stmt(stmt, ctx)
+
+    def run_stmt(self, stmt: Stmt, ctx: RepairContext) -> None:
+        if isinstance(stmt, LetStmt):
+            value = self.evaluator.evaluate(stmt.value, ctx)
+            ctx.set_local(stmt.name, value)
+        elif isinstance(stmt, IfStmt):
+            cond = self.evaluator.evaluate(stmt.cond, ctx)
+            if not isinstance(cond, bool):
+                raise EvaluationError(f"if condition must be boolean, got {cond!r}")
+            if cond:
+                self.run_block(stmt.then_block, ctx)
+            elif stmt.else_block is not None:
+                self.run_block(stmt.else_block, ctx)
+        elif isinstance(stmt, ForeachStmt):
+            domain = self.evaluator.evaluate(stmt.domain, ctx)
+            if not isinstance(domain, (list, tuple, set, frozenset)):
+                raise EvaluationError("foreach requires a collection")
+            for item in list(domain):
+                ctx.push({stmt.var: item})
+                try:
+                    self.run_block(stmt.body, ctx)
+                finally:
+                    ctx.pop()
+        elif isinstance(stmt, ReturnStmt):
+            value = (
+                self.evaluator.evaluate(stmt.value, ctx)
+                if stmt.value is not None else None
+            )
+            raise _Return(value)
+        elif isinstance(stmt, CommitStmt):
+            raise _Commit()
+        elif isinstance(stmt, AbortStmt):
+            raise RepairAborted(stmt.reason)
+        elif isinstance(stmt, ExprStmt):
+            self.evaluator.evaluate(stmt.expr, ctx)
+        else:  # pragma: no cover - parser produces only the above
+            raise EvaluationError(f"unknown statement {type(stmt).__name__}")
+
+
+class DslTactic(Tactic):
+    """A tactic parsed from DSL text."""
+
+    def __init__(self, decl: TacticDecl):
+        self.decl = decl
+        self.name = decl.name
+        self._executor = _Executor()
+        self._pending_args: Optional[Sequence[Any]] = None
+
+    def invoke(self, ctx: RepairContext, args: Sequence[Any]) -> bool:
+        """Call with positional arguments (from a strategy body)."""
+        if len(args) != len(self.decl.params):
+            raise EvaluationError(
+                f"tactic {self.name} expects {len(self.decl.params)} args, "
+                f"got {len(args)}"
+            )
+        self._pending_args = args
+        try:
+            return self.run(ctx)  # Tactic.run adds savepoint semantics
+        finally:
+            self._pending_args = None
+
+    def _apply(self, ctx: RepairContext) -> bool:
+        args = self._pending_args or ()
+        frame = {p.name: a for p, a in zip(self.decl.params, args)}
+        ctx.push(frame)
+        try:
+            self._executor.run_block(self.decl.body, ctx)
+        except _Return as ret:
+            return bool(ret.value)
+        finally:
+            ctx.pop()
+        # Falling off the end of a tactic body means "nothing to report":
+        # treat as failure so the strategy can try the next tactic.
+        return False
+
+
+class DslStrategy(RepairStrategy):
+    """A strategy parsed from DSL text.
+
+    The engine binds the strategy's declared parameters positionally from
+    ``ctx.bindings['__strategy_args__']`` (typically the violating scope
+    element, Figure 5's ``badRole``).
+    """
+
+    def __init__(self, decl: StrategyDecl, tactics: Dict[str, DslTactic]):
+        self.decl = decl
+        self.name = decl.name
+        self.tactics = dict(tactics)
+        self._executor = _Executor()
+
+    def run(self, ctx: RepairContext) -> RepairOutcome:
+        outcome = RepairOutcome(False, self.name)
+
+        # Expose tactics as callable functions inside this strategy.
+        def make_callable(tactic: DslTactic):
+            def call(_ectx, *args: Any) -> bool:
+                outcome.tactics_tried.append(tactic.name)
+                ok = tactic.invoke(ctx, args)
+                if ok:
+                    outcome.tactic_applied = tactic.name
+                return ok
+
+            return call
+
+        for tname, tactic in self.tactics.items():
+            ctx.functions[tname] = make_callable(tactic)
+
+        args = list(ctx.bindings.get("__strategy_args__", ()))
+        if len(args) < len(self.decl.params):
+            raise EvaluationError(
+                f"strategy {self.name} expects {len(self.decl.params)} args, "
+                f"got {len(args)}"
+            )
+        frame = {p.name: a for p, a in zip(self.decl.params, args)}
+        ctx.push(frame)
+        try:
+            self._executor.run_block(self.decl.body, ctx)
+        except _Commit:
+            outcome.committed = True
+            return outcome
+        except _Return as ret:
+            # a strategy returning truthy counts as commit
+            outcome.committed = bool(ret.value)
+            if not outcome.committed:
+                raise RepairAborted("StrategyReturnedFalse")
+            return outcome
+        finally:
+            ctx.pop()
+        raise RepairAborted("NoCommit")
+
+
+def build_strategies(document) -> Dict[str, DslStrategy]:
+    """Instantiate every strategy in a parsed document with its tactics."""
+    tactics = {name: DslTactic(decl) for name, decl in document.tactics.items()}
+    return {
+        name: DslStrategy(decl, tactics)
+        for name, decl in document.strategies.items()
+    }

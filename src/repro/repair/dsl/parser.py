@@ -1,0 +1,206 @@
+"""Parser for the repair DSL (Figure 5 syntax)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.acme.lexer import TokenStream, tokenize
+from repro.constraints.parser import ExpressionParser
+from repro.errors import ParseError
+from repro.repair.dsl.ast import (
+    AbortStmt,
+    CommitStmt,
+    ExprStmt,
+    ForeachStmt,
+    IfStmt,
+    InvariantDecl,
+    LetStmt,
+    Param,
+    ReturnStmt,
+    Stmt,
+    StrategyDecl,
+    TacticDecl,
+)
+
+__all__ = ["RepairDocument", "parse_repair_dsl"]
+
+
+@dataclass
+class RepairDocument:
+    """All declarations found in one repair-DSL source."""
+
+    strategies: Dict[str, StrategyDecl] = field(default_factory=dict)
+    tactics: Dict[str, TacticDecl] = field(default_factory=dict)
+    invariants: List[InvariantDecl] = field(default_factory=list)
+
+
+class _DslParser:
+    def __init__(self, source: str):
+        self.ts = TokenStream(tokenize(source))
+        self.expr = ExpressionParser(self.ts)
+        self.doc = RepairDocument()
+
+    def parse(self) -> RepairDocument:
+        while self.ts.current.kind != "eof":
+            if self.ts.at_ident("strategy"):
+                decl = self._strategy()
+                if decl.name in self.doc.strategies:
+                    raise self.ts.error(f"duplicate strategy {decl.name!r}")
+                self.doc.strategies[decl.name] = decl
+            elif self.ts.at_ident("tactic"):
+                decl = self._tactic()
+                if decl.name in self.doc.tactics:
+                    raise self.ts.error(f"duplicate tactic {decl.name!r}")
+                self.doc.tactics[decl.name] = decl
+            elif self.ts.at_ident("invariant"):
+                self.doc.invariants.append(self._invariant())
+            else:
+                raise self.ts.error(
+                    f"expected strategy/tactic/invariant, got {self.ts.current.text!r}"
+                )
+        return self.doc
+
+    # -- declarations -------------------------------------------------------
+    def _params(self) -> List[Param]:
+        self.ts.expect_punct("(")
+        params: List[Param] = []
+        while not self.ts.at_punct(")"):
+            name = self.ts.expect_ident().text
+            type_name: Optional[str] = None
+            if self.ts.match_punct(":"):
+                type_name = self._type_name()
+            params.append(Param(name, type_name))
+            if not self.ts.match_punct(","):
+                break
+        self.ts.expect_punct(")")
+        return params
+
+    def _type_name(self) -> str:
+        name = self.ts.expect_ident().text
+        if name == "set" and self.ts.match_punct("{"):
+            inner = self.ts.expect_ident().text
+            self.ts.expect_punct("}")
+            return inner
+        return name
+
+    def _strategy(self) -> StrategyDecl:
+        self.ts.expect_ident("strategy")
+        name = self.ts.expect_ident().text
+        params = self._params()
+        self.ts.expect_punct("=")
+        body = self._block()
+        return StrategyDecl(name, params, body)
+
+    def _tactic(self) -> TacticDecl:
+        self.ts.expect_ident("tactic")
+        name = self.ts.expect_ident().text
+        params = self._params()
+        returns: Optional[str] = None
+        if self.ts.match_punct(":"):
+            returns = self._type_name()
+        self.ts.expect_punct("=")
+        body = self._block()
+        return TacticDecl(name, params, body, returns)
+
+    def _invariant(self) -> InvariantDecl:
+        """``invariant name : <expr tokens> ! -> strategy(arg);``"""
+        self.ts.expect_ident("invariant")
+        name = self.ts.expect_ident().text
+        self.ts.expect_punct(":")
+        pieces: List[str] = []
+        while not (self.ts.at_punct("!") and self.ts.peek().is_punct("->")):
+            tok = self.ts.current
+            if tok.kind == "eof":
+                raise self.ts.error("unterminated invariant (expected '! ->')")
+            pieces.append(tok.text if tok.kind != "string" else f'"{tok.text}"')
+            self.ts.advance()
+        self.ts.expect_punct("!")
+        self.ts.expect_punct("->")
+        strategy = self.ts.expect_ident().text
+        argument: Optional[str] = None
+        if self.ts.match_punct("("):
+            if not self.ts.at_punct(")"):
+                argument = self.ts.expect_ident().text
+            self.ts.expect_punct(")")
+        self.ts.expect_punct(";")
+        from repro.acme.parser import _join_tokens
+
+        return InvariantDecl(name, _join_tokens(pieces), strategy, argument)
+
+    # -- statements -----------------------------------------------------------
+    def _block(self) -> List[Stmt]:
+        self.ts.expect_punct("{")
+        stmts: List[Stmt] = []
+        while not self.ts.match_punct("}"):
+            stmts.append(self._statement())
+        return stmts
+
+    def _statement(self) -> Stmt:
+        if self.ts.at_ident("let"):
+            return self._let()
+        if self.ts.at_ident("if"):
+            return self._if()
+        if self.ts.at_ident("foreach"):
+            return self._foreach()
+        if self.ts.at_ident("return"):
+            return self._return()
+        if self.ts.at_ident("commit"):
+            self.ts.advance()
+            self.ts.expect_ident("repair")
+            self.ts.expect_punct(";")
+            return CommitStmt()
+        if self.ts.at_ident("abort"):
+            self.ts.advance()
+            reason = self.ts.expect_ident().text
+            self.ts.expect_punct(";")
+            return AbortStmt(reason)
+        expr = self.expr.expression()
+        self.ts.expect_punct(";")
+        return ExprStmt(expr)
+
+    def _let(self) -> LetStmt:
+        self.ts.expect_ident("let")
+        name = self.ts.expect_ident().text
+        type_name: Optional[str] = None
+        if self.ts.match_punct(":"):
+            type_name = self._type_name()
+        self.ts.expect_punct("=")
+        value = self.expr.expression()
+        self.ts.expect_punct(";")
+        return LetStmt(name, type_name, value)
+
+    def _if(self) -> IfStmt:
+        self.ts.expect_ident("if")
+        self.ts.expect_punct("(")
+        cond = self.expr.expression()
+        self.ts.expect_punct(")")
+        then_block = self._block()
+        else_block: Optional[List[Stmt]] = None
+        if self.ts.match_ident("else"):
+            if self.ts.at_ident("if"):
+                else_block = [self._if()]
+            else:
+                else_block = self._block()
+        return IfStmt(cond, then_block, else_block)
+
+    def _foreach(self) -> ForeachStmt:
+        self.ts.expect_ident("foreach")
+        var = self.ts.expect_ident().text
+        self.ts.expect_ident("in")
+        domain = self.expr.expression()
+        body = self._block()
+        return ForeachStmt(var, domain, body)
+
+    def _return(self) -> ReturnStmt:
+        self.ts.expect_ident("return")
+        if self.ts.match_punct(";"):
+            return ReturnStmt(None)
+        value = self.expr.expression()
+        self.ts.expect_punct(";")
+        return ReturnStmt(value)
+
+
+def parse_repair_dsl(source: str) -> RepairDocument:
+    """Parse repair-DSL text into strategies, tactics, and invariants."""
+    return _DslParser(source).parse()

@@ -1,0 +1,241 @@
+"""The architecture manager: detects violations, runs repairs.
+
+This is Figure 1's item (4): it "determines whether a system's runtime
+behavior is within the envelope of acceptable ranges according to the
+architecture... and if not, it can adapt the application using a repair
+handler.  Repairs are propagated down to the running system."
+
+Operational details mirroring the paper's experiment:
+
+* repairs are serialized — one repair in flight at a time;
+* after a repair finishes, a **settle time** elapses before constraints
+  are re-evaluated ("the effects of a repair on a system will take time",
+  §5.3), which bounds the repair rate and damps oscillation;
+* the *first* violated constraint with a registered strategy is repaired
+  ("our experiment simply chose to repair the first client that reported
+  an error", §7) — or, with ``violation_policy="worst"``, the client
+  "experiencing the worst latency first", the smarter selection the paper
+  proposes as future work;
+* committed model repairs hand their runtime intents to the translator,
+  whose execution time (gauge redeployment, Remos queries, RMI calls) is
+  the paper's ~30 s repair duration;
+* when the same scope keeps violating and every repair attempt aborts,
+  the engine raises a **human alert** trace event — the paper's §7 "it
+  may be necessary to alert a human observer for manual intervention".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.acme.system import ArchSystem
+from repro.constraints.invariants import ConstraintChecker, ConstraintResult
+from repro.errors import RepairAborted, RepairError
+from repro.repair.context import RepairContext, RuntimeView
+from repro.repair.history import RepairHistory, RepairRecord
+from repro.repair.strategy import RepairStrategy
+from repro.repair.transactions import ModelTransaction
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+__all__ = ["ArchitectureManager", "RepairRecord"]
+
+
+class ArchitectureManager:
+    """Constraint evaluation + repair dispatch + repair lifecycle."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: ArchSystem,
+        checker: ConstraintChecker,
+        translator=None,
+        runtime: Optional[RuntimeView] = None,
+        operators: Optional[Dict[str, Callable[..., Any]]] = None,
+        trace: Optional[Trace] = None,
+        settle_time: float = 20.0,
+        failed_repair_cost: float = 2.0,
+        violation_policy: str = "first",
+        alert_after_aborts: int = 5,
+    ):
+        if violation_policy not in ("first", "worst"):
+            raise RepairError(
+                f"violation_policy must be 'first' or 'worst', "
+                f"got {violation_policy!r}"
+            )
+        self.sim = sim
+        self.system = system
+        self.checker = checker
+        self.translator = translator
+        self.runtime = runtime
+        self.operators = dict(operators or {})
+        self.trace = trace if trace is not None else Trace()
+        self.settle_time = float(settle_time)
+        self.failed_repair_cost = float(failed_repair_cost)
+        self.violation_policy = violation_policy
+        self.alert_after_aborts = int(alert_after_aborts)
+
+        self._strategies: Dict[str, RepairStrategy] = {}
+        self._busy = False
+        self._cooldown_until = -math.inf
+        self._consecutive_aborts: Dict[str, int] = {}
+        self.human_alerts = 0
+        self.history = RepairHistory()
+        self.evaluations = 0
+
+    # -- configuration ---------------------------------------------------------
+    def register_strategy(self, strategy: RepairStrategy) -> None:
+        if strategy.name in self._strategies:
+            raise RepairError(f"strategy {strategy.name!r} already registered")
+        self._strategies[strategy.name] = strategy
+
+    @property
+    def strategies(self) -> List[str]:
+        return sorted(self._strategies)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    # -- the adaptation loop entry point ------------------------------------------
+    def evaluate(self) -> Optional[RepairRecord]:
+        """Check constraints; dispatch a repair for the first violation.
+
+        Returns the started :class:`RepairRecord`, or None when the model
+        is healthy, the manager is busy/settling, or no strategy applies.
+        """
+        if self._busy or self.sim.now < self._cooldown_until:
+            return None
+        self.evaluations += 1
+        actionable: List[ConstraintResult] = []
+        for result in self.checker.check_all(self.system):
+            if not result.violated:
+                continue
+            if result.error is not None:
+                self.trace.emit(
+                    self.sim.now, "constraint.error",
+                    invariant=result.invariant, scope=result.scope,
+                    error=result.error,
+                )
+                continue
+            invariant = self.checker.invariant(result.invariant)
+            if invariant.repair is None or invariant.repair not in self._strategies:
+                self.trace.emit(
+                    self.sim.now, "constraint.violation.unhandled",
+                    invariant=result.invariant, scope=result.scope,
+                )
+                continue
+            actionable.append(result)
+            if self.violation_policy == "first":
+                break
+        if not actionable:
+            return None
+        chosen = actionable[0]
+        if self.violation_policy == "worst":
+            chosen = max(actionable, key=self._severity)
+        invariant = self.checker.invariant(chosen.invariant)
+        return self._start_repair(chosen, self._strategies[invariant.repair])
+
+    @staticmethod
+    def _severity(result: ConstraintResult) -> float:
+        """How bad a violation is: the scope's averageLatency when known.
+
+        Implements the paper's §7 proposal of "fixing the client that is
+        experiencing the worst latency first"; violations without a
+        latency property rank at zero (repaired only when nothing worse
+        exists).
+        """
+        element = result.element
+        if element is not None and element.has_property("averageLatency"):
+            value = element.get_property("averageLatency")
+            if isinstance(value, (int, float)):
+                return float(value)
+        return 0.0
+
+    # -- repair lifecycle ----------------------------------------------------------
+    def _start_repair(
+        self, violation: ConstraintResult, strategy: RepairStrategy
+    ) -> RepairRecord:
+        self._busy = True
+        record = RepairRecord(
+            started=self.sim.now,
+            strategy=strategy.name,
+            invariant=violation.invariant,
+            scope=violation.scope,
+        )
+        self.trace.emit(
+            self.sim.now, "repair.start",
+            strategy=strategy.name, invariant=violation.invariant,
+            scope=violation.scope,
+        )
+        txn = ModelTransaction(self.system).begin()
+        bindings = dict(self.checker.bindings)
+        bindings["__strategy_args__"] = [violation.element]
+        ctx = RepairContext(
+            self.system,
+            runtime=self.runtime,
+            bindings=bindings,
+            functions={**self.checker.functions, **self.operators},
+            transaction=txn,
+        )
+        try:
+            outcome = strategy.run(ctx)
+        except RepairAborted as abort:
+            txn.abort()
+            record.abort_reason = abort.reason
+            self.trace.emit(
+                self.sim.now, "repair.abort",
+                strategy=strategy.name, reason=abort.reason,
+            )
+            self._note_abort(violation)
+            self.sim.schedule(self.failed_repair_cost, self._finish, record)
+            return record
+        except Exception:
+            txn.abort()
+            raise
+
+        self._consecutive_aborts.pop(violation.scope or "", None)
+        txn.commit()
+        record.committed = True
+        record.tactic_applied = outcome.tactic_applied
+        record.tactics_tried = list(outcome.tactics_tried)
+        record.intents = list(ctx.intents)
+        self.trace.emit(
+            self.sim.now, "repair.committed",
+            strategy=strategy.name, tactic=outcome.tactic_applied,
+            intents=len(ctx.intents),
+        )
+        if self.translator is not None and ctx.intents:
+            self.translator.execute(
+                ctx.intents, on_done=lambda: self._finish(record)
+            )
+        else:
+            self.sim.schedule(0.0, self._finish, record)
+        return record
+
+    def _note_abort(self, violation: ConstraintResult) -> None:
+        """Track repeated failures on one scope; alert a human when no
+        repair improves the situation (paper §7)."""
+        key = violation.scope or ""
+        count = self._consecutive_aborts.get(key, 0) + 1
+        self._consecutive_aborts[key] = count
+        if count == self.alert_after_aborts:
+            self.human_alerts += 1
+            self.trace.emit(
+                self.sim.now, "repair.human_alert",
+                scope=violation.scope, invariant=violation.invariant,
+                consecutive_aborts=count,
+            )
+            self._consecutive_aborts[key] = 0
+
+    def _finish(self, record: RepairRecord) -> None:
+        record.ended = self.sim.now
+        self.history.append(record)
+        self._busy = False
+        self._cooldown_until = self.sim.now + self.settle_time
+        self.trace.emit(
+            self.sim.now, "repair.end",
+            strategy=record.strategy, committed=record.committed,
+            duration=record.duration,
+        )

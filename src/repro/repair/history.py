@@ -1,0 +1,122 @@
+"""Repair history: records and derived statistics.
+
+The experiment harness mines this for the paper's §5 observations: the
+~30 s mean repair duration, when spare servers were activated, and the
+client-move oscillation during the stress phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.repair.context import RuntimeIntent
+
+__all__ = ["RepairRecord", "RepairHistory"]
+
+
+@dataclass
+class RepairRecord:
+    """One repair attempt, committed or aborted."""
+
+    started: float
+    strategy: str
+    invariant: str = ""
+    scope: Optional[str] = None
+    ended: Optional[float] = None
+    committed: bool = False
+    tactic_applied: Optional[str] = None
+    tactics_tried: List[str] = field(default_factory=list)
+    abort_reason: Optional[str] = None
+    intents: List[RuntimeIntent] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.ended is None:
+            return None
+        return self.ended - self.started
+
+    def __str__(self) -> str:
+        state = (
+            f"committed via {self.tactic_applied}"
+            if self.committed else f"aborted ({self.abort_reason})"
+        )
+        dur = f" in {self.duration:.1f}s" if self.duration is not None else ""
+        return f"[{self.started:8.1f}s] {self.strategy} @ {self.scope}: {state}{dur}"
+
+
+class RepairHistory:
+    """Append-only record list with summary statistics."""
+
+    def __init__(self) -> None:
+        self._records: List[RepairRecord] = []
+
+    def append(self, record: RepairRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[RepairRecord]:
+        return list(self._records)
+
+    @property
+    def committed(self) -> List[RepairRecord]:
+        return [r for r in self._records if r.committed]
+
+    @property
+    def aborted(self) -> List[RepairRecord]:
+        return [r for r in self._records if not r.committed]
+
+    def mean_duration(self, committed_only: bool = True) -> float:
+        pool = self.committed if committed_only else self._records
+        durations = [r.duration for r in pool if r.duration is not None]
+        return sum(durations) / len(durations) if durations else 0.0
+
+    def tactic_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.committed:
+            if r.tactic_applied:
+                counts[r.tactic_applied] = counts.get(r.tactic_applied, 0) + 1
+        return counts
+
+    # -- intent mining -----------------------------------------------------------
+    def intents_of(self, op: str) -> List[Tuple[float, RuntimeIntent]]:
+        """(commit time, intent) pairs across committed repairs."""
+        out: List[Tuple[float, RuntimeIntent]] = []
+        for r in self.committed:
+            for intent in r.intents:
+                if intent.op == op:
+                    out.append((r.started, intent))
+        return out
+
+    def client_moves(self) -> List[Tuple[float, str, str, str]]:
+        """(time, client, from_group, to_group) across the run."""
+        return [
+            (t, i.args.get("client", "?"), i.args.get("frm", "?"),
+             i.args.get("to", "?"))
+            for t, i in self.intents_of("moveClient")
+        ]
+
+    def server_activations(self) -> List[Tuple[float, str, str]]:
+        """(time, server, group) for every addServer-style recruitment."""
+        return [
+            (t, i.args.get("server", "?"), i.args.get("group", "?"))
+            for t, i in self.intents_of("addServer")
+        ]
+
+    def oscillation_count(self, client: str) -> int:
+        """Back-and-forth moves: returns to a group left earlier."""
+        seen: List[str] = []
+        count = 0
+        for _, cli, frm, to in self.client_moves():
+            if cli != client:
+                continue
+            if to in seen:
+                count += 1
+            seen.append(frm)
+        return count

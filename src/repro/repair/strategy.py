@@ -1,0 +1,103 @@
+"""Strategies: policies over sequences of tactics.
+
+"To handle the situation where several tactics may be applicable, the
+enclosing repair strategy decides on the policy for executing repair
+tactics.  It might apply the first tactic that succeeds.  Alternatively,
+it might sequence through all of the tactics." (§3.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import RepairAborted
+from repro.repair.context import RepairContext
+from repro.repair.tactic import Tactic
+
+__all__ = [
+    "RepairOutcome",
+    "RepairStrategy",
+    "FirstSuccessStrategy",
+    "AllApplicableStrategy",
+    "PythonStrategy",
+]
+
+
+@dataclass
+class RepairOutcome:
+    """Result of running a strategy (before translation to the runtime)."""
+
+    committed: bool
+    strategy: str
+    tactics_tried: List[str] = field(default_factory=list)
+    tactic_applied: Optional[str] = None
+    abort_reason: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.committed:
+            return f"{self.strategy}: committed via {self.tactic_applied}"
+        return f"{self.strategy}: aborted ({self.abort_reason})"
+
+
+class RepairStrategy:
+    """Interface: run against a context; raise RepairAborted to fail."""
+
+    name: str = "strategy"
+
+    def run(self, ctx: RepairContext) -> RepairOutcome:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FirstSuccessStrategy(RepairStrategy):
+    """Apply the first tactic that succeeds (the paper's default policy)."""
+
+    def __init__(self, name: str, tactics: Sequence[Tactic],
+                 abort_reason: str = "ModelError"):
+        self.name = name
+        self.tactics = list(tactics)
+        self.abort_reason = abort_reason
+
+    def run(self, ctx: RepairContext) -> RepairOutcome:
+        outcome = RepairOutcome(False, self.name)
+        for tactic in self.tactics:
+            outcome.tactics_tried.append(tactic.name)
+            if tactic.run(ctx):
+                outcome.committed = True
+                outcome.tactic_applied = tactic.name
+                return outcome
+        raise RepairAborted(self.abort_reason)
+
+
+class AllApplicableStrategy(RepairStrategy):
+    """Sequence through all tactics; commit if at least one applied."""
+
+    def __init__(self, name: str, tactics: Sequence[Tactic],
+                 abort_reason: str = "ModelError"):
+        self.name = name
+        self.tactics = list(tactics)
+        self.abort_reason = abort_reason
+
+    def run(self, ctx: RepairContext) -> RepairOutcome:
+        outcome = RepairOutcome(False, self.name)
+        applied: List[str] = []
+        for tactic in self.tactics:
+            outcome.tactics_tried.append(tactic.name)
+            if tactic.run(ctx):
+                applied.append(tactic.name)
+        if not applied:
+            raise RepairAborted(self.abort_reason)
+        outcome.committed = True
+        outcome.tactic_applied = "+".join(applied)
+        return outcome
+
+
+class PythonStrategy(RepairStrategy):
+    """A strategy written as one Python callable returning an outcome."""
+
+    def __init__(self, name: str, body: Callable[[RepairContext], RepairOutcome]):
+        self.name = name
+        self.body = body
+
+    def run(self, ctx: RepairContext) -> RepairOutcome:
+        return self.body(ctx)

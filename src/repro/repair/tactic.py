@@ -1,0 +1,74 @@
+"""Tactics: precondition-guarded repair steps.
+
+"Each repair tactic is guarded by a precondition that determines whether
+that tactic is applicable" (§3.2).  A tactic's :meth:`run` returns True
+when it applied a repair; False when inapplicable (its precondition failed
+or it could not act).  Model edits made by a failing tactic are rolled back
+to the savepoint taken at tactic entry, so the enclosing strategy can try
+the next tactic against a clean model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import RepairAborted, TacticFailure
+from repro.repair.context import RepairContext
+
+__all__ = ["Tactic", "PythonTactic"]
+
+
+class Tactic:
+    """Interface: subclasses implement :meth:`_apply`."""
+
+    name: str = "tactic"
+
+    def run(self, ctx: RepairContext) -> bool:
+        """Execute with savepoint semantics.
+
+        * returns True  — tactic applied; its edits stay pending commit;
+        * returns False — inapplicable; any partial edits are rolled back;
+        * raises :class:`RepairAborted` — aborts the whole repair (the
+          paper's ``abort NoServerGroupFound``); rollback is handled by the
+          strategy/engine above.
+        """
+        mark = ctx.mark()
+        try:
+            applied = self._apply(ctx)
+        except TacticFailure:
+            ctx.rollback_to(mark)
+            return False
+        except RepairAborted:
+            raise
+        if not applied:
+            ctx.rollback_to(mark)
+            return False
+        return True
+
+    def _apply(self, ctx: RepairContext) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class PythonTactic(Tactic):
+    """A tactic written as plain Python callables.
+
+    ``guard`` (optional) is the precondition; ``script`` performs the
+    repair and returns truthiness of success.  Either may raise
+    :class:`TacticFailure` (→ tactic returns False) or
+    :class:`RepairAborted` (→ whole repair aborts).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        script: Callable[[RepairContext], bool],
+        guard: Optional[Callable[[RepairContext], bool]] = None,
+    ):
+        self.name = name
+        self.script = script
+        self.guard = guard
+
+    def _apply(self, ctx: RepairContext) -> bool:
+        if self.guard is not None and not self.guard(ctx):
+            return False
+        return bool(self.script(ctx))

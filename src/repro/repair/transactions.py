@@ -1,0 +1,119 @@
+"""Transactional editing of architectural models.
+
+Implements Figure 5's ``commit repair`` / ``abort`` semantics: while a
+transaction is active it records the undo closure of every model mutation
+(see :meth:`repro.acme.system.ArchSystem.on_mutation`); ``abort`` replays
+the undos in reverse; ``commit`` discards them.  **Savepoints** support
+tactic-level rollback — a failing tactic must not leave half its edits in
+the model while the strategy tries the next tactic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.acme.system import ArchSystem
+from repro.errors import TransactionError
+
+__all__ = ["ModelTransaction"]
+
+
+class ModelTransaction:
+    """One active editing session against an :class:`ArchSystem`.
+
+    Usage::
+
+        txn = ModelTransaction(system)
+        txn.begin()
+        try:
+            ... edit the model ...
+            txn.commit()
+        except SomethingWrong:
+            txn.abort()
+    """
+
+    def __init__(self, system: ArchSystem):
+        self.system = system
+        self._undo: List[Callable[[], None]] = []
+        self._active = False
+        self._closed = False
+        system.on_mutation(self._record)
+
+    # NOTE: ArchSystem keeps the listener forever; a closed transaction just
+    # ignores further events.  Transactions are created per repair, so the
+    # listener list grows with repair count — bounded in practice (hundreds)
+    # and O(1) per event.
+
+    def _record(self, description: str, undo: Callable[[], None]) -> None:
+        if self._active:
+            self._undo.append(undo)
+
+    def record(self, description: str, undo: Callable[[], None]) -> None:
+        """Manually journal an undo (for edits the system cannot observe,
+        e.g. inside a component's representation sub-architecture)."""
+        self._require_active()
+        self._undo.append(undo)
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def recorded(self) -> int:
+        return len(self._undo)
+
+    def begin(self) -> "ModelTransaction":
+        if self._closed:
+            raise TransactionError("transaction already finished")
+        if self._active:
+            raise TransactionError("transaction already active")
+        self._active = True
+        return self
+
+    def commit(self) -> int:
+        """Keep all edits; returns how many mutations were recorded."""
+        self._require_active()
+        count = len(self._undo)
+        self._undo.clear()
+        self._active = False
+        self._closed = True
+        return count
+
+    def abort(self) -> int:
+        """Undo all edits in reverse order; returns how many were undone."""
+        self._require_active()
+        count = len(self._undo)
+        self._rollback(0)
+        self._active = False
+        self._closed = True
+        return count
+
+    # -- savepoints ----------------------------------------------------------
+    def mark(self) -> int:
+        """Return a savepoint token (undo-stack depth)."""
+        self._require_active()
+        return len(self._undo)
+
+    def rollback_to(self, mark: int) -> int:
+        """Undo everything recorded after ``mark``; returns count undone."""
+        self._require_active()
+        if mark < 0 or mark > len(self._undo):
+            raise TransactionError(f"invalid savepoint {mark}")
+        count = len(self._undo) - mark
+        self._rollback(mark)
+        return count
+
+    def _rollback(self, upto: int) -> None:
+        # Undo closures themselves trigger mutations; suspend recording.
+        self._active = False
+        try:
+            while len(self._undo) > upto:
+                self._undo.pop()()
+        finally:
+            if not self._closed:
+                self._active = True
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise TransactionError("no active transaction")

@@ -1,0 +1,224 @@
+"""The event loop: simulation clock, event heap, and waitable events."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "Event", "Timeout", "AnyOf", "AllOf"]
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    Lifecycle: *pending* -> ``succeed(value)`` or ``fail(exception)``.
+    Callbacks added after triggering fire immediately (same-time semantics),
+    which keeps process wakeup order deterministic.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_ok", "_value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._triggered = False
+        self._ok = True
+        self._value: Any = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if not isinstance(exception, BaseException):
+            raise TypeError("Event.fail requires an exception instance")
+        self._trigger(False, exception)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+
+    # -- waiting ----------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(event)`` when the event triggers.
+
+        If the event already triggered, the callback runs synchronously now.
+        """
+        if self._callbacks is None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        sim.schedule(self.delay, self.succeed, value)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any child event triggers; value = that event.
+
+    A failing child fails the condition (failure is significant).
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed(ev)
+        else:
+            self.fail(ev.value)
+
+
+class AllOf(_Condition):
+    """Succeeds once every child has triggered; value = list of child values."""
+
+    __slots__ = ()
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    * ``schedule(delay, fn, *args)`` runs ``fn`` at ``now + delay``;
+    * ties break in scheduling order (a monotone sequence number);
+    * ``run(until)`` executes all work up to and including ``until`` and
+      leaves ``now == until``.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[Any] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (float(time), self._seq, fn, args))
+
+    # -- waitable factories ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the earliest pending action; False when queue is empty."""
+        if not self._heap:
+            return False
+        time, _, fn, args = heapq.heappop(self._heap)
+        self._now = time
+        fn(*args)
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending action, or None."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time would pass ``until``.
+
+        With ``until`` given, all actions scheduled at exactly ``until``
+        still execute, and the clock finishes at ``until`` even if the queue
+        drained earlier.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+                return
+            if until < self._now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self._now})"
+                )
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self._now = float(until)
+        finally:
+            self._running = False

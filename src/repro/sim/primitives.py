@@ -1,0 +1,135 @@
+"""Waitable FIFO stores and counted resources.
+
+:class:`Store` models the paper's request queues: requests are ``put`` by
+the request-queue splitter and ``get`` by servers in FIFO order — both the
+items and the waiting getters are FIFO, so service order is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["Store", "Resource"]
+
+
+class Store:
+    """Unbounded FIFO store with waitable ``get``.
+
+    ``put`` is immediate (the paper's queues are unbounded — queue growth
+    *is* the measured "server load").  ``get`` returns an Event that
+    succeeds with the oldest item as soon as one is available.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    # -- inspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items, oldest first."""
+        return list(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    # -- operations ----------------------------------------------------------
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event yielding the oldest item (FIFO among getters)."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending get (used when a waiting server deactivates).
+
+        Returns True if the event was still queued and has been removed.
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items (used by moveClient)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def transfer_to(self, other: "Store") -> int:
+        """Move every queued item to ``other`` preserving order.
+
+        Returns the number of items moved.  Used when a client is migrated:
+        its in-queue requests follow it to the new request queue.
+        """
+        moved = 0
+        for item in self.drain():
+            other.put(item)
+            moved += 1
+        return moved
+
+
+class Resource:
+    """A counted resource with FIFO acquisition.
+
+    Not used by the headline experiment (servers own their queue directly)
+    but provided for example applications and the pipeline style demo.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Event that succeeds once a unit is held by the caller."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)  # unit passes directly to the waiter
+        else:
+            self._in_use -= 1

@@ -1,0 +1,24 @@
+"""Architectural styles (substrate S11).
+
+* :mod:`repro.styles.client_server` — the paper's replicated client/server
+  style: types, the Figure 5 repair strategies (verbatim DSL text), and the
+  ``addServer`` / ``move`` / ``remove`` / ``findGoodSGroup`` operators;
+* :mod:`repro.styles.pipeline` — a second, smaller style used by the
+  custom-style example to demonstrate that the framework is style-generic.
+"""
+
+from repro.styles.client_server import (
+    FIGURE5_DSL,
+    UNDERUTILIZATION_DSL,
+    build_client_server_family,
+    build_client_server_model,
+    style_operators,
+)
+
+__all__ = [
+    "FIGURE5_DSL",
+    "UNDERUTILIZATION_DSL",
+    "build_client_server_family",
+    "build_client_server_model",
+    "style_operators",
+]

@@ -1,0 +1,12 @@
+"""Task layer (substrate S14): objectives, profiles, constraint installation.
+
+"The Task Layer is responsible for setting overall system objectives...
+It can also set performance objectives and resource constraints for
+applications.  These profiles will be used by the model-layer to guide
+adaptation." (§1, Figure 1 item 6)
+"""
+
+from repro.task.profiles import PerformanceProfile
+from repro.task.manager import TaskManager
+
+__all__ = ["PerformanceProfile", "TaskManager"]

@@ -1,0 +1,43 @@
+"""Task manager: installs a profile's objectives into the model layer.
+
+In this reproduction the task layer is deliberately thin (the paper:
+"We will not discuss the task layer any further") — it owns the profile,
+publishes its thresholds as constraint-language bindings, and registers
+the style's invariants with the checker.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.constraints.invariants import ConstraintChecker, Invariant
+from repro.task.profiles import PerformanceProfile
+
+__all__ = ["TaskManager"]
+
+
+class TaskManager:
+    """Binds a performance profile to a constraint checker."""
+
+    def __init__(self, profile: Optional[PerformanceProfile] = None):
+        self.profile = profile if profile is not None else PerformanceProfile()
+
+    def configure(self, checker: ConstraintChecker) -> ConstraintChecker:
+        """Publish profile thresholds as global bindings."""
+        checker.bindings.update(self.profile.bindings())
+        return checker
+
+    def install_invariants(
+        self,
+        checker: ConstraintChecker,
+        invariants: Iterable[Tuple[str, str, Optional[str], Optional[str]]],
+    ) -> None:
+        """Register (name, expression, scope_type, repair) invariants."""
+        for name, expression, scope_type, repair in invariants:
+            checker.add(Invariant(name, expression, scope_type, repair))
+
+    def update_profile(self, profile: PerformanceProfile,
+                       checker: ConstraintChecker) -> None:
+        """Swap objectives mid-run (tasks can retarget the application)."""
+        self.profile = profile
+        checker.bindings.update(profile.bindings())

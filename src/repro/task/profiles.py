@@ -1,0 +1,44 @@
+"""Performance profiles: the thresholds that parameterize adaptation.
+
+The experiment's profile (§5): client latency under **2 s**, server queue
+no longer than **6** waiting requests, at least **10 Kbps** between a
+client and its server group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["PerformanceProfile"]
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """Threshold constraints handed from the task layer to the model layer.
+
+    Units: seconds, queued requests, bits/second.
+    """
+
+    max_latency: float = 2.0
+    max_server_load: float = 6.0
+    min_bandwidth: float = 10_000.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_latency <= 0:
+            raise ValueError(f"max_latency must be positive, got {self.max_latency}")
+        if self.max_server_load < 0:
+            raise ValueError("max_server_load must be non-negative")
+        if self.min_bandwidth < 0:
+            raise ValueError("min_bandwidth must be non-negative")
+
+    def bindings(self) -> Dict[str, Any]:
+        """Global names visible to constraint and repair expressions."""
+        out = {
+            "maxLatency": self.max_latency,
+            "maxServerLoad": self.max_server_load,
+            "minBandwidth": self.min_bandwidth,
+        }
+        out.update(self.extras)
+        return out

@@ -1,0 +1,12 @@
+"""The translator (substrate S13): model-layer operators -> runtime ops.
+
+"The final component of our adaptation framework is a translator that
+interprets the actions of the repair scripts at the model layer as
+operations on the actual system at the runtime layer" (§3.3, Figure 1
+item 5).
+"""
+
+from repro.translation.costs import TranslationCosts
+from repro.translation.translator import Translator
+
+__all__ = ["TranslationCosts", "Translator"]

@@ -1,0 +1,59 @@
+"""The repair-time cost model.
+
+§5.3: "The time that it takes to effect a repair averages 30 seconds.
+Most of this time is spent in communicating to create and delete gauges."
+The defaults below charge exactly that shape: a ``moveClient`` repair
+costs gauge teardown + gauge setup + two warm Remos queries + RMI calls
+(~28.5 s); ``addServer`` costs one gauge deployment + queries + three RMI
+calls (~18 s).
+
+``cached_gauges=True`` is the paper's proposed improvement ("caching
+gauges or relocating them... should see our repair speed improve
+dramatically") — ablation A1 flips it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TranslationCosts"]
+
+
+@dataclass
+class TranslationCosts:
+    """Per-step delays (seconds) charged while executing runtime intents."""
+
+    gauge_destroy: float = 12.0
+    gauge_create: float = 14.0
+    remos_query: float = 0.5
+    rmi_call: float = 1.0
+    cached_gauges: bool = False
+    # When gauges are cached/relocated instead of destroyed+created:
+    cached_gauge_destroy: float = 0.5
+    cached_gauge_create: float = 1.0
+
+    @property
+    def effective_gauge_destroy(self) -> float:
+        return self.cached_gauge_destroy if self.cached_gauges else self.gauge_destroy
+
+    @property
+    def effective_gauge_create(self) -> float:
+        return self.cached_gauge_create if self.cached_gauges else self.gauge_create
+
+    def move_client_cost(self) -> float:
+        """moveClient: redeploy the client's gauges + 2 queries + 1 RMI."""
+        return (
+            self.effective_gauge_destroy
+            + self.effective_gauge_create
+            + 2 * self.remos_query
+            + self.rmi_call
+        )
+
+    def add_server_cost(self) -> float:
+        """addServer: deploy server gauges + 1 query + 3 RMI calls
+        (findServer, connectServer, activateServer)."""
+        return self.effective_gauge_create + self.remos_query + 3 * self.rmi_call
+
+    def remove_server_cost(self) -> float:
+        """removeServer: tear down gauges + 1 RMI (deactivateServer)."""
+        return self.effective_gauge_destroy + self.rmi_call

@@ -1,0 +1,130 @@
+"""Executes committed runtime intents against the environment manager.
+
+Intents are executed sequentially in a simulated process; each charges its
+cost-model delay *before* taking effect (the paper's repair duration is
+dominated by this communication, not by the state change itself).  Gauge
+redeployment hooks let the monitoring layer blank out affected gauges for
+the corresponding window — during a repair the framework is partially
+blind, exactly as the authors describe.
+
+Supported intents (produced by the client/server style operators):
+
+* ``moveClient(client, frm, to)``
+* ``addServer(client, group, bw_thresh, server?)`` — ``server`` may be
+  pre-resolved by the operator via ``findServer``; when present the
+  translator re-validates it is still spare, otherwise re-runs the query;
+* ``removeServer(server, group)``
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.app.env_manager import EnvironmentManager
+from repro.errors import EnvironmentError_, TranslationError
+from repro.repair.context import RuntimeIntent
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+from repro.translation.costs import TranslationCosts
+
+__all__ = ["Translator"]
+
+
+class Translator:
+    """Model-operator to runtime-operation mapping and execution engine."""
+
+    def __init__(
+        self,
+        env: EnvironmentManager,
+        costs: Optional[TranslationCosts] = None,
+        gauge_manager=None,
+        trace: Optional[Trace] = None,
+    ):
+        self.env = env
+        self.sim = env.sim
+        self.costs = costs if costs is not None else TranslationCosts()
+        self.gauge_manager = gauge_manager  # optional: .redeploy_for(entity, delay)
+        self.trace = trace if trace is not None else env.trace
+        self.executed: List[RuntimeIntent] = []
+        self.failures: List[str] = []
+
+    # -- public API ----------------------------------------------------------
+    def execute(
+        self,
+        intents: Sequence[RuntimeIntent],
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> Process:
+        """Run all intents in order; invoke ``on_done`` when finished.
+
+        A failing intent is recorded and skipped (the model was already
+        committed; the paper's framework likewise discovers runtime drift
+        through subsequent monitoring rather than unwinding the model).
+        """
+        return Process(
+            self.sim, self._run(list(intents), on_done), name="translator"
+        )
+
+    def estimate_duration(self, intents: Sequence[RuntimeIntent]) -> float:
+        return sum(self._cost_of(i) for i in intents)
+
+    # -- internals -------------------------------------------------------------
+    def _cost_of(self, intent: RuntimeIntent) -> float:
+        if intent.op == "moveClient":
+            return self.costs.move_client_cost()
+        if intent.op == "addServer":
+            return self.costs.add_server_cost()
+        if intent.op == "removeServer":
+            return self.costs.remove_server_cost()
+        raise TranslationError(f"no runtime mapping for intent {intent.op!r}")
+
+    def _run(self, intents: List[RuntimeIntent], on_done):
+        for intent in intents:
+            cost = self._cost_of(intent)  # raises early on unknown ops
+            self.trace.emit(
+                self.sim.now, "translate.begin", op=intent.op, cost=cost,
+                **{k: v for k, v in intent.args.items() if k != "bw_thresh"},
+            )
+            if cost > 0:
+                yield self.sim.timeout(cost)
+            try:
+                self._apply(intent)
+                self.executed.append(intent)
+            except EnvironmentError_ as exc:
+                self.failures.append(f"{intent}: {exc}")
+                self.trace.emit(
+                    self.sim.now, "translate.failed", op=intent.op, error=str(exc)
+                )
+        if on_done is not None:
+            on_done()
+
+    def _apply(self, intent: RuntimeIntent) -> None:
+        args = intent.args
+        if intent.op == "moveClient":
+            self.env.move_client(args["client"], args["to"])
+            self._redeploy(args["client"])
+        elif intent.op == "addServer":
+            server = args.get("server")
+            if server is not None and any(
+                s.name == server for s in self.env.app.spare_servers
+            ):
+                self.env.connect_server(server, args["group"])
+                self.env.activate_server(server)
+            else:
+                server = self.env.recruit_server(
+                    args["client"], args["group"], args.get("bw_thresh", 0.0)
+                )
+            self._redeploy(server)
+        elif intent.op == "removeServer":
+            self.env.deactivate_server(args["server"])
+            self._redeploy(args["server"])
+        else:  # pragma: no cover - _cost_of already rejected it
+            raise TranslationError(f"no runtime mapping for intent {intent.op!r}")
+
+    def _redeploy(self, entity: str) -> None:
+        """Tell the monitoring layer to redeploy gauges for ``entity``."""
+        if self.gauge_manager is not None:
+            window = (
+                self.costs.effective_gauge_destroy
+                + self.costs.effective_gauge_create
+            )
+            self.gauge_manager.redeploy_for(entity, window)

@@ -1,0 +1,41 @@
+"""Shared utilities: id generation, deterministic RNG, sliding windows,
+units, and plain-text table rendering."""
+
+from repro.util.ids import IdGenerator, fresh_name
+from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.windows import SlidingWindow, EWMA, StepFunction
+from repro.util.units import (
+    KBPS,
+    MBPS,
+    BYTE,
+    KB,
+    MB,
+    bits,
+    kilobytes,
+    megabits_per_second,
+    format_bandwidth,
+    format_duration,
+)
+from repro.util.tables import render_table, render_series
+
+__all__ = [
+    "IdGenerator",
+    "fresh_name",
+    "SeedSequenceFactory",
+    "derive_rng",
+    "SlidingWindow",
+    "EWMA",
+    "StepFunction",
+    "KBPS",
+    "MBPS",
+    "BYTE",
+    "KB",
+    "MB",
+    "bits",
+    "kilobytes",
+    "megabits_per_second",
+    "format_bandwidth",
+    "format_duration",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,114 @@
+"""Plain-text rendering of tables and time series.
+
+The benchmark harness must "print the same rows/series the paper reports";
+since the environment is headless, figures are rendered as aligned text
+tables and coarse ASCII sparkline strips rather than images.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "ascii_sparkline"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Cells are str()-ed; floats are shown with 4 significant digits.
+    """
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1e5 or abs(v) < 1e-3:
+                return f"{v:.3g}"
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def ascii_sparkline(values: Sequence[float], log: bool = False) -> str:
+    """Map values onto a 10-level character strip ('.' low ... '@' high).
+
+    ``log=True`` uses a log10 scale (the paper's figures are log-scale).
+    Non-finite or non-positive values under log scale render as spaces.
+    """
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if log:
+        finite = [v for v in finite if v > 0]
+    if not finite:
+        return " " * len(values)
+    xs = [math.log10(v) if log else v for v in finite]
+    lo, hi = min(xs), max(xs)
+    span = hi - lo or 1.0
+
+    out = []
+    for v in values:
+        if v is None or not math.isfinite(v) or (log and v <= 0):
+            out.append(" ")
+            continue
+        x = math.log10(v) if log else v
+        idx = int((x - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def render_series(
+    name: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    log: bool = False,
+    width: int = 90,
+    unit: str = "",
+) -> str:
+    """Render a time series as a labelled sparkline plus summary stats.
+
+    Downsamples to at most ``width`` points by striding.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must have the same length")
+    if not times:
+        return f"{name}: (empty)"
+    stride = max(1, len(values) // width)
+    sampled = list(values[::stride])
+    strip = ascii_sparkline(sampled, log=log)
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if finite:
+        stats = (
+            f"min={min(finite):.4g} max={max(finite):.4g} "
+            f"last={finite[-1]:.4g}{(' ' + unit) if unit else ''}"
+        )
+    else:
+        stats = "no finite samples"
+    scale = "log" if log else "lin"
+    return (
+        f"{name} [{times[0]:.0f}s..{times[-1]:.0f}s, {scale}]\n"
+        f"  |{strip}|\n"
+        f"  {stats}"
+    )

@@ -1,0 +1,154 @@
+"""Time-windowed statistics used by gauges and workload schedules.
+
+``SlidingWindow`` backs the latency/load gauges: the paper's gauges report
+*average* behaviour over a recent horizon, which is what introduces the
+detection lag visible in Figures 11-13.  ``StepFunction`` expresses the
+Figure 7 stepping schedules for bandwidth competition and request load.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["SlidingWindow", "EWMA", "StepFunction"]
+
+
+class SlidingWindow:
+    """Average of timestamped samples within the trailing ``horizon`` seconds.
+
+    Samples must be added with non-decreasing timestamps (simulation time is
+    monotone).  ``mean(now)`` first expires samples older than
+    ``now - horizon``.
+    """
+
+    def __init__(self, horizon: float):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.horizon = float(horizon)
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self._sum = 0.0
+        self._last_time: Optional[float] = None
+
+    def add(self, time: float, value: float) -> None:
+        """Record ``value`` observed at simulation ``time``."""
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(
+                f"samples must be time-ordered: got {time} after {self._last_time}"
+            )
+        self._last_time = time
+        self._samples.append((time, float(value)))
+        self._sum += float(value)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.horizon
+        while self._samples and self._samples[0][0] < cutoff:
+            _, v = self._samples.popleft()
+            self._sum -= v
+
+    def mean(self, now: float) -> Optional[float]:
+        """Mean of samples in ``[now - horizon, now]``; None when empty."""
+        self._expire(now)
+        if not self._samples:
+            return None
+        return self._sum / len(self._samples)
+
+    def maximum(self, now: float) -> Optional[float]:
+        self._expire(now)
+        if not self._samples:
+            return None
+        return max(v for _, v in self._samples)
+
+    def count(self, now: float) -> int:
+        """Number of live samples in the window."""
+        self._expire(now)
+        return len(self._samples)
+
+    def rate(self, now: float) -> float:
+        """Samples per second over the window (arrival-rate estimator)."""
+        self._expire(now)
+        if not self._samples:
+            return 0.0
+        return len(self._samples) / self.horizon
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._sum = 0.0
+        self._last_time = None
+
+
+class EWMA:
+    """Exponentially-weighted moving average with a time constant.
+
+    The weight of an old observation decays as ``exp(-dt / tau)``; this is
+    the continuous-time analogue of the classic discrete EWMA and is robust
+    to irregular sampling.
+    """
+
+    def __init__(self, tau: float, initial: Optional[float] = None):
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = float(tau)
+        self._value: Optional[float] = initial
+        self._time: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def add(self, time: float, value: float) -> float:
+        """Fold in an observation; returns the updated average."""
+        import math
+
+        if self._value is None or self._time is None:
+            self._value = float(value)
+        else:
+            if time < self._time:
+                raise ValueError("EWMA samples must be time-ordered")
+            alpha = 1.0 - math.exp(-(time - self._time) / self.tau)
+            self._value += alpha * (float(value) - self._value)
+        self._time = time
+        return self._value
+
+
+class StepFunction:
+    """Right-continuous piecewise-constant function of time.
+
+    Built from ``(time, value)`` breakpoints: the function takes ``value``
+    from ``time`` (inclusive) until the next breakpoint.  Times before the
+    first breakpoint return ``default``.
+
+    This is exactly the shape of the paper's Figure 7 generators.
+    """
+
+    def __init__(
+        self,
+        breakpoints: Iterable[Tuple[float, float]],
+        default: float = 0.0,
+    ):
+        pts: List[Tuple[float, float]] = sorted((float(t), float(v)) for t, v in breakpoints)
+        times = [t for t, _ in pts]
+        if len(set(times)) != len(times):
+            raise ValueError("StepFunction breakpoints must have distinct times")
+        self._times: List[float] = times
+        self._values: List[float] = [v for _, v in pts]
+        self.default = float(default)
+
+    def __call__(self, t: float) -> float:
+        i = bisect_right(self._times, t)
+        if i == 0:
+            return self.default
+        return self._values[i - 1]
+
+    @property
+    def breakpoints(self) -> Sequence[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def change_times(self, start: float, end: float) -> List[float]:
+        """Breakpoint times within ``(start, end]`` (for event scheduling)."""
+        return [t for t in self._times if start < t <= end]
+
+    def sample(self, times: Iterable[float]) -> List[float]:
+        """Vector-evaluate at each time (useful for plotting series)."""
+        return [self(t) for t in times]

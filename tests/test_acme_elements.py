@@ -1,0 +1,130 @@
+"""Unit tests for properties and architectural elements."""
+
+import pytest
+
+from repro.acme import Attachment, Component, Connector, Property
+from repro.errors import (
+    AttachmentError,
+    DuplicateElementError,
+    PropertyError,
+    UnknownElementError,
+)
+
+
+class TestProperty:
+    def test_typed_value_accepted(self):
+        p = Property("bandwidth", 10e6, "float")
+        assert p.value == 10e6
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(PropertyError):
+            Property("load", "high", "float")
+
+    def test_bool_is_not_a_float(self):
+        with pytest.raises(PropertyError):
+            Property("x", True, "float")
+
+    def test_int_is_not_a_bool(self):
+        with pytest.raises(PropertyError):
+            Property("flag", 1, "boolean")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PropertyError):
+            Property("x", 1, "quaternion")
+
+
+class TestPropertyBag:
+    def test_declare_get_set(self):
+        c = Component("c1")
+        c.declare_property("load", 0.0, "float")
+        assert c.get_property("load") == 0.0
+        old = c.set_property("load", 5.0)
+        assert old == 0.0
+        assert c.get_property("load") == 5.0
+
+    def test_redeclare_rejected(self):
+        c = Component("c1")
+        c.declare_property("x", 1)
+        with pytest.raises(PropertyError):
+            c.declare_property("x", 2)
+
+    def test_set_respects_declared_type(self):
+        c = Component("c1")
+        c.declare_property("load", 0.0, "float")
+        with pytest.raises(PropertyError):
+            c.set_property("load", "many")
+
+    def test_missing_property(self):
+        c = Component("c1")
+        with pytest.raises(PropertyError):
+            c.get_property("nope")
+        assert c.get_property("nope", default=7) == 7
+
+    def test_change_listener(self):
+        c = Component("c1")
+        seen = []
+        c.on_property_change(lambda owner, n, old, new: seen.append((n, old, new)))
+        c.declare_property("x", 1)
+        c.set_property("x", 2)
+        assert seen == [("x", None, 1), ("x", 1, 2)]
+
+    def test_property_names_sorted(self):
+        c = Component("c1")
+        c.declare_property("zeta", 1)
+        c.declare_property("alpha", 2)
+        assert c.property_names() == ["alpha", "zeta"]
+
+
+class TestElements:
+    def test_invalid_names_rejected(self):
+        for bad in ("", "1abc", "a-b", "a b", "a.b"):
+            with pytest.raises(UnknownElementError):
+                Component(bad)
+
+    def test_types_declaration(self):
+        c = Component("srv", {"ServerT"})
+        assert c.declares_type("ServerT")
+        assert not c.declares_type("ClientT")
+
+    def test_ports(self):
+        c = Component("c1")
+        p = c.add_port("request", {"RequestT"})
+        assert p.qualified_name == "c1.request"
+        assert c.port("request") is p
+        assert c.has_port("request")
+        with pytest.raises(DuplicateElementError):
+            c.add_port("request")
+        with pytest.raises(UnknownElementError):
+            c.port("nope")
+
+    def test_remove_port(self):
+        c = Component("c1")
+        c.add_port("p")
+        c.remove_port("p")
+        assert not c.has_port("p")
+        with pytest.raises(UnknownElementError):
+            c.remove_port("p")
+
+    def test_roles(self):
+        conn = Connector("link")
+        r = conn.add_role("client", {"ClientRoleT"})
+        assert r.qualified_name == "link.client"
+        assert conn.roles == [r]
+        with pytest.raises(DuplicateElementError):
+            conn.add_role("client")
+
+    def test_attachment_requires_port_and_role(self):
+        c = Component("c1")
+        conn = Connector("link")
+        p = c.add_port("p")
+        r = conn.add_role("r")
+        att = Attachment(p, r)
+        assert att.key == ("c1.p", "link.r")
+        with pytest.raises(AttachmentError):
+            Attachment(p, p)  # type: ignore[arg-type]
+
+    def test_ports_sorted(self):
+        c = Component("c1")
+        c.add_port("z")
+        c.add_port("a")
+        assert [p.name for p in c.ports] == ["a", "z"]

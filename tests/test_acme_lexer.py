@@ -1,0 +1,108 @@
+"""Unit tests for the shared tokenizer."""
+
+import pytest
+
+from repro.acme.lexer import Token, TokenStream, tokenize
+from repro.errors import ParseError
+
+
+class TestTokenize:
+    def test_identifiers_and_numbers(self):
+        toks = tokenize("foo bar42 3.14 1e6 2.5e-3")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert kinds == [
+            ("ident", "foo"), ("ident", "bar42"), ("number", "3.14"),
+            ("number", "1e6"), ("number", "2.5e-3"),
+        ]
+        assert toks[2].value == pytest.approx(3.14)
+        assert toks[3].value == 1e6
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+    def test_two_char_punctuation(self):
+        toks = tokenize("<= >= == != -> || &&")
+        assert [t.text for t in toks[:-1]] == [
+            "<=", ">=", "==", "!=", "->", "||", "&&",
+        ]
+
+    def test_single_char_punctuation(self):
+        toks = tokenize("{ } ( ) . , ; : < > = ! + - * /")
+        assert all(t.kind == "punct" for t in toks[:-1])
+        assert len(toks) - 1 == 16
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"hello" "a\"b" ' + "'single'")
+        assert [t.text for t in toks[:-1]] == ["hello", 'a"b', "single"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_line_comments(self):
+        toks = tokenize("a // comment here\nb")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_block_comments_track_lines(self):
+        toks = tokenize("a /* multi\nline\ncomment */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+        assert toks[1].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never ends")
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab cd\n  ef")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (1, 4)
+        assert (toks[2].line, toks[2].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("a @ b")
+        assert "line 1" in str(err.value)
+
+    def test_dotted_access_not_a_number(self):
+        toks = tokenize("a.b 1.x")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["a", ".", "b", "1", ".", "x"]
+
+
+class TestTokenStream:
+    def test_navigation(self):
+        ts = TokenStream(tokenize("a b c"))
+        assert ts.current.text == "a"
+        assert ts.peek().text == "b"
+        assert ts.peek(2).text == "c"
+        ts.advance()
+        assert ts.current.text == "b"
+
+    def test_advance_stops_at_eof(self):
+        ts = TokenStream(tokenize("a"))
+        ts.advance()
+        ts.advance()
+        ts.advance()
+        assert ts.current.kind == "eof"
+
+    def test_match_and_expect(self):
+        ts = TokenStream(tokenize("foo ( )"))
+        assert ts.match_ident("foo")
+        assert not ts.match_ident("bar")
+        ts.expect_punct("(")
+        with pytest.raises(ParseError):
+            ts.expect_punct("{")
+        ts.expect_punct(")")
+
+    def test_expect_ident_any(self):
+        ts = TokenStream(tokenize("name 42"))
+        assert ts.expect_ident().text == "name"
+        with pytest.raises(ParseError):
+            ts.expect_ident()
+
+    def test_error_carries_position(self):
+        ts = TokenStream(tokenize("\n\n  oops"))
+        err = ts.error("bad")
+        assert err.line == 3
+        assert err.column == 3

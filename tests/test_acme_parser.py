@@ -1,0 +1,142 @@
+"""Unit tests for the Acme parser/unparser."""
+
+import pytest
+
+from repro.acme import parse_acme, unparse_family, unparse_system
+from repro.errors import ParseError
+
+EXAMPLE = """
+// The paper's client/server style, miniature.
+Family ClientServerFam = {
+    Component Type ClientT = {
+        Property averageLatency : float = 0.0;
+    };
+    Component Type ServerGroupT = {
+        Property load : float = 0.0;
+        Property replication : int = 0;
+    };
+    Connector Type LinkT = {
+        Property bandwidth : float = 0.0;
+    };
+    invariant latencyOk : forall c : ClientT in self.components |
+        c.averageLatency <= 2.0;
+};
+
+System Demo : ClientServerFam = {
+    Component c1 : ClientT = {
+        Property averageLatency = 0.5;
+        Port req;
+    };
+    Component grp1 : ServerGroupT = {
+        Property replication = 3;
+        Port serve;
+    };
+    Connector link1 : LinkT = {
+        Role client;
+        Role group;
+        Property bandwidth = 10000000.0;
+    };
+    Attachment c1.req to link1.client;
+    Attachment grp1.serve to link1.group;
+    invariant bandwidthOk : forall k : LinkT in self.connectors |
+        k.bandwidth >= 10000.0;
+};
+"""
+
+
+class TestParse:
+    def test_family_parsed(self):
+        doc = parse_acme(EXAMPLE)
+        fam = doc.family("ClientServerFam")
+        assert fam.has_type("ClientT")
+        assert fam.type("ServerGroupT").properties["replication"] == ("int", 0)
+        assert fam.invariant_sources[0][0] == "latencyOk"
+
+    def test_system_structure(self):
+        doc = parse_acme(EXAMPLE)
+        s = doc.system("Demo")
+        assert [c.name for c in s.components] == ["c1", "grp1"]
+        assert s.component("c1").get_property("averageLatency") == 0.5
+        link = s.connector("link1")
+        assert link.get_property("bandwidth") == 10e6
+        assert s.is_attached(s.component("c1").port("req"), link.role("client"))
+
+    def test_family_defaults_applied_to_instances(self):
+        doc = parse_acme(EXAMPLE)
+        s = doc.system("Demo")
+        # grp1 sets replication explicitly; load comes from the type default
+        assert s.component("grp1").get_property("load") == 0.0
+
+    def test_invariant_text_captured(self):
+        doc = parse_acme(EXAMPLE)
+        s = doc.system("Demo")
+        (name, expr), = s.invariant_sources
+        assert name == "bandwidthOk"
+        assert "k.bandwidth >= 10000.0" in expr
+
+    def test_invariant_parses_in_constraint_language(self):
+        from repro.constraints import parse_expression
+
+        doc = parse_acme(EXAMPLE)
+        for _, expr in doc.system("Demo").invariant_sources:
+            parse_expression(expr)  # must not raise
+        for _, expr in doc.family("ClientServerFam").invariant_sources:
+            parse_expression(expr)
+
+    def test_untyped_and_bodyless_elements(self):
+        doc = parse_acme("System S = { Component a; Connector b; };")
+        s = doc.system("S")
+        assert s.has_component("a") and s.has_connector("b")
+
+    def test_negative_and_string_literals(self):
+        doc = parse_acme(
+            'System S = { Component a = { Property x = -2.5; Property s = "hi"; }; };'
+        )
+        a = doc.system("S").component("a")
+        assert a.get_property("x") == -2.5
+        assert a.get_property("s") == "hi"
+
+
+class TestParseErrors:
+    def test_bad_toplevel(self):
+        with pytest.raises(ParseError):
+            parse_acme("Banana X = {};")
+
+    def test_bad_attachment(self):
+        with pytest.raises(ParseError):
+            parse_acme(
+                "System S = { Component a = { Port p; }; "
+                "Connector k = { Role r; }; Attachment a.zz to k.r; };"
+            )
+
+    def test_unterminated_invariant(self):
+        with pytest.raises(ParseError):
+            parse_acme("System S = { invariant x : a <= b };")  # note: '}' inside
+
+    def test_duplicate_system(self):
+        with pytest.raises(ParseError):
+            parse_acme("System S = {}; System S = {};")
+
+
+class TestRoundTrip:
+    def test_system_round_trip(self):
+        doc = parse_acme(EXAMPLE)
+        text = unparse_system(doc.system("Demo"))
+        doc2 = parse_acme(unparse_family(doc.family("ClientServerFam")) + "\n" + text)
+        s1, s2 = doc.system("Demo"), doc2.system("Demo")
+        assert [c.name for c in s1.components] == [c.name for c in s2.components]
+        assert [c.name for c in s1.connectors] == [c.name for c in s2.connectors]
+        assert [a.key for a in s1.attachments] == [a.key for a in s2.attachments]
+        assert (
+            s1.component("grp1").get_property("replication")
+            == s2.component("grp1").get_property("replication")
+        )
+
+    def test_family_round_trip(self):
+        doc = parse_acme(EXAMPLE)
+        text = unparse_family(doc.family("ClientServerFam"))
+        fam2 = parse_acme(text).family("ClientServerFam")
+        assert sorted(t.name for t in fam2.types) == sorted(
+            t.name for t in doc.family("ClientServerFam").types
+        )
+        assert fam2.invariant_sources == doc.family("ClientServerFam").invariant_sources

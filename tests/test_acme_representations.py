@@ -1,0 +1,100 @@
+"""Representations: sub-architectures inside components (paper Figure 2).
+
+The paper's server group "consists of a set of replicated servers"; in
+Acme this is a component *representation*.  These tests cover the textual
+round-trip and the live experiment model's snapshot/export path.
+"""
+
+import pytest
+
+from repro.acme import parse_acme, unparse_system
+from repro.styles import build_client_server_model
+
+NESTED = """
+System S = {
+    Component grp1 : ServerGroupT = {
+        Port serve;
+        Property replication : int = 2;
+        Representation = {
+            Component s1 : ServerT = { Property active : boolean = true; };
+            Component s2 : ServerT;
+        };
+    };
+};
+"""
+
+
+class TestParseRepresentation:
+    def test_nested_components_parsed(self):
+        doc = parse_acme(NESTED)
+        grp = doc.system("S").component("grp1")
+        rep = grp.representation
+        assert rep is not None
+        assert rep.name == "grp1_rep"
+        assert [c.name for c in rep.components] == ["s1", "s2"]
+        assert rep.component("s1").get_property("active") is True
+
+    def test_outer_structure_unaffected(self):
+        doc = parse_acme(NESTED)
+        grp = doc.system("S").component("grp1")
+        assert grp.has_port("serve")
+        assert grp.get_property("replication") == 2
+
+    def test_representation_may_hold_connectors_and_attachments(self):
+        doc = parse_acme(
+            """
+            System S = {
+                Component outer = {
+                    Representation = {
+                        Component a = { Port p; };
+                        Connector k = { Role r; };
+                        Attachment a.p to k.r;
+                    };
+                };
+            };
+            """
+        )
+        rep = doc.system("S").component("outer").representation
+        assert rep.is_attached(rep.component("a").port("p"),
+                               rep.connector("k").role("r"))
+
+
+class TestRoundTrip:
+    def test_nested_round_trip(self):
+        doc = parse_acme(NESTED)
+        text = unparse_system(doc.system("S"))
+        again = parse_acme(text).system("S")
+        rep = again.component("grp1").representation
+        assert rep is not None
+        assert [c.name for c in rep.components] == ["s1", "s2"]
+        assert rep.component("s1").get_property("active") is True
+
+    def test_experiment_model_exports_and_reimports(self):
+        """The live client/server model (groups with replicated-server
+        representations) survives Acme text serialization."""
+        model = build_client_server_model(
+            "GridModel",
+            assignments={"C1": "SG1", "C2": "SG1", "C3": "SG2"},
+            groups={"SG1": ["S1", "S2", "S3"], "SG2": ["S5", "S6"]},
+        )
+        text = unparse_system(model)
+        again = parse_acme(text).system("GridModel")
+        assert [c.name for c in again.components] == \
+            [c.name for c in model.components]
+        for group in ("SG1", "SG2"):
+            original = model.component(group).representation
+            restored = again.component(group).representation
+            assert [c.name for c in restored.components] == \
+                [c.name for c in original.components]
+            assert again.component(group).get_property("replication") == \
+                model.component(group).get_property("replication")
+        assert [a.key for a in again.attachments] == \
+            [a.key for a in model.attachments]
+
+    def test_empty_representation_round_trips(self):
+        doc = parse_acme(
+            "System S = { Component g = { Representation = { }; }; };"
+        )
+        text = unparse_system(doc.system("S"))
+        again = parse_acme(text).system("S")
+        assert again.component("g").representation is not None

@@ -1,0 +1,177 @@
+"""Unit tests for the architectural system graph."""
+
+import pytest
+
+from repro.acme import ArchSystem, Component, Connector
+from repro.errors import AttachmentError, DuplicateElementError, UnknownElementError
+
+
+def client_server_model():
+    """c1, c2 -- link1 -- grp (the paper's shape, miniature)."""
+    s = ArchSystem("S", family="ClientServerFam")
+    c1 = s.new_component("c1", ["ClientT"])
+    c2 = s.new_component("c2", ["ClientT"])
+    grp = s.new_component("grp", ["ServerGroupT"])
+    c1.add_port("req")
+    c2.add_port("req")
+    grp.add_port("serve")
+    link1 = s.new_connector("link1", ["LinkT"])
+    link1.add_role("client")
+    link1.add_role("group")
+    link2 = s.new_connector("link2", ["LinkT"])
+    link2.add_role("client")
+    link2.add_role("group")
+    s.attach(c1.port("req"), link1.role("client"))
+    s.attach(grp.port("serve"), link1.role("group"))
+    s.attach(c2.port("req"), link2.role("client"))
+    s.attach(grp.port("serve"), link2.role("group"))
+    return s
+
+
+class TestStructure:
+    def test_duplicate_names_rejected_across_kinds(self):
+        s = ArchSystem("S")
+        s.new_component("x")
+        with pytest.raises(DuplicateElementError):
+            s.new_component("x")
+        with pytest.raises(DuplicateElementError):
+            s.new_connector("x")
+
+    def test_lookup(self):
+        s = client_server_model()
+        assert s.component("c1").name == "c1"
+        assert s.connector("link1").name == "link1"
+        with pytest.raises(UnknownElementError):
+            s.component("link1")
+
+    def test_components_of_type(self):
+        s = client_server_model()
+        assert [c.name for c in s.components_of_type("ClientT")] == ["c1", "c2"]
+        assert [c.name for c in s.components_of_type("ServerGroupT")] == ["grp"]
+
+    def test_attach_validations(self):
+        s = ArchSystem("S")
+        c = s.new_component("c")
+        p = c.add_port("p")
+        conn = s.new_connector("k")
+        r = conn.add_role("r")
+        s.attach(p, r)
+        with pytest.raises(AttachmentError):
+            s.attach(p, r)  # duplicate
+        outside = Component("out")
+        po = outside.add_port("p")
+        with pytest.raises(AttachmentError):
+            s.attach(po, r)
+
+    def test_role_single_attachment(self):
+        s = ArchSystem("S")
+        a = s.new_component("a")
+        b = s.new_component("b")
+        pa, pb = a.add_port("p"), b.add_port("p")
+        conn = s.new_connector("k")
+        r = conn.add_role("r")
+        s.attach(pa, r)
+        with pytest.raises(AttachmentError):
+            s.attach(pb, r)
+
+    def test_detach(self):
+        s = client_server_model()
+        c1 = s.component("c1")
+        link1 = s.connector("link1")
+        s.detach(c1.port("req"), link1.role("client"))
+        assert s.attached_port(link1.role("client")) is None
+        with pytest.raises(AttachmentError):
+            s.detach(c1.port("req"), link1.role("client"))
+
+    def test_remove_component_cascades_attachments(self):
+        s = client_server_model()
+        s.remove_component("c1")
+        assert not s.has_component("c1")
+        assert s.attached_port(s.connector("link1").role("client")) is None
+        # grp attachment to link1 still present
+        assert s.attached_port(s.connector("link1").role("group")) is not None
+
+    def test_remove_connector_cascades(self):
+        s = client_server_model()
+        s.remove_connector("link1")
+        assert not s.has_connector("link1")
+        assert len(s.attachments) == 2
+
+
+class TestQueries:
+    def test_connected(self):
+        s = client_server_model()
+        c1, c2, grp = s.component("c1"), s.component("c2"), s.component("grp")
+        assert s.connected(c1, grp)
+        assert s.connected(grp, c2)
+        assert not s.connected(c1, c2)
+        assert not s.connected(c1, c1)
+
+    def test_connectors_of_and_components_on(self):
+        s = client_server_model()
+        grp = s.component("grp")
+        assert [c.name for c in s.connectors_of(grp)] == ["link1", "link2"]
+        link1 = s.connector("link1")
+        assert [c.name for c in s.components_on(link1)] == ["c1", "grp"]
+
+    def test_neighbors(self):
+        s = client_server_model()
+        grp = s.component("grp")
+        assert [c.name for c in s.neighbors(grp)] == ["c1", "c2"]
+
+    def test_attached_role_and_port(self):
+        s = client_server_model()
+        c1 = s.component("c1")
+        link1 = s.connector("link1")
+        assert s.attached_role(c1.port("req")) is link1.role("client")
+        assert s.attached_port(link1.role("client")) is c1.port("req")
+
+    def test_is_attached_order_insensitive(self):
+        s = client_server_model()
+        p = s.component("c1").port("req")
+        r = s.connector("link1").role("client")
+        assert s.is_attached(p, r)
+        assert s.is_attached(r, p)
+
+
+class TestObservation:
+    def test_mutations_carry_working_undo(self):
+        s = ArchSystem("S")
+        undos = []
+        s.on_mutation(lambda desc, undo: undos.append((desc, undo)))
+        c = s.new_component("c")
+        assert "add component c" in undos[-1][0]
+        undos[-1][1]()  # undo the add
+        assert not s.has_component("c")
+
+    def test_property_change_forwarded_with_undo(self):
+        s = ArchSystem("S")
+        c = s.new_component("c")
+        changes = []
+        s.on_property_change(lambda el, n, old, new: changes.append((el.name, n, old, new)))
+        undos = []
+        s.on_mutation(lambda desc, undo: undos.append(undo))
+        c.set_property("load", 3)
+        c.set_property("load", 9)
+        assert ("c", "load", 3, 9) in changes
+        undos[-1]()  # undo the 3 -> 9 change
+        assert c.get_property("load") == 3
+
+    def test_port_property_changes_forwarded(self):
+        s = ArchSystem("S")
+        c = s.new_component("c")
+        p = c.add_port("pp")
+        seen = []
+        s.on_property_change(lambda el, n, old, new: seen.append(el.qualified_name))
+        p.set_property("latency", 1.0)
+        assert seen == ["c.pp"]
+
+    def test_detach_undo_restores(self):
+        s = client_server_model()
+        undos = []
+        s.on_mutation(lambda d, u: undos.append(u))
+        c1 = s.component("c1")
+        link1 = s.connector("link1")
+        s.detach(c1.port("req"), link1.role("client"))
+        undos[-1]()
+        assert s.is_attached(c1.port("req"), link1.role("client"))

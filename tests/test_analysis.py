@@ -1,0 +1,125 @@
+"""Unit tests for the queueing analysis and sizing (paper §5 inputs)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MMcQueue,
+    erlang_c,
+    min_bandwidth_for,
+    predicted_latency,
+    required_servers,
+)
+from repro.errors import AnalysisError
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # M/M/1: P(wait) = rho
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_known_value_two_servers(self):
+        # a=1.5, c=2: classic textbook value ~0.6429
+        assert erlang_c(2, 1.5) == pytest.approx(0.642857, rel=1e-5)
+
+    def test_saturated_always_waits(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+
+    def test_zero_load(self):
+        assert erlang_c(3, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(3, a) for a in (0.5, 1.0, 1.5, 2.0, 2.5)]
+        assert values == sorted(values)
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(4, 2.0) < erlang_c(3, 2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            erlang_c(0, 1.0)
+        with pytest.raises(AnalysisError):
+            erlang_c(2, -1.0)
+
+
+class TestMMcQueue:
+    def test_mm1_closed_forms(self):
+        # M/M/1 with lam=2, mu=4: rho=0.5, Wq = rho/(mu-lam) = 0.25
+        q = MMcQueue(2.0, 4.0, 1)
+        assert q.utilization == pytest.approx(0.5)
+        assert q.mean_wait == pytest.approx(0.25)
+        assert q.mean_response == pytest.approx(0.5)
+        assert q.mean_queue_length == pytest.approx(0.5)
+
+    def test_stability(self):
+        assert MMcQueue(6.0, 4.0, 2).stable
+        assert not MMcQueue(9.0, 4.0, 2).stable
+        with pytest.raises(AnalysisError):
+            _ = MMcQueue(9.0, 4.0, 2).mean_wait
+
+    def test_wait_tail_decays(self):
+        q = MMcQueue(6.0, 4.0, 3)
+        assert q.wait_exceeds(0.0) == pytest.approx(q.wait_probability)
+        assert q.wait_exceeds(1.0) < q.wait_probability
+        assert q.wait_exceeds(10.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_queue_growth_rate(self):
+        assert MMcQueue(9.0, 4.0, 2).queue_growth_rate() == pytest.approx(1.0)
+        assert MMcQueue(6.0, 4.0, 2).queue_growth_rate() == 0.0
+
+    def test_paper_experiment_group(self):
+        # The experiment's SG1: 6 req/s, 0.25 s service, 3 servers.
+        q = MMcQueue(6.0, 4.0, 3)
+        assert q.utilization == pytest.approx(0.5)
+        assert q.mean_queue_length < 6.0  # healthy below the paper's limit
+
+    def test_stress_phase_is_unstable(self):
+        # Stress: 18 req/s over 3 servers at 4/s -> queue must grow.
+        q = MMcQueue(18.0, 4.0, 3)
+        assert not q.stable
+        assert q.queue_growth_rate() == pytest.approx(6.0)
+
+
+class TestSizing:
+    def test_paper_initial_sizing_is_three_servers(self):
+        """Reproduces: 3 replicated servers suffice for six clients."""
+        result = required_servers(
+            arrival_rate=6.0, service_time=0.25, max_latency=2.0,
+            response_bytes=20e3, bandwidth_bps=10e6,
+        )
+        assert result.servers == 3
+        assert result.predicted_latency < 2.0
+        assert 0 < result.utilization < 1
+
+    def test_more_load_needs_more_servers(self):
+        r6 = required_servers(6.0, 0.25, 2.0)
+        r18 = required_servers(18.0, 0.25, 2.0)
+        assert r18.servers > r6.servers
+
+    def test_tight_latency_needs_more_servers(self):
+        loose = required_servers(6.0, 0.25, 2.0)
+        tight = required_servers(6.0, 0.25, 0.32)
+        assert tight.servers >= loose.servers
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(AnalysisError):
+            required_servers(6.0, 0.25, 0.2)  # below the service time
+
+    def test_headroom_validation(self):
+        with pytest.raises(AnalysisError):
+            required_servers(6.0, 0.25, 2.0, headroom=0.5)
+
+    def test_predicted_latency_components(self):
+        # Plenty of servers: latency ~ service + transfer.
+        latency = predicted_latency(1.0, 0.25, 10, 20e3, 10e6)
+        assert latency == pytest.approx(0.25 + 0.016, abs=0.01)
+
+    def test_min_bandwidth_for(self):
+        # 20 KB in a 2 s budget with 0.57 s used upstream: ~112 Kbps.
+        bw = min_bandwidth_for(20e3, 2.0, queue_and_service=0.57)
+        assert bw == pytest.approx(160e3 / 1.43, rel=1e-3)
+        with pytest.raises(AnalysisError):
+            min_bandwidth_for(20e3, 2.0, queue_and_service=2.5)

@@ -1,0 +1,176 @@
+"""Unit tests for the environment manager (Table 1 operators)."""
+
+import pytest
+
+from repro.app import Client, EnvironmentManager, GridApplication, Server
+from repro.errors import EnvironmentError_
+from repro.net import FlowNetwork, RemosService, Topology
+from repro.sim import Simulator
+from repro.util.rng import SeedSequenceFactory
+from repro.util.windows import StepFunction
+
+
+def build():
+    """Two client machines on r1, two server machines + spare on r2."""
+    topo = Topology()
+    for h in ("mc1", "mc2", "ms1", "ms2", "mspare", "mrq"):
+        topo.add_host(h)
+    topo.add_router("r1")
+    topo.add_router("r2")
+    topo.add_link("mc1", "r1", 10e6)
+    topo.add_link("mc2", "r1", 10e6)
+    topo.add_link("ms1", "r2", 10e6)
+    topo.add_link("ms2", "r2", 10e6)
+    topo.add_link("mspare", "r2", 10e6)
+    topo.add_link("mrq", "r2", 10e6)
+    topo.add_link("r1", "r2", 10e6)
+    sim = Simulator()
+    net = FlowNetwork(sim, topo)
+    app = GridApplication(sim, net, rq_machine="mrq")
+    remos = RemosService(sim, net, cold_delay=5.0, warm_delay=0.1)
+    env = EnvironmentManager(app, remos)
+
+    for name, machine in (("C1", "mc1"), ("C2", "mc2")):
+        app.add_client(
+            Client(sim, name, machine, StepFunction([(0.0, 0.0)]),
+                   lambda t, rng: 20e3, SeedSequenceFactory(0).rng(name))
+        )
+    for name, machine in (("S1", "ms1"), ("S2", "ms2"), ("S3", "mspare")):
+        app.add_server(Server(sim, name, machine, net))
+    return sim, net, app, env
+
+
+class TestQueueAndGroups:
+    def test_create_req_queue(self):
+        sim, net, app, env = build()
+        group = env.create_req_queue("SG1")
+        assert group.name == "SG1"
+        assert app.rq.groups == ["SG1"]
+        assert app.trace.select("runtime.op.createReqQueue")
+
+    def test_duplicate_group_rejected(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        with pytest.raises(EnvironmentError_):
+            env.create_req_queue("SG1")
+
+
+class TestServerOps:
+    def test_connect_activate_deactivate_cycle(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        env.connect_server("S1", "SG1")
+        env.activate_server("S1")
+        g = app.group("SG1")
+        assert g.replication == 1
+        env.deactivate_server("S1")
+        assert g.replication == 0
+        assert app.server("S1") in app.spare_servers
+
+    def test_activate_without_group_rejected(self):
+        sim, net, app, env = build()
+        with pytest.raises(EnvironmentError_):
+            env.activate_server("S1")
+
+    def test_connect_to_second_group_rejected(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        env.create_req_queue("SG2")
+        env.connect_server("S1", "SG1")
+        with pytest.raises(EnvironmentError_):
+            env.connect_server("S1", "SG2")
+
+    def test_deactivate_keep_membership(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        env.connect_server("S1", "SG1")
+        env.activate_server("S1")
+        env.deactivate_server("S1", detach=False)
+        assert "S1" in app.group("SG1")
+        assert app.group("SG1").replication == 0
+
+
+class TestFindServer:
+    def test_all_spares_eligible_initially(self):
+        sim, net, app, env = build()
+        found = env.find_server("C1", bw_thresh=10e3)
+        assert found == "S1"  # all equal bandwidth; name tiebreak
+
+    def test_prefers_higher_bandwidth(self):
+        sim, net, app, env = build()
+        # Starve ms1's access link: S1's bandwidth to C1 collapses.
+        net.set_cross_traffic("x", "ms1", "r2", 9.99e6)
+        found = env.find_server("C1", bw_thresh=10e3)
+        assert found == "S2"
+
+    def test_threshold_filters(self):
+        sim, net, app, env = build()
+        net.set_cross_traffic("x", "r1", "r2", 9.992e6)  # all paths ~8 Kbps
+        assert env.find_server("C1", bw_thresh=10e3) is None
+
+    def test_active_servers_not_spare(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        for s in ("S1", "S2", "S3"):
+            env.connect_server(s, "SG1")
+            env.activate_server(s)
+        assert env.find_server("C1", bw_thresh=0.0) is None
+
+    def test_recruit_server_composite(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        name = env.recruit_server("C1", "SG1", bw_thresh=10e3)
+        assert name == "S1"
+        assert app.group("SG1").replication == 1
+        with pytest.raises(EnvironmentError_):
+            # exhaust remaining spares then fail
+            env.recruit_server("C1", "SG1", bw_thresh=10e3)
+            env.recruit_server("C1", "SG1", bw_thresh=10e3)
+            env.recruit_server("C1", "SG1", bw_thresh=10e3)
+
+
+class TestMoveClientAndRemos:
+    def test_move_client(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        env.create_req_queue("SG2")
+        app.rq.assign("C1", "SG1")
+        old = env.move_client("C1", "SG2")
+        assert old == "SG1"
+        assert app.rq.assignment_of("C1") == "SG2"
+
+    def test_remos_get_flow_between_entities(self):
+        sim, net, app, env = build()
+        got = []
+        env.remos_get_flow("C1", "S1").add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == [pytest.approx(10e6)]
+
+    def test_unknown_entity_rejected(self):
+        sim, net, app, env = build()
+        with pytest.raises(EnvironmentError_):
+            env.remos_get_flow("C1", "S99")
+
+    def test_trace_and_op_count(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        env.find_server("C1", 0.0)
+        assert env.op_count == 2
+
+
+class TestBandwidthBetween:
+    def test_min_over_active_members(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        env.connect_server("S1", "SG1")
+        env.connect_server("S2", "SG1")
+        env.activate_server("S1")
+        env.activate_server("S2")
+        net.set_cross_traffic("x", "ms1", "r2", 9.9e6)  # S1 path 100 Kbps
+        bw = app.bandwidth_between("C1", "SG1")
+        assert bw == pytest.approx(100e3, rel=0.01)
+
+    def test_empty_group_is_zero(self):
+        sim, net, app, env = build()
+        env.create_req_queue("SG1")
+        assert app.bandwidth_between("C1", "SG1") == 0.0

@@ -1,0 +1,231 @@
+"""Unit tests for servers: FIFO service, per-destination sends, deactivation."""
+
+import pytest
+
+from repro.app import Client, GridApplication, Server
+from repro.app.messages import Request
+from repro.errors import EnvironmentError_
+from repro.net import FlowNetwork, Topology
+from repro.sim import Simulator
+from repro.util.rng import SeedSequenceFactory
+from repro.util.windows import StepFunction
+
+
+def build_app(link_bps=10e6):
+    """mc1, mc2 (clients) and ms1, ms2 (servers) around one router."""
+    topo = Topology()
+    for h in ("mc1", "mc2", "ms1", "ms2", "mrq"):
+        topo.add_host(h)
+    topo.add_router("r")
+    for h in ("mc1", "mc2", "ms1", "ms2", "mrq"):
+        topo.add_link(h, "r", link_bps)
+    sim = Simulator()
+    net = FlowNetwork(sim, topo)
+    app = GridApplication(sim, net, rq_machine="mrq")
+    return sim, net, app
+
+
+def add_client(app, name, machine, rate=0.0):
+    client = Client(
+        app.sim,
+        name,
+        machine=machine,
+        rate=StepFunction([(0.0, rate)]),
+        size_fn=lambda t, rng: 20e3,
+        rng=SeedSequenceFactory(1).rng(name),
+    )
+    return app.add_client(client)
+
+
+def add_server(app, name, machine, base=0.1, per_byte=0.0):
+    return app.add_server(
+        Server(app.sim, name, machine, app.network, service_base=base,
+               service_per_byte=per_byte)
+    )
+
+
+def manual_request(app, client_name, size=20e3, rid="r"):
+    req = Request(rid=rid, client=client_name, response_size=size,
+                  issued_at=app.sim.now)
+    app.clients[client_name].issued += 1
+    app.rq.accept(req)
+    return req
+
+
+class TestServiceStage:
+    def test_serves_fifo_and_delivers(self):
+        sim, net, app = build_app()
+        add_client(app, "C1", "mc1")
+        app.create_group("SG1")
+        app.rq.assign("C1", "SG1")
+        s = add_server(app, "S1", "ms1", base=0.5)
+        s.connect("SG1", app.group("SG1").queue)
+        app.group("SG1").add(s)
+        s.activate()
+        r1 = manual_request(app, "C1", rid="a")
+        r2 = manual_request(app, "C1", rid="b")
+        sim.run(until=10.0)
+        assert r1.completed and r2.completed
+        assert r1.served_by == "S1"
+        # FIFO: first request served first
+        assert r1.dequeued_at < r2.dequeued_at
+        # 20 KB at 5 Mbps fair share... full 10 Mbps: 0.016 s transfer
+        assert r1.latency == pytest.approx(0.5 + 0.016, abs=0.01)
+
+    def test_service_time_scales_with_size(self):
+        sim, net, app = build_app()
+        s = Server(sim, "S", "ms1", net, service_base=0.1, service_per_byte=1e-5)
+        assert s.service_time(20e3) == pytest.approx(0.3)
+
+    def test_two_servers_share_queue(self):
+        sim, net, app = build_app()
+        add_client(app, "C1", "mc1")
+        app.create_group("SG1")
+        app.rq.assign("C1", "SG1")
+        for name, machine in (("S1", "ms1"), ("S2", "ms2")):
+            s = add_server(app, name, machine, base=1.0)
+            s.connect("SG1", app.group("SG1").queue)
+            app.group("SG1").add(s)
+            s.activate()
+        reqs = [manual_request(app, "C1", rid=str(i)) for i in range(4)]
+        sim.run(until=10.0)
+        served_by = {r.served_by for r in reqs}
+        assert served_by == {"S1", "S2"}
+        # Two servers at 1 s each: 4 requests finish within ~2.1 s
+        assert max(r.completed_at for r in reqs) < 2.5
+
+    def test_queue_grows_when_overloaded(self):
+        sim, net, app = build_app()
+        add_client(app, "C1", "mc1", rate=10.0)  # 10/s vs capacity 2/s
+        app.create_group("SG1")
+        app.rq.assign("C1", "SG1")
+        s = add_server(app, "S1", "ms1", base=0.5)
+        s.connect("SG1", app.group("SG1").queue)
+        app.group("SG1").add(s)
+        s.activate()
+        app.start_clients(60.0)
+        sim.run(until=60.0)
+        assert app.group("SG1").load > 100
+
+
+class TestSendStage:
+    def test_per_destination_streams_are_concurrent(self):
+        # Starve mc1's link; responses to mc2 must not wait behind mc1's.
+        sim, net, app = build_app()
+        add_client(app, "C1", "mc1")
+        add_client(app, "C2", "mc2")
+        app.create_group("SG1")
+        app.rq.assign("C1", "SG1")
+        app.rq.assign("C2", "SG1")
+        s = add_server(app, "S1", "ms1", base=0.01)
+        s.connect("SG1", app.group("SG1").queue)
+        app.group("SG1").add(s)
+        s.activate()
+        net.set_cross_traffic("squeeze", "mc1", "r", 9.99e6)  # 10 Kbps left
+        r_slow = manual_request(app, "C1", rid="slow")
+        r_fast = manual_request(app, "C2", rid="fast")
+        sim.run(until=60.0)
+        assert r_fast.completed_at < 1.0
+        assert r_slow.completed_at > 15.0  # 160 kbit / 10 kbps
+
+    def test_same_destination_is_in_order(self):
+        sim, net, app = build_app()
+        add_client(app, "C1", "mc1")
+        app.create_group("SG1")
+        app.rq.assign("C1", "SG1")
+        s = add_server(app, "S1", "ms1", base=0.01)
+        s.connect("SG1", app.group("SG1").queue)
+        app.group("SG1").add(s)
+        s.activate()
+        net.set_cross_traffic("squeeze", "mc1", "r", 9.9e6)  # 100 Kbps left
+        reqs = [manual_request(app, "C1", rid=str(i)) for i in range(3)]
+        sim.run(until=60.0)
+        finishes = [r.completed_at for r in reqs]
+        assert finishes == sorted(finishes)
+        # serialized: ~1.6 s per 20 KB transfer at 100 Kbps
+        assert finishes[2] - finishes[1] == pytest.approx(1.6, rel=0.1)
+
+    def test_send_backlog_accounting(self):
+        sim, net, app = build_app()
+        add_client(app, "C1", "mc1")
+        app.create_group("SG1")
+        app.rq.assign("C1", "SG1")
+        s = add_server(app, "S1", "ms1", base=0.01)
+        s.connect("SG1", app.group("SG1").queue)
+        app.group("SG1").add(s)
+        s.activate()
+        net.set_cross_traffic("squeeze", "mc1", "r", 9.99e6)
+        for i in range(5):
+            manual_request(app, "C1", rid=str(i))
+        sim.run(until=2.0)  # all serviced, transfers crawling
+        assert s.send_backlog("C1") >= 3
+        assert s.send_backlog() == s.send_backlog("C1")
+
+
+class TestDeactivation:
+    def _one_server_app(self, base=0.5):
+        sim, net, app = build_app()
+        add_client(app, "C1", "mc1")
+        app.create_group("SG1")
+        app.rq.assign("C1", "SG1")
+        s = add_server(app, "S1", "ms1", base=base)
+        s.connect("SG1", app.group("SG1").queue)
+        app.group("SG1").add(s)
+        s.activate()
+        return sim, net, app, s
+
+    def test_deactivate_idle_server_stops_pulling(self):
+        sim, net, app, s = self._one_server_app()
+        sim.run(until=1.0)
+        s.deactivate()
+        req = manual_request(app, "C1")
+        sim.run(until=10.0)
+        assert not req.completed
+        assert app.group("SG1").load == 1
+
+    def test_deactivate_mid_service_finishes_current(self):
+        sim, net, app, s = self._one_server_app(base=2.0)
+        r1 = manual_request(app, "C1", rid="current")
+        r2 = manual_request(app, "C1", rid="next")
+        sim.run(until=1.0)  # S1 is now computing r1
+        s.deactivate()
+        sim.run(until=30.0)
+        assert r1.completed  # graceful: current request completes
+        assert not r2.completed  # but nothing new is pulled
+        assert not s.active
+
+    def test_deactivate_idempotent(self):
+        sim, net, app, s = self._one_server_app()
+        sim.run(until=0.5)
+        s.deactivate()
+        s.deactivate()
+        assert not s.active
+
+    def test_reactivation_resumes_service(self):
+        sim, net, app, s = self._one_server_app()
+        sim.run(until=0.5)
+        s.deactivate()
+        req = manual_request(app, "C1")
+        sim.run(until=5.0)
+        assert not req.completed
+        s.activate()
+        sim.run(until=10.0)
+        assert req.completed
+
+    def test_double_activate_rejected(self):
+        sim, net, app, s = self._one_server_app()
+        with pytest.raises(EnvironmentError_):
+            s.activate()
+
+    def test_connect_while_active_rejected(self):
+        sim, net, app, s = self._one_server_app()
+        app.create_group("SG2")
+        with pytest.raises(EnvironmentError_):
+            s.connect("SG2", app.group("SG2").queue)
+
+    def test_utilization_accounting(self):
+        sim, net, app, s = self._one_server_app(base=1.0)
+        manual_request(app, "C1")
+        sim.run(until=10.0)
+        # 1 s busy over 10 s active
+        assert s.utilization() == pytest.approx(0.1, abs=0.02)

@@ -1,0 +1,100 @@
+"""Runner wiring tests: configuration knobs reach the right components."""
+
+import pytest
+
+from repro.experiment import ScenarioConfig
+from repro.experiment.runner import Experiment, clear_cache, run_scenario
+
+
+class TestScenarioConfig:
+    def test_named_variants(self):
+        assert ScenarioConfig.control().adaptation is False
+        assert ScenarioConfig.adapted().adaptation is True
+
+    def test_but_returns_modified_copy(self):
+        base = ScenarioConfig.adapted()
+        other = base.but(settle_time=60.0)
+        assert other.settle_time == 60.0
+        assert base.settle_time == 20.0
+
+    def test_cache_key_distinguishes_configs(self):
+        a = ScenarioConfig.adapted()
+        b = ScenarioConfig.adapted().but(gauge_caching=True)
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() == ScenarioConfig.adapted().cache_key()
+
+
+class TestExperimentWiring:
+    def test_control_has_no_model_layer(self):
+        exp = Experiment(ScenarioConfig.control().but(horizon=10.0))
+        assert exp.manager is None
+        assert exp.model is None
+        assert exp.probe_bus is None
+
+    def test_adapted_has_full_stack(self):
+        exp = Experiment(ScenarioConfig.adapted().but(horizon=10.0))
+        assert exp.manager is not None
+        assert exp.model.has_component("SG1")
+        assert sorted(exp.manager.strategies) == [
+            "fixLatency", "fixUnderutilization",
+        ]
+        assert [i.name for i in exp.manager.checker.invariants] == ["r", "u"]
+
+    def test_underutilization_repair_optional(self):
+        exp = Experiment(ScenarioConfig.adapted().but(
+            horizon=10.0, underutilization_repair=False))
+        assert exp.manager.strategies == ["fixLatency"]
+        assert [i.name for i in exp.manager.checker.invariants] == ["r"]
+
+    def test_violation_policy_reaches_engine(self):
+        exp = Experiment(ScenarioConfig.adapted().but(
+            horizon=10.0, violation_policy="worst"))
+        assert exp.manager.violation_policy == "worst"
+
+    def test_gauge_caching_reaches_costs_and_manager(self):
+        exp = Experiment(ScenarioConfig.adapted().but(
+            horizon=10.0, gauge_caching=True))
+        assert exp.gauge_manager.cached is True
+        assert exp.manager.translator.costs.cached_gauges is True
+
+    def test_thresholds_reach_checker_bindings(self):
+        exp = Experiment(ScenarioConfig.adapted().but(
+            horizon=10.0, max_latency=3.0, min_bandwidth=50e3))
+        b = exp.manager.checker.bindings
+        assert b["maxLatency"] == 3.0
+        assert b["minBandwidth"] == 50e3
+        assert b["minServers"] == 3
+
+    def test_initial_model_mirrors_testbed(self):
+        exp = Experiment(ScenarioConfig.adapted().but(horizon=10.0))
+        model = exp.model
+        assert model.component("SG1").get_property("replication") == 3
+        assert model.component("SG2").get_property("replication") == 2
+        assert len(model.components_of_type("ClientT")) == 6
+
+    def test_prewarm_toggle(self):
+        warm = Experiment(ScenarioConfig.adapted().but(horizon=10.0))
+        cold = Experiment(ScenarioConfig.adapted().but(
+            horizon=10.0, remos_prewarm=False))
+        assert warm.remos.is_warm("M_C3", "M_S1")
+        assert not cold.remos.is_warm("M_C3", "M_S1")
+
+
+class TestRunCache:
+    def test_cache_returns_same_object(self):
+        cfg = ScenarioConfig.control().but(horizon=50.0)
+        r1 = run_scenario(cfg)
+        r2 = run_scenario(cfg)
+        assert r1 is r2
+
+    def test_fresh_bypasses_cache(self):
+        cfg = ScenarioConfig.control().but(horizon=50.0)
+        r1 = run_scenario(cfg)
+        r2 = run_scenario(cfg, fresh=True)
+        assert r1 is not r2
+
+    def test_clear_cache(self):
+        cfg = ScenarioConfig.control().but(horizon=50.0)
+        r1 = run_scenario(cfg)
+        clear_cache()
+        assert run_scenario(cfg) is not r1

@@ -1,0 +1,124 @@
+"""Unit tests for the Figure 6 testbed and Figure 7 workload."""
+
+import numpy as np
+import pytest
+
+from repro.experiment.testbed import build_testbed
+from repro.experiment.workload import LIGHT, MODERATE, STARVE, build_workload
+from repro.net.routing import RoutingTable
+
+
+class TestTestbed:
+    def setup_method(self):
+        self.tb = build_testbed()
+        self.routes = RoutingTable(self.tb.topology)
+
+    def test_five_routers_eleven_app_machines(self):
+        routers = [n.name for n in self.tb.topology.routers]
+        assert len(routers) == 5
+        app_machines = {m for e, m in self.tb.machine_of.items()}
+        assert len(app_machines) == 11  # the paper's eleven machines
+
+    def test_shared_machines_match_paper(self):
+        m = self.tb.machine_of
+        assert m["C1"] == m["C2"]          # clients 1 and 2 share a machine
+        assert m["S5"] == m["RQ"]          # request queue shares with S5
+        assert m["C5"] == m["C6"]
+
+    def test_initial_configuration(self):
+        assert self.tb.initial_groups == {
+            "SG1": ["S1", "S2", "S3"], "SG2": ["S5", "S6"],
+        }
+        assert self.tb.spare_servers == ["S4", "S7"]
+        assert set(self.tb.initial_assignments.values()) == {"SG1"}
+
+    def test_topology_validates(self):
+        self.tb.topology.validate()
+
+    def _links(self, a, b):
+        return {l.key for l in self.routes.links_on_path(a, b)}
+
+    def test_c3_to_sg1_crosses_competition_link_a(self):
+        assert ("R2", "R3") in self._links("M_S1", "M_C3")
+        assert ("R2", "R3") in self._links("M_S2", "M_C4")
+
+    def test_c3_to_sg2_crosses_competition_link_b(self):
+        assert ("R2", "R4") in self._links("M_S5RQ", "M_C3")
+        assert ("R2", "R4") in self._links("M_S6", "M_C4")
+
+    def test_c1_to_sg1_avoids_both_competition_links(self):
+        links = self._links("M_S1", "M_C12")
+        assert ("R2", "R3") not in links
+        assert ("R2", "R4") not in links
+
+    def test_c5_to_sg1_avoids_competition(self):
+        links = self._links("M_S1", "M_C56")
+        assert ("R2", "R3") not in links
+
+    def test_spare_s4_reaches_c3_cleanly(self):
+        links = self._links("M_S4", "M_C3")
+        assert ("R2", "R3") not in links and ("R2", "R4") not in links
+
+    def test_spare_s7_reaches_c3_cleanly(self):
+        links = self._links("M_S7", "M_C3")
+        assert ("R2", "R3") not in links and ("R2", "R4") not in links
+
+    def test_competition_flows_hit_only_their_target_links(self):
+        a = self._links(*self.tb.competition_a)
+        b = self._links(*self.tb.competition_b)
+        assert ("R2", "R3") in a and ("R2", "R4") not in a
+        assert ("R2", "R4") in b and ("R2", "R3") not in b
+        # independent sources: no shared access link
+        assert not (a & b)
+
+
+class TestWorkload:
+    def setup_method(self):
+        self.wl = build_workload()
+
+    def test_phases(self):
+        assert self.wl.phase_of(60) == "quiescent"
+        assert self.wl.phase_of(300) == "bandwidth-competition"
+        assert self.wl.phase_of(700) == "stress"
+        assert self.wl.phase_of(1500) == "recovery"
+
+    def test_request_rate_schedule(self):
+        assert self.wl.request_rate(100) == 1.0
+        assert self.wl.request_rate(700) == 3.0  # the paper's ">2/sec"
+        assert self.wl.request_rate(1300) == 1.0
+
+    def test_competition_phase_a(self):
+        # [120, 600): SG1 path starved, SG2 path moderate
+        assert self.wl.competition_a(300) == STARVE
+        assert self.wl.competition_b(300) == MODERATE
+        # residual below/above the 10 Kbps threshold respectively
+        assert 10e6 - STARVE < 10e3
+        assert 10e6 - MODERATE > 10e3
+
+    def test_competition_alternates_during_stress(self):
+        assert self.wl.competition_b(700) == STARVE   # [600, 900)
+        assert self.wl.competition_a(950) == STARVE   # [900, 1050)
+        assert self.wl.competition_b(1100) == STARVE  # [1050, 1200)
+
+    def test_final_phase_boosts_sg2(self):
+        assert self.wl.competition_b(1500) == LIGHT
+        assert self.wl.competition_a(1500) == MODERATE
+
+    def test_size_fn_stress_fixed_20kb(self):
+        rng = np.random.default_rng(0)
+        size = self.wl.size_fn()
+        assert size(700.0, rng) == 20e3
+        assert size(900.0, rng) == 20e3
+
+    def test_size_fn_baseline_mean_near_20kb(self):
+        rng = np.random.default_rng(0)
+        size = self.wl.size_fn()
+        samples = [size(50.0, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(20e3, rel=0.1)
+        assert min(samples) >= 1e3 and max(samples) <= 100e3
+
+    def test_describe_covers_all_breakpoints(self):
+        rows = self.wl.describe()
+        times = [r["time_s"] for r in rows]
+        assert times == sorted(times)
+        assert {0.0, 120.0, 600.0, 900.0, 1050.0, 1200.0} <= set(times)

@@ -1,0 +1,170 @@
+"""Failure injection: abrupt server crashes and unrepairable situations.
+
+The paper motivates adaptation with "system faults (servers and networks
+going down, failure of external components)"; these tests inject such
+faults into the runtime and check both the application's behaviour and
+the framework's escalation path (§7's human alert).
+"""
+
+import pytest
+
+from repro.app import Client, GridApplication, Server
+from repro.net import FlowNetwork, Topology
+from repro.sim import Simulator
+from repro.util.rng import SeedSequenceFactory
+from repro.util.windows import StepFunction
+
+
+def build_app(n_servers=2, rate=2.0, link_bps=10e6):
+    topo = Topology()
+    hosts = ["mc", "mrq"] + [f"ms{i}" for i in range(n_servers)]
+    for h in hosts:
+        topo.add_host(h)
+    topo.add_router("r")
+    for h in hosts:
+        topo.add_link(h, "r", link_bps)
+    sim = Simulator()
+    net = FlowNetwork(sim, topo)
+    app = GridApplication(sim, net, rq_machine="mrq")
+    app.add_client(Client(
+        sim, "C1", "mc", StepFunction([(0.0, rate)]),
+        lambda t, rng: 20e3, SeedSequenceFactory(11).rng("C1"),
+    ))
+    group = app.create_group("SG1")
+    app.rq.assign("C1", "SG1")
+    for i in range(n_servers):
+        server = app.add_server(Server(sim, f"S{i}", f"ms{i}", net,
+                                       service_base=0.2))
+        server.connect("SG1", group.queue)
+        group.add(server)
+        server.activate()
+    return sim, net, app
+
+
+class TestServerCrash:
+    def test_crash_loses_in_service_request(self):
+        sim, net, app = build_app(n_servers=1, rate=0.0)
+        from repro.app.messages import Request
+
+        req = Request(rid="r1", client="C1", response_size=20e3,
+                      issued_at=0.0)
+        app.rq.accept(req)
+        sim.run(until=0.1)  # S0 pulled it and is computing
+        assert req.dequeued_at is not None
+        app.server("S0").crash()
+        sim.run(until=30.0)
+        assert not req.completed  # work lost
+
+    def test_crash_drops_send_backlog(self):
+        sim, net, app = build_app(n_servers=1, rate=0.0)
+        net.set_cross_traffic("squeeze", "mc", "r", 9.99e6)
+        from repro.app.messages import Request
+
+        for i in range(4):
+            app.rq.accept(Request(rid=f"r{i}", client="C1",
+                                  response_size=20e3, issued_at=0.0))
+        sim.run(until=5.0)  # serviced into the crawling send stage
+        server = app.server("S0")
+        assert server.send_backlog("C1") >= 2
+        server.crash()
+        assert server.send_backlog() == 0
+        assert server.dropped >= 3  # backlog + cancelled in-flight
+
+    def test_group_survives_partial_crash(self):
+        sim, net, app = build_app(n_servers=2, rate=2.0)
+        app.start_clients(60.0)
+        sim.schedule(20.0, app.server("S0").crash)
+        sim.run(until=60.0)
+        client = app.client("C1")
+        # The surviving server keeps the group going (capacity 1/0.35 ≈ 2.9/s).
+        late = [lat for t, lat in client.completions if t > 25.0]
+        assert late, "no completions after the crash"
+        assert client.average_latency() < 2.0
+
+    def test_crashed_server_is_not_active(self):
+        sim, net, app = build_app()
+        server = app.server("S0")
+        sim.run(until=1.0)
+        server.crash()
+        assert not server.active
+        server.crash()  # idempotent
+        assert not server.active
+
+    def test_restart_after_crash(self):
+        sim, net, app = build_app(n_servers=1, rate=1.0)
+        app.start_clients(40.0)
+        server = app.server("S0")
+        sim.schedule(5.0, server.crash)
+        sim.run(until=10.0)
+        received_before = app.client("C1").received
+        server.activate()  # still connected to the group queue
+        sim.run(until=40.0)
+        assert app.client("C1").received > received_before
+
+    def test_crash_stops_queue_drain(self):
+        sim, net, app = build_app(n_servers=1, rate=2.0)
+        app.start_clients(60.0)
+        sim.schedule(10.0, app.server("S0").crash)
+        sim.run(until=60.0)
+        # With no server, the queue grows at the arrival rate.
+        assert app.group("SG1").load > 50
+
+
+class TestUnrepairableScenario:
+    def test_human_alert_when_no_repair_helps(self):
+        """Full loop: violations persist, every strategy attempt aborts
+        (no spares, no better group), and the engine escalates (§7)."""
+        from repro.constraints import ConstraintChecker
+        from repro.repair import ArchitectureManager
+        from repro.repair.context import RuntimeView
+        from repro.repair.dsl import parse_repair_dsl
+        from repro.repair.dsl.interp import build_strategies
+        from repro.styles import (
+            FIGURE5_DSL,
+            build_client_server_model,
+            style_operators,
+        )
+
+        class HopelessRuntime(RuntimeView):
+            def find_server(self, client_name, bw_thresh):
+                return None  # no spares
+
+            def bandwidth_between(self, client_name, group_name):
+                return 1e3  # every group starved
+
+        model = build_client_server_model(
+            "Doomed", assignments={"C1": "SG1"},
+            groups={"SG1": ["S1"], "SG2": ["S5"]},
+        )
+        role = model.connector("link_C1").role("client")
+        role.set_property("averageLatency", 30.0)
+        role.set_property("bandwidth", 1e3)
+
+        checker = ConstraintChecker(bindings={
+            "maxLatency": 2.0, "maxServerLoad": 6.0, "minBandwidth": 10e3,
+        })
+        doc = parse_repair_dsl(FIGURE5_DSL)
+        inv = doc.invariants[0]
+        checker.add_source(inv.name, inv.expression,
+                           scope_type="ClientRoleT", repair=inv.strategy)
+
+        sim = Simulator()
+        mgr = ArchitectureManager(
+            sim, model, checker, runtime=HopelessRuntime(),
+            operators=style_operators(lambda: sim.now),
+            settle_time=0.0, failed_repair_cost=0.0, alert_after_aborts=3,
+        )
+        for s in build_strategies(doc).values():
+            mgr.register_strategy(s)
+
+        for _ in range(3):
+            record = mgr.evaluate()
+            sim.run()
+            assert record is not None and not record.committed
+            assert record.abort_reason == "NoServerGroupFound"
+
+        assert mgr.human_alerts == 1
+        alerts = mgr.trace.select("repair.human_alert")
+        assert alerts and alerts[0].data["scope"] == "link_C1.client"
+        # The model was never corrupted by the failed attempts.
+        assert model.component("SG1").get_property("replication") == 1

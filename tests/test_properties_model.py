@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis): model transactions and Acme round-trips.
+
+* abort-restores-everything: after arbitrary random edit sequences inside a
+  transaction, abort returns the model to a state indistinguishable from
+  the original snapshot;
+* parse/unparse round-trip: generated systems survive text serialization.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acme import ArchSystem, parse_acme, unparse_system
+from repro.repair import ModelTransaction
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+def snapshot(system: ArchSystem):
+    """A comparable deep description of the system's observable state."""
+    comps = {}
+    for c in system.components:
+        comps[c.name] = (
+            tuple(sorted(c.types)),
+            tuple(sorted(p.name for p in c.ports)),
+            tuple((p.name, p.value) for p in c.properties()),
+        )
+    conns = {}
+    for k in system.connectors:
+        conns[k.name] = (
+            tuple(sorted(k.types)),
+            tuple(sorted(r.name for r in k.roles)),
+            tuple((p.name, p.value) for p in k.properties()),
+        )
+    atts = tuple(a.key for a in system.attachments)
+    return comps, conns, atts
+
+
+@st.composite
+def base_systems(draw):
+    system = ArchSystem("S")
+    n_comp = draw(st.integers(min_value=1, max_value=4))
+    for i in range(n_comp):
+        comp = system.new_component(f"c{i}", ["NodeT"])
+        comp.add_port("p")
+        comp.declare_property("load", float(draw(
+            st.integers(min_value=0, max_value=50))), "float")
+    n_conn = draw(st.integers(min_value=0, max_value=3))
+    for i in range(n_conn):
+        conn = system.new_connector(f"k{i}", ["EdgeT"])
+        conn.add_role("r0")
+        src = draw(st.integers(min_value=0, max_value=n_comp - 1))
+        system.attach(system.component(f"c{src}").port("p"), conn.role("r0"))
+    return system
+
+
+@st.composite
+def edit_scripts(draw):
+    """A list of abstract edit operations applied inside the transaction."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=10))):
+        kind = draw(st.sampled_from(
+            ["set_prop", "add_comp", "remove_comp", "detach", "add_conn"]
+        ))
+        ops.append((kind, draw(st.integers(min_value=0, max_value=10))))
+    return ops
+
+
+def apply_edits(system: ArchSystem, ops) -> None:
+    for kind, arg in ops:
+        comps = system.components
+        conns = system.connectors
+        if kind == "set_prop" and comps:
+            comp = comps[arg % len(comps)]
+            if comp.has_property("load"):
+                comp.set_property("load", float(arg * 7))
+        elif kind == "add_comp":
+            name = f"new{arg}"
+            if not system.has_component(name) and not system.has_connector(name):
+                system.new_component(name, ["NodeT"])
+        elif kind == "remove_comp" and comps:
+            system.remove_component(comps[arg % len(comps)].name)
+        elif kind == "detach" and system.attachments:
+            att = system.attachments[arg % len(system.attachments)]
+            system.detach(att.port, att.role)
+        elif kind == "add_conn":
+            name = f"nk{arg}"
+            if not system.has_connector(name) and not system.has_component(name):
+                conn = system.new_connector(name, ["EdgeT"])
+                conn.add_role("r0")
+
+
+@settings(max_examples=80, deadline=None)
+@given(base_systems(), edit_scripts())
+def test_abort_restores_snapshot(system, ops):
+    before = snapshot(system)
+    txn = ModelTransaction(system).begin()
+    apply_edits(system, ops)
+    txn.abort()
+    assert snapshot(system) == before
+
+
+@settings(max_examples=80, deadline=None)
+@given(base_systems(), edit_scripts(), edit_scripts())
+def test_savepoint_rollback_keeps_prefix(system, prefix_ops, suffix_ops):
+    txn = ModelTransaction(system).begin()
+    apply_edits(system, prefix_ops)
+    mid = snapshot(system)
+    mark = txn.mark()
+    apply_edits(system, suffix_ops)
+    txn.rollback_to(mark)
+    assert snapshot(system) == mid
+    txn.commit()
+    assert snapshot(system) == mid
+
+
+@settings(max_examples=60, deadline=None)
+@given(base_systems())
+def test_unparse_parse_round_trip(system):
+    text = unparse_system(system)
+    reparsed = parse_acme(text).system("S")
+    assert snapshot(reparsed) == snapshot(system)
+
+
+@settings(max_examples=60, deadline=None)
+@given(base_systems(), edit_scripts())
+def test_committed_edits_round_trip(system, ops):
+    txn = ModelTransaction(system).begin()
+    apply_edits(system, ops)
+    txn.commit()
+    text = unparse_system(system)
+    reparsed = parse_acme(text).system("S")
+    assert snapshot(reparsed) == snapshot(system)

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis): kernel ordering, stores, windows."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Process, Simulator, Store
+from repro.util.windows import SlidingWindow, StepFunction
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                max_size=40))
+def test_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1,
+                max_size=30))
+def test_same_delay_fifo(delays):
+    """Ties break in scheduling order, so equal delays preserve sequence."""
+    sim = Simulator()
+    fired = []
+    for i, d in enumerate(delays):
+        sim.schedule(round(d, 1), lambda i=i: fired.append(i))
+    sim.run()
+    keyed = sorted(range(len(delays)), key=lambda i: (round(delays[i], 1), i))
+    assert fired == keyed
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=999), min_size=1,
+                max_size=50))
+def test_store_is_fifo_under_any_put_pattern(items):
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        while len(got) < len(items):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        for item in items:
+            store.put(item)
+            yield sim.timeout(0.5)
+
+    Process(sim, consumer())
+    Process(sim, producer())
+    sim.run()
+    assert got == items
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=-50.0, max_value=50.0),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.floats(min_value=0.5, max_value=20.0),
+)
+def test_sliding_window_mean_matches_naive(samples, horizon):
+    samples = sorted(samples, key=lambda p: p[0])
+    w = SlidingWindow(horizon)
+    for t, v in samples:
+        w.add(t, v)
+    now = samples[-1][0]
+    live = [v for t, v in samples if t >= now - horizon]
+    expected = sum(live) / len(live) if live else None
+    got = w.mean(now)
+    if expected is None:
+        assert got is None
+    else:
+        assert got == pytest.approx(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1000.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=20,
+        unique_by=lambda p: round(p[0], 3),
+    ),
+    st.floats(min_value=-10.0, max_value=1100.0),
+)
+def test_step_function_matches_naive_lookup(points, query):
+    f = StepFunction(points, default=-1.0)
+    candidates = [(t, v) for t, v in points if t <= query]
+    expected = max(candidates)[1] if candidates else -1.0
+    # max on (t, v) pairs picks the latest breakpoint; ties impossible
+    expected = sorted(candidates)[-1][1] if candidates else -1.0
+    assert f(query) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=20))
+def test_process_chain_sums_delays(n):
+    """n processes each waiting 1 s in sequence finish at exactly n."""
+    sim = Simulator()
+    finished = []
+
+    def worker(prev):
+        if prev is not None:
+            yield prev
+        yield sim.timeout(1.0)
+        finished.append(sim.now)
+
+    prev = None
+    for _ in range(n):
+        prev = Process(sim, worker(prev))
+    sim.run()
+    assert finished == [float(i) for i in range(1, n + 1)]

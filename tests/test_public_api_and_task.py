@@ -1,0 +1,78 @@
+"""Public API surface and task-layer tests."""
+
+import pytest
+
+import repro
+from repro.constraints import ConstraintChecker
+from repro.task import PerformanceProfile, TaskManager
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_types_importable_from_root(self):
+        assert repro.Simulator is not None
+        assert repro.ArchitectureManager is not None
+        assert callable(repro.run_scenario)
+        assert "strategy fixLatency" in repro.FIGURE5_DSL
+
+    def test_exception_hierarchy_rooted(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError) or exc is errors.ReproError
+
+
+class TestPerformanceProfile:
+    def test_paper_defaults(self):
+        p = PerformanceProfile()
+        assert p.max_latency == 2.0
+        assert p.max_server_load == 6.0
+        assert p.min_bandwidth == 10e3
+
+    def test_bindings_names_match_figure5(self):
+        b = PerformanceProfile().bindings()
+        assert set(b) == {"maxLatency", "maxServerLoad", "minBandwidth"}
+
+    def test_extras_flow_into_bindings(self):
+        p = PerformanceProfile(extras={"minServers": 3})
+        assert p.bindings()["minServers"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceProfile(max_latency=0.0)
+        with pytest.raises(ValueError):
+            PerformanceProfile(max_server_load=-1.0)
+        with pytest.raises(ValueError):
+            PerformanceProfile(min_bandwidth=-5.0)
+
+
+class TestTaskManager:
+    def test_configure_publishes_bindings(self):
+        checker = ConstraintChecker()
+        TaskManager(PerformanceProfile(max_latency=3.5)).configure(checker)
+        assert checker.bindings["maxLatency"] == 3.5
+
+    def test_install_invariants(self):
+        checker = ConstraintChecker(bindings={"maxLatency": 2.0})
+        tm = TaskManager()
+        tm.install_invariants(checker, [
+            ("r", "averageLatency <= maxLatency", "ClientRoleT", "fixLatency"),
+            ("sane", "true", None, None),
+        ])
+        assert len(checker.invariants) == 2
+        assert checker.invariant("r").repair == "fixLatency"
+
+    def test_update_profile_retargets(self):
+        checker = ConstraintChecker()
+        tm = TaskManager()
+        tm.configure(checker)
+        tm.update_profile(PerformanceProfile(max_latency=1.0), checker)
+        assert checker.bindings["maxLatency"] == 1.0
+        assert tm.profile.max_latency == 1.0

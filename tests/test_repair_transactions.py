@@ -1,0 +1,128 @@
+"""Unit tests for transactional model editing."""
+
+import pytest
+
+from repro.acme import ArchSystem
+from repro.errors import TransactionError
+from repro.repair import ModelTransaction
+
+
+def base_system():
+    s = ArchSystem("S")
+    c = s.new_component("c1", ["ClientT"])
+    c.declare_property("load", 1.0, "float")
+    c.add_port("p")
+    g = s.new_component("g1", ["ServerGroupT"])
+    g.add_port("serve")
+    k = s.new_connector("k1", ["LinkT"])
+    k.add_role("client")
+    k.add_role("group")
+    s.attach(c.port("p"), k.role("client"))
+    s.attach(g.port("serve"), k.role("group"))
+    return s
+
+
+class TestLifecycle:
+    def test_commit_keeps_changes(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        s.component("c1").set_property("load", 9.0)
+        s.new_component("extra")
+        assert txn.commit() == 2
+        assert s.component("c1").get_property("load") == 9.0
+        assert s.has_component("extra")
+
+    def test_abort_rolls_back_everything_in_reverse(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        s.component("c1").set_property("load", 9.0)
+        s.component("c1").set_property("load", 12.0)
+        s.new_component("extra")
+        s.detach(s.component("c1").port("p"), s.connector("k1").role("client"))
+        txn.abort()
+        assert s.component("c1").get_property("load") == 1.0
+        assert not s.has_component("extra")
+        assert s.is_attached(
+            s.component("c1").port("p"), s.connector("k1").role("client")
+        )
+
+    def test_changes_outside_transaction_not_recorded(self):
+        s = base_system()
+        txn = ModelTransaction(s)
+        s.component("c1").set_property("load", 5.0)  # before begin
+        txn.begin()
+        assert txn.recorded == 0
+        txn.commit()
+        s.component("c1").set_property("load", 7.0)  # after commit
+        assert s.component("c1").get_property("load") == 7.0
+
+    def test_double_begin_rejected(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        with pytest.raises(TransactionError):
+            txn.begin()
+
+    def test_commit_without_begin_rejected(self):
+        s = base_system()
+        with pytest.raises(TransactionError):
+            ModelTransaction(s).commit()
+
+    def test_reuse_after_close_rejected(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.begin()
+
+    def test_manual_record(self):
+        s = base_system()
+        state = {"x": 1}
+        txn = ModelTransaction(s).begin()
+        state["x"] = 2
+        txn.record("custom", lambda: state.__setitem__("x", 1))
+        txn.abort()
+        assert state["x"] == 1
+
+
+class TestSavepoints:
+    def test_rollback_to_savepoint_keeps_earlier_edits(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        s.component("c1").set_property("load", 5.0)
+        mark = txn.mark()
+        s.component("c1").set_property("load", 50.0)
+        s.new_component("junk")
+        assert txn.rollback_to(mark) == 2
+        assert s.component("c1").get_property("load") == 5.0
+        assert not s.has_component("junk")
+        txn.commit()
+        assert s.component("c1").get_property("load") == 5.0
+
+    def test_rollback_undos_not_rerecorded(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        mark = txn.mark()
+        s.component("c1").set_property("load", 50.0)
+        txn.rollback_to(mark)
+        # The undo's own set_property must not grow the journal.
+        assert txn.recorded == 0
+
+    def test_invalid_savepoint(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        with pytest.raises(TransactionError):
+            txn.rollback_to(5)
+
+    def test_nested_savepoints(self):
+        s = base_system()
+        txn = ModelTransaction(s).begin()
+        s.component("c1").set_property("load", 2.0)
+        outer = txn.mark()
+        s.component("c1").set_property("load", 3.0)
+        inner = txn.mark()
+        s.component("c1").set_property("load", 4.0)
+        txn.rollback_to(inner)
+        assert s.component("c1").get_property("load") == 3.0
+        txn.rollback_to(outer)
+        assert s.component("c1").get_property("load") == 2.0
+        txn.commit()

@@ -1,0 +1,212 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Interrupted, Process, Simulator, Store
+
+
+def test_process_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def body():
+        log.append(sim.now)
+        yield sim.timeout(3.0)
+        log.append(sim.now)
+        yield sim.timeout(4.0)
+        log.append(sim.now)
+
+    Process(sim, body())
+    sim.run()
+    assert log == [0.0, 3.0, 7.0]
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    got = []
+
+    def body():
+        v = yield sim.timeout(1.0, value="payload")
+        got.append(v)
+
+    Process(sim, body())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_is_waitable_with_return_value():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield sim.timeout(2.0)
+        return 99
+
+    def waiter():
+        value = yield Process(sim, worker())
+        results.append((sim.now, value))
+
+    Process(sim, waiter())
+    sim.run()
+    assert results == [(2.0, 99)]
+
+
+def test_failed_event_raises_at_yield():
+    sim = Simulator()
+    caught = []
+
+    def body():
+        ev = sim.event()
+        sim.schedule(1.0, ev.fail, ValueError("bad"))
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    Process(sim, body())
+    sim.run()
+    assert caught == ["bad"]
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def body():
+        yield 42  # type: ignore[misc]
+
+    Process(sim, body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_body_must_be_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside_process(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted as i:
+                log.append((sim.now, i.cause))
+
+        p = Process(sim, body())
+        sim.schedule(5.0, p.interrupt, "deactivate")
+        sim.run()
+        assert log == [(5.0, "deactivate")]
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted:
+                pass
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+        p = Process(sim, body())
+        sim.schedule(5.0, p.interrupt)
+        sim.run()
+        assert log == [6.0]
+
+    def test_interrupt_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        p = Process(sim, body())
+        sim.run()
+        p.interrupt()  # should not raise
+        assert not p.is_alive
+
+    def test_unhandled_interrupt_fails_process_event(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(100.0)
+
+        p = Process(sim, body())
+        sim.schedule(1.0, p.interrupt, "shutdown")
+        sim.run()
+        assert p.triggered and not p.ok
+        assert isinstance(p.value, Interrupted)
+
+    def test_stale_wakeup_after_interrupt_ignored(self):
+        sim = Simulator()
+        resumes = []
+
+        def body():
+            try:
+                yield sim.timeout(2.0)  # will fire *after* the interrupt
+                resumes.append("timeout")
+            except Interrupted:
+                resumes.append("interrupt")
+                yield sim.timeout(10.0)
+                resumes.append("after")
+
+        p = Process(sim, body())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        # The 2.0 timeout still fires but must not resume the process.
+        assert resumes == ["interrupt", "after"]
+
+
+class TestKill:
+    def test_kill_stops_body(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            yield sim.timeout(10.0)
+            log.append("never")
+
+        p = Process(sim, body())
+        sim.schedule(1.0, p.kill)
+        sim.run()
+        assert log == []
+        assert not p.is_alive
+
+    def test_kill_before_first_step(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        p = Process(sim, body())
+        p.kill()
+        sim.run()
+        assert not p.is_alive
+
+
+def test_two_processes_communicate_via_store():
+    sim = Simulator()
+    log = []
+    store = Store(sim)
+
+    def producer():
+        for i in range(3):
+            yield sim.timeout(1.0)
+            store.put(i)
+
+    def consumer():
+        while True:
+            item = yield store.get()
+            log.append((sim.now, item))
+            if item == 2:
+                return
+
+    Process(sim, producer())
+    Process(sim, consumer())
+    sim.run()
+    assert log == [(1.0, 0), (2.0, 1), (3.0, 2)]

@@ -1,0 +1,59 @@
+"""Unit tests for the run trace."""
+
+from repro.sim import Trace
+
+
+def test_emit_and_select():
+    t = Trace()
+    t.emit(1.0, "repair.start", client="C3")
+    t.emit(2.0, "repair.end", client="C3")
+    t.emit(3.0, "runtime.server.activate", server="S4")
+    assert len(t) == 3
+    assert [r.category for r in t.select("repair.")] == ["repair.start", "repair.end"]
+
+
+def test_select_time_window():
+    t = Trace()
+    for i in range(5):
+        t.emit(float(i), "x.tick", i=i)
+    recs = t.select("x.", start=1.0, end=3.0)
+    assert [r.time for r in recs] == [1.0, 2.0, 3.0]
+
+
+def test_intervals_pairing():
+    t = Trace()
+    t.emit(10.0, "repair.start", id=1)
+    t.emit(40.0, "repair.end", id=1)
+    t.emit(50.0, "repair.start", id=2)
+    t.emit(55.0, "repair.end", id=2)
+    pairs = t.intervals("repair.start", "repair.end")
+    assert [(a, b) for a, b, _ in pairs] == [(10.0, 40.0), (50.0, 55.0)]
+
+
+def test_intervals_unmatched_start_dropped():
+    t = Trace()
+    t.emit(1.0, "repair.start")
+    pairs = t.intervals("repair.start", "repair.end")
+    assert pairs == []
+
+
+def test_subscription():
+    t = Trace()
+    seen = []
+    t.subscribe(lambda r: seen.append(r.category))
+    t.emit(0.0, "a.b")
+    assert seen == ["a.b"]
+
+
+def test_str_rendering():
+    t = Trace()
+    rec = t.emit(1.5, "cat.x", foo=1, bar="z")
+    s = str(rec)
+    assert "cat.x" in s and "foo=1" in s and "bar=z" in s
+
+
+def test_dump_filters_by_prefix():
+    t = Trace()
+    t.emit(0.0, "a.one")
+    t.emit(1.0, "b.two")
+    assert "b.two" not in t.dump("a.")

@@ -1,0 +1,242 @@
+"""Unit tests for the client/server style (model builder + operators)
+and the pipeline style."""
+
+import pytest
+
+from repro.acme import validate_system
+from repro.errors import EvaluationError, TacticFailure
+from repro.repair import ModelTransaction, RepairContext
+from repro.repair.context import RuntimeView
+from repro.styles import (
+    build_client_server_family,
+    build_client_server_model,
+    style_operators,
+)
+from repro.styles.client_server import client_group, link_name
+from repro.styles.pipeline import (
+    PIPELINE_DSL,
+    build_pipeline_family,
+    build_pipeline_model,
+    pipeline_operators,
+)
+
+
+class StubRuntime(RuntimeView):
+    def __init__(self, spare="S9", bw=None):
+        self.spare = spare
+        self.bw = bw or {}
+
+    def find_server(self, client_name, bw_thresh):
+        return self.spare
+
+    def bandwidth_between(self, client_name, group_name):
+        return self.bw.get(group_name, 1e6)
+
+
+def model():
+    return build_client_server_model(
+        "M",
+        assignments={"C1": "SG1", "C2": "SG2"},
+        groups={"SG1": ["S1", "S2"], "SG2": ["S5"]},
+    )
+
+
+def ctx_for(system, runtime=None, bindings=None):
+    txn = ModelTransaction(system).begin()
+    b = {"minBandwidth": 10e3}
+    b.update(bindings or {})
+    return RepairContext(system, runtime=runtime or StubRuntime(),
+                         bindings=b, functions=style_operators(lambda: 42.0),
+                         transaction=txn)
+
+
+class TestModelBuilder:
+    def test_structure_mirrors_configuration(self):
+        s = model()
+        assert {c.name for c in s.components_of_type("ClientT")} == {"C1", "C2"}
+        assert {c.name for c in s.components_of_type("ServerGroupT")} == {
+            "SG1", "SG2",
+        }
+        assert s.component("SG1").get_property("replication") == 2
+        assert s.component("SG1").representation.has_component("S1")
+
+    def test_clients_attached_to_their_groups(self):
+        s = model()
+        assert client_group(s, s.component("C1")).name == "SG1"
+        assert client_group(s, s.component("C2")).name == "SG2"
+        assert s.connected(s.component("C1"), s.component("SG1"))
+        assert not s.connected(s.component("C1"), s.component("SG2"))
+
+    def test_validates_against_family(self):
+        fam = build_client_server_family()
+        s = build_client_server_model(
+            "V", assignments={"C1": "SG1"}, groups={"SG1": ["S1"]}, family=fam,
+        )
+        assert validate_system(s, fam) == []
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(EvaluationError):
+            build_client_server_model("B", {"C1": "SGX"}, {"SG1": []})
+
+    def test_link_naming(self):
+        assert link_name("C3") == "link_C3"
+        s = model()
+        assert s.has_connector("link_C1")
+
+
+class TestAddServerOperator:
+    def test_adds_to_representation_and_counts(self):
+        s = model()
+        ctx = ctx_for(s)
+        op = ctx.functions["addServer"]
+        name = op(ctx, s.component("SG1"))
+        assert name == "S9"
+        grp = s.component("SG1")
+        assert grp.get_property("replication") == 3
+        rep = grp.representation
+        assert rep.component("S9").get_property("addedAt") == 42.0
+        assert [i.op for i in ctx.intents] == ["addServer"]
+
+    def test_no_spare_fails_tactic(self):
+        s = model()
+        ctx = ctx_for(s, runtime=StubRuntime(spare=None))
+        with pytest.raises(TacticFailure):
+            ctx.functions["addServer"](ctx, s.component("SG1"))
+
+    def test_rollback_removes_recruit(self):
+        s = model()
+        ctx = ctx_for(s)
+        mark = ctx.mark()
+        ctx.functions["addServer"](ctx, s.component("SG1"))
+        ctx.rollback_to(mark)
+        assert s.component("SG1").get_property("replication") == 2
+        assert not s.component("SG1").representation.has_component("S9")
+        assert ctx.intents == []
+
+    def test_wrong_target_type(self):
+        s = model()
+        ctx = ctx_for(s)
+        with pytest.raises(EvaluationError):
+            ctx.functions["addServer"](ctx, s.component("C1"))
+
+
+class TestMoveOperator:
+    def test_reattaches_group_role(self):
+        s = model()
+        ctx = ctx_for(s)
+        ctx.functions["move"](ctx, s.component("C1"), s.component("SG2"))
+        assert client_group(s, s.component("C1")).name == "SG2"
+        assert ctx.intents[0].args == {"client": "C1", "frm": "SG1", "to": "SG2"}
+
+    def test_move_to_same_group_fails_tactic(self):
+        s = model()
+        ctx = ctx_for(s)
+        with pytest.raises(TacticFailure):
+            ctx.functions["move"](ctx, s.component("C1"), s.component("SG1"))
+
+    def test_rollback_restores_attachment(self):
+        s = model()
+        ctx = ctx_for(s)
+        mark = ctx.mark()
+        ctx.functions["move"](ctx, s.component("C1"), s.component("SG2"))
+        ctx.rollback_to(mark)
+        assert client_group(s, s.component("C1")).name == "SG1"
+
+
+class TestRemoveServerOperator:
+    def test_removes_most_recent_recruit(self):
+        s = model()
+        ctx = ctx_for(s)
+        ctx.functions["addServer"](ctx, s.component("SG1"))  # S9, addedAt 42
+        victim = ctx.functions["removeServer"](ctx, s.component("SG1"))
+        assert victim == "S9"
+        assert s.component("SG1").get_property("replication") == 2
+
+    def test_empty_group_fails(self):
+        s = build_client_server_model("E", {}, {"SG1": []})
+        ctx = ctx_for(s)
+        with pytest.raises(TacticFailure):
+            ctx.functions["removeServer"](ctx, s.component("SG1"))
+
+
+class TestFindGoodSGroup:
+    def test_picks_best_alternative(self):
+        s = model()
+        ctx = ctx_for(s, runtime=StubRuntime(bw={"SG2": 5e6}))
+        got = ctx.functions["findGoodSGroup"](ctx, s.component("C1"), 10e3)
+        assert got is s.component("SG2")
+
+    def test_excludes_current_group(self):
+        s = model()
+        ctx = ctx_for(s, runtime=StubRuntime(bw={"SG1": 9e9, "SG2": 5e6}))
+        got = ctx.functions["findGoodSGroup"](ctx, s.component("C1"), 10e3)
+        assert got is s.component("SG2")  # SG1 excluded even though faster
+
+    def test_threshold_filters_out_all(self):
+        s = model()
+        ctx = ctx_for(s, runtime=StubRuntime(bw={"SG2": 1e3}))
+        got = ctx.functions["findGoodSGrp"](ctx, s.component("C1"), 10e3)
+        assert got is None
+
+    def test_empty_groups_ignored(self):
+        s = build_client_server_model(
+            "E", {"C1": "SG1"}, {"SG1": ["S1"], "SG2": []},
+        )
+        ctx = ctx_for(s)
+        got = ctx.functions["findGoodSGroup"](ctx, s.component("C1"), 0.0)
+        assert got is None  # SG2 has no replicas
+
+
+class TestPipelineStyle:
+    def test_model_builds_linear_chain(self):
+        s = build_pipeline_model("P", ["a", "b", "c"])
+        assert s.has_connector("pipe_a_b") and s.has_connector("pipe_b_c")
+        assert s.connected(s.component("a"), s.component("b"))
+        assert not s.connected(s.component("a"), s.component("c"))
+
+    def test_family_validates(self):
+        fam = build_pipeline_family()
+        s = build_pipeline_model("P", ["a", "b"], family=fam)
+        assert validate_system(s, fam) == []
+
+    def test_too_short_pipeline_rejected(self):
+        with pytest.raises(EvaluationError):
+            build_pipeline_model("P", ["only"])
+
+    def test_widen_and_budget(self):
+        s = build_pipeline_model("P", ["a", "b"])
+        txn = ModelTransaction(s).begin()
+        ctx = RepairContext(s, bindings={"maxBacklog": 10.0},
+                            functions=pipeline_operators(worker_budget=3),
+                            transaction=txn)
+        ctx.functions["widen"](ctx, s.component("a"))
+        assert s.component("a").get_property("width") == 2
+        with pytest.raises(TacticFailure):
+            ctx.functions["widen"](ctx, s.component("b"))  # budget 3 reached
+
+    def test_narrow_floor(self):
+        s = build_pipeline_model("P", ["a", "b"])
+        txn = ModelTransaction(s).begin()
+        ctx = RepairContext(s, functions=pipeline_operators(),
+                            transaction=txn)
+        with pytest.raises(TacticFailure):
+            ctx.functions["narrow"](ctx, s.component("a"))
+
+    def test_pipeline_dsl_runs_end_to_end(self):
+        from repro.repair.dsl import parse_repair_dsl
+        from repro.repair.dsl.interp import build_strategies
+
+        s = build_pipeline_model("P", ["a", "b"])
+        s.component("b").set_property("backlog", 500.0)
+        txn = ModelTransaction(s).begin()
+        ctx = RepairContext(
+            s,
+            bindings={"maxBacklog": 100.0,
+                      "__strategy_args__": [s.component("b")]},
+            functions=pipeline_operators(),
+            transaction=txn,
+        )
+        doc = parse_repair_dsl(PIPELINE_DSL)
+        outcome = build_strategies(doc)["fixBacklog"].run(ctx)
+        assert outcome.committed
+        assert s.component("b").get_property("width") == 2

@@ -1,0 +1,157 @@
+"""Unit tests for the translator and its cost model."""
+
+import pytest
+
+from repro.app import Client, EnvironmentManager, GridApplication, Server
+from repro.errors import TranslationError
+from repro.net import FlowNetwork, RemosService, Topology
+from repro.repair.context import RuntimeIntent
+from repro.sim import Simulator
+from repro.translation import TranslationCosts, Translator
+from repro.util.rng import SeedSequenceFactory
+from repro.util.windows import StepFunction
+
+
+def build():
+    topo = Topology()
+    for h in ("mc", "ms1", "ms2", "mrq"):
+        topo.add_host(h)
+    topo.add_router("r")
+    for h in ("mc", "ms1", "ms2", "mrq"):
+        topo.add_link(h, "r", 10e6)
+    sim = Simulator()
+    net = FlowNetwork(sim, topo)
+    app = GridApplication(sim, net, rq_machine="mrq")
+    env = EnvironmentManager(app, RemosService(sim, net))
+    app.add_client(Client(
+        sim, "C1", "mc", StepFunction([(0.0, 0.0)]),
+        lambda t, rng: 20e3, SeedSequenceFactory(0).rng("C1"),
+    ))
+    for name, machine in (("S1", "ms1"), ("S2", "ms2")):
+        app.add_server(Server(sim, name, machine, net))
+    env.create_req_queue("SG1")
+    env.create_req_queue("SG2")
+    env.connect_server("S1", "SG1")
+    env.activate_server("S1")
+    app.rq.assign("C1", "SG1")
+    return sim, app, env
+
+
+class TestCosts:
+    def test_default_move_cost_matches_paper_scale(self):
+        costs = TranslationCosts()
+        assert 25.0 <= costs.move_client_cost() <= 32.0  # the paper's ~30 s
+
+    def test_cached_gauges_cut_costs_dramatically(self):
+        base = TranslationCosts()
+        cached = TranslationCosts(cached_gauges=True)
+        assert cached.move_client_cost() < base.move_client_cost() / 4
+        assert cached.add_server_cost() < base.add_server_cost()
+
+    def test_unknown_intent_rejected(self):
+        sim, app, env = build()
+        translator = Translator(env)
+        with pytest.raises(TranslationError):
+            translator.estimate_duration([RuntimeIntent("teleport", {})])
+
+
+class TestExecution:
+    def test_move_client_charged_and_applied(self):
+        sim, app, env = build()
+        translator = Translator(env)
+        done = []
+        translator.execute(
+            [RuntimeIntent("moveClient", {"client": "C1", "frm": "SG1",
+                                          "to": "SG2"})],
+            on_done=lambda: done.append(sim.now),
+        )
+        sim.run()
+        assert done == [pytest.approx(TranslationCosts().move_client_cost())]
+        assert app.rq.assignment_of("C1") == "SG2"
+
+    def test_add_server_with_preresolved_spare(self):
+        sim, app, env = build()
+        translator = Translator(env)
+        translator.execute([
+            RuntimeIntent("addServer", {"client": "C1", "group": "SG1",
+                                        "server": "S2", "bw_thresh": 0.0}),
+        ])
+        sim.run()
+        assert "S2" in app.group("SG1")
+        assert app.server("S2").active
+
+    def test_add_server_requeries_when_preresolved_gone(self):
+        sim, app, env = build()
+        # Steal S2 before the intent executes: the translator re-queries.
+        env.connect_server("S2", "SG2")
+        env.activate_server("S2")
+        env.deactivate_server("S2")  # back to spare, still findable
+        translator = Translator(env)
+        translator.execute([
+            RuntimeIntent("addServer", {"client": "C1", "group": "SG1",
+                                        "server": "S9", "bw_thresh": 0.0}),
+        ])
+        sim.run()
+        assert app.group("SG1").replication == 2  # S1 + requeried spare
+
+    def test_failed_intent_recorded_not_raised(self):
+        sim, app, env = build()
+        env.connect_server("S2", "SG2")
+        env.activate_server("S2")  # no spares remain
+        translator = Translator(env)
+        done = []
+        translator.execute([
+            RuntimeIntent("addServer", {"client": "C1", "group": "SG1",
+                                        "bw_thresh": 0.0}),
+        ], on_done=lambda: done.append(True))
+        sim.run()
+        assert done == [True]  # execution completes
+        assert translator.failures and "no spare server" in translator.failures[0]
+        assert app.trace.select("translate.failed")
+
+    def test_remove_server_intent(self):
+        sim, app, env = build()
+        translator = Translator(env)
+        translator.execute([RuntimeIntent("removeServer", {"server": "S1",
+                                                           "group": "SG1"})])
+        sim.run()
+        assert not app.server("S1").active
+        assert app.group("SG1").replication == 0
+
+    def test_sequential_execution_order_and_total_cost(self):
+        sim, app, env = build()
+        costs = TranslationCosts()
+        translator = Translator(env, costs)
+        intents = [
+            RuntimeIntent("addServer", {"client": "C1", "group": "SG1",
+                                        "server": "S2", "bw_thresh": 0.0}),
+            RuntimeIntent("moveClient", {"client": "C1", "frm": "SG1",
+                                         "to": "SG2"}),
+        ]
+        done = []
+        translator.execute(intents, on_done=lambda: done.append(sim.now))
+        sim.run()
+        expected = costs.add_server_cost() + costs.move_client_cost()
+        assert done == [pytest.approx(expected)]
+        assert translator.estimate_duration(intents) == pytest.approx(expected)
+        assert [i.op for i in translator.executed] == ["addServer", "moveClient"]
+
+    def test_gauge_redeploy_hook_invoked(self):
+        sim, app, env = build()
+
+        class FakeGaugeManager:
+            def __init__(self):
+                self.calls = []
+
+            def redeploy_for(self, entity, window):
+                self.calls.append((entity, window))
+
+        gm = FakeGaugeManager()
+        translator = Translator(env, gauge_manager=gm)
+        translator.execute([
+            RuntimeIntent("moveClient", {"client": "C1", "frm": "SG1",
+                                         "to": "SG2"}),
+        ])
+        sim.run()
+        assert gm.calls and gm.calls[0][0] == "C1"
+        assert gm.calls[0][1] == pytest.approx(26.0)  # destroy 12 + create 14

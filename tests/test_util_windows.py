@@ -1,0 +1,112 @@
+"""Unit tests for sliding windows, EWMA, and step functions."""
+
+import math
+
+import pytest
+
+from repro.util.windows import EWMA, SlidingWindow, StepFunction
+
+
+class TestSlidingWindow:
+    def test_empty_mean_is_none(self):
+        w = SlidingWindow(10.0)
+        assert w.mean(0.0) is None
+
+    def test_mean_of_live_samples(self):
+        w = SlidingWindow(10.0)
+        w.add(1.0, 2.0)
+        w.add(2.0, 4.0)
+        assert w.mean(3.0) == pytest.approx(3.0)
+
+    def test_expiry(self):
+        w = SlidingWindow(10.0)
+        w.add(0.0, 100.0)
+        w.add(9.0, 1.0)
+        # at t=15 the t=0 sample is outside [5, 15]
+        assert w.mean(15.0) == pytest.approx(1.0)
+
+    def test_maximum_and_count(self):
+        w = SlidingWindow(5.0)
+        w.add(0.0, 1.0)
+        w.add(1.0, 9.0)
+        w.add(2.0, 3.0)
+        assert w.maximum(2.0) == 9.0
+        assert w.count(2.0) == 3
+        assert w.count(7.0) == 1  # cutoff 2.0: only the t=2 sample survives
+
+    def test_rate(self):
+        w = SlidingWindow(10.0)
+        for t in range(5):
+            w.add(float(t), 1.0)
+        assert w.rate(4.0) == pytest.approx(0.5)
+
+    def test_rejects_time_travel(self):
+        w = SlidingWindow(10.0)
+        w.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            w.add(4.0, 1.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0.0)
+
+    def test_clear(self):
+        w = SlidingWindow(10.0)
+        w.add(0.0, 1.0)
+        w.clear()
+        assert w.mean(0.0) is None
+        w.add(0.0, 2.0)  # after clear, earlier times are fine again
+        assert w.mean(0.0) == 2.0
+
+
+class TestEWMA:
+    def test_first_sample_sets_value(self):
+        e = EWMA(tau=10.0)
+        assert e.value is None
+        e.add(0.0, 5.0)
+        assert e.value == 5.0
+
+    def test_converges_toward_new_level(self):
+        e = EWMA(tau=1.0)
+        e.add(0.0, 0.0)
+        e.add(10.0, 10.0)  # 10 time constants later: essentially 10
+        assert e.value == pytest.approx(10.0, abs=1e-3)
+
+    def test_decay_weight(self):
+        e = EWMA(tau=10.0)
+        e.add(0.0, 0.0)
+        v = e.add(10.0, 1.0)  # one tau: weight 1 - e^-1
+        assert v == pytest.approx(1 - math.exp(-1))
+
+    def test_time_travel_rejected(self):
+        e = EWMA(tau=1.0)
+        e.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            e.add(4.0, 1.0)
+
+
+class TestStepFunction:
+    def test_basic_steps(self):
+        f = StepFunction([(0.0, 1.0), (10.0, 2.0)], default=0.0)
+        assert f(-1.0) == 0.0
+        assert f(0.0) == 1.0
+        assert f(9.999) == 1.0
+        assert f(10.0) == 2.0
+        assert f(100.0) == 2.0
+
+    def test_unordered_breakpoints_sorted(self):
+        f = StepFunction([(10.0, 2.0), (0.0, 1.0)])
+        assert f(5.0) == 1.0
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ValueError):
+            StepFunction([(1.0, 1.0), (1.0, 2.0)])
+
+    def test_change_times_windowing(self):
+        f = StepFunction([(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)])
+        assert f.change_times(0.0, 20.0) == [10.0, 20.0]
+        assert f.change_times(10.0, 15.0) == []
+
+    def test_sample(self):
+        f = StepFunction([(0.0, 5.0)])
+        assert f.sample([-1.0, 0.0, 1.0]) == [0.0, 5.0, 5.0]
