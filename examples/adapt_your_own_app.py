@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Wrapping *your own* application with the AdaptationRuntime.
+
+The control plane (buses, gauges, constraint checking, repair dispatch,
+translation scheduling) is application-independent; to adapt a new
+application you write four small pieces:
+
+1. a style family + architectural model for its configuration;
+2. a repair DSL (invariant + strategy + tactic) and one style operator;
+3. a ``ManagedApplication`` adapter (model snapshot + intent executor);
+4. an ``AdaptationSpec`` naming the thresholds and probe/gauge bindings.
+
+Everything here is self-contained: a toy job queue whose worker pool is
+grown whenever its depth gauge crosses the threshold.
+
+Run:  python examples/adapt_your_own_app.py
+"""
+
+from repro.acme.family import Family
+from repro.acme.system import ArchSystem
+from repro.errors import TacticFailure
+from repro.monitoring.gauges import BacklogGauge
+from repro.monitoring.probes import StageBacklogProbe
+from repro.runtime import (
+    AdaptationRuntime,
+    AdaptationSpec,
+    GaugeBinding,
+    IntentExecutor,
+    ManagedApplication,
+    ProbeBinding,
+)
+from repro.sim import Process, Simulator
+
+# ---------------------------------------------------------------------------
+# 0. The application being adapted: a job queue with a worker pool
+# ---------------------------------------------------------------------------
+
+
+class JobQueueApp:
+    """Jobs arrive continuously; ``workers`` drain them concurrently."""
+
+    def __init__(self, sim, workers=2, service_time=1.0, arrival_interval=0.25):
+        self.sim = sim
+        self.workers = workers
+        self.service_time = service_time
+        self.arrival_interval = arrival_interval
+        self.depth = 0          # waiting jobs
+        self.busy = 0
+        self.completed = 0
+        Process(sim, self._arrivals(), name="jobs")
+
+    def backlog(self, _name: str) -> int:   # probe-compatible query
+        return self.depth
+
+    def _arrivals(self):
+        while True:
+            yield self.sim.timeout(self.arrival_interval)
+            self.depth += 1
+            self._pump()
+
+    def _pump(self):
+        while self.busy < self.workers and self.depth > 0:
+            self.depth -= 1
+            self.busy += 1
+            self.sim.schedule(self.service_time, self._done)
+
+    def _done(self):
+        self.busy -= 1
+        self.completed += 1
+        self._pump()
+
+    def grow(self, workers: int) -> None:   # the one runtime change operator
+        self.workers = workers
+        self._pump()
+
+
+# ---------------------------------------------------------------------------
+# 1. Style: family, model; 2. repair DSL + operator
+# ---------------------------------------------------------------------------
+
+QUEUE_DSL = """
+invariant q : depth <= maxDepth ! -> fixDepth(q);
+
+strategy fixDepth(badPool : WorkerPoolT) = {
+    if (growPool(badPool)) {
+        commit repair;
+    } else {
+        abort NoCapacity;
+    }
+}
+
+tactic growPool(pool : WorkerPoolT) : boolean = {
+    if (pool.depth <= maxDepth) {
+        return false;
+    }
+    pool.addWorker(1);
+    return true;
+}
+"""
+
+
+def queue_operators(worker_cap=8):
+    def op_add_worker(ctx, pool, amount=1):
+        new_workers = int(pool.get_property("workers")) + int(amount)
+        if new_workers > worker_cap:
+            raise TacticFailure(f"addWorker: cap {worker_cap} reached")
+        pool.set_property("workers", new_workers)
+        ctx.intend("addWorker", pool=pool.name, workers=new_workers)
+        return new_workers
+
+    return {"addWorker": op_add_worker}
+
+
+# ---------------------------------------------------------------------------
+# 3. The ManagedApplication adapter
+# ---------------------------------------------------------------------------
+
+
+class ManagedJobQueue(ManagedApplication):
+    name = "job-queue"
+
+    def __init__(self, app: JobQueueApp):
+        self.app = app
+
+    def architecture(self) -> ArchSystem:
+        fam = Family("QueueFam")
+        (
+            fam.component_type("WorkerPoolT")
+            .declare_property("depth", "float", 0.0)
+            .declare_property("workers", "int", 1)
+        )
+        model = ArchSystem("QueueModel", family=fam.name)
+        pool = model.new_component("pool", ["WorkerPoolT"])
+        fam.initialize(pool)
+        pool.set_property("workers", self.app.workers)
+        return model
+
+    def intent_executor(self, runtime: AdaptationRuntime) -> IntentExecutor:
+        app, sim = self.app, runtime.sim
+
+        class GrowExecutor(IntentExecutor):
+            SPIN_UP = 3.0  # seconds to provision one worker
+
+            def execute(self, intents, on_done=None):
+                def apply():
+                    for intent in intents:
+                        app.grow(intent.args["workers"])
+                        runtime.gauge_manager.redeploy_for(
+                            intent.args["pool"], 2.0
+                        )
+                    if on_done is not None:
+                        on_done()
+
+                sim.schedule(self.SPIN_UP, apply)
+
+        return GrowExecutor()
+
+
+# ---------------------------------------------------------------------------
+# 4. The spec, and a run
+# ---------------------------------------------------------------------------
+
+
+def main() -> None:
+    sim = Simulator()
+    # 2 workers at 1 s/job drain 2 jobs/s; arrivals come at 4 jobs/s.
+    app = JobQueueApp(sim, workers=2, service_time=1.0, arrival_interval=0.25)
+    spec = AdaptationSpec(
+        style="QueueFam",
+        dsl_source=QUEUE_DSL,
+        invariant_scopes={"q": "WorkerPoolT"},
+        bindings={"maxDepth": 10.0},
+        operators=lambda rt: queue_operators(worker_cap=8),
+        instruments=[
+            ProbeBinding(
+                lambda rt: StageBacklogProbe(rt.sim, rt.probe_bus, app, "pool",
+                                             period=0.5),
+                periodic=True,
+            ),
+            GaugeBinding(
+                lambda rt: BacklogGauge(rt.sim, rt.probe_bus, rt.gauge_bus,
+                                        "pool", period=1.0, horizon=5.0),
+                entities=["pool"],
+            ),
+        ],
+        gauge_property_map={"backlog": "depth"},
+        gauge_create_delay=1.0,
+        settle_time=4.0,
+    )
+    runtime = AdaptationRuntime(sim, ManagedJobQueue(app), spec)
+    runtime.start()
+    sim.run(until=120.0)
+
+    print(f"workers: 2 -> {app.workers}")
+    print(f"completed jobs: {app.completed}, final depth: {app.depth}")
+    print(f"repairs committed: {len(runtime.history.committed)}")
+    for record in runtime.history.committed:
+        intents = ", ".join(str(i) for i in record.intents)
+        print(f"  t={record.started:6.1f}s {record.strategy}: {intents}")
+
+
+if __name__ == "__main__":
+    main()

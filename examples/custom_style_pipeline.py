@@ -5,7 +5,11 @@ The paper argues externalized adaptation generalizes across applications:
 the machinery (model, constraints, transactions, repair DSL, engine) is
 style-independent; only the family, operators, and strategies change.
 This example defines a batch-pipeline style and repairs a backlogged
-stage by widening it — no client/server anything involved.
+stage by widening it — no client/server anything involved.  (This drives
+the *model layer* directly; the registered ``pipeline`` scenario runs the
+same style end to end with a simulated application — see
+``run_scenario(ScenarioConfig(scenario="pipeline"))`` and
+docs/architecture.md.)
 
 Run:  python examples/custom_style_pipeline.py
 """

@@ -11,8 +11,12 @@ the system inventory.  Subpackages:
 * ``repro.monitoring`` — probes, gauges, gauge consumers;
 * ``repro.repair`` — strategies, tactics, the Figure 5 DSL, the engine;
 * ``repro.translation`` / ``repro.task`` — model/runtime bridge, profiles;
+* ``repro.runtime`` — the reusable adaptation control plane
+  (AdaptationRuntime built from a declarative AdaptationSpec around a
+  ManagedApplication);
 * ``repro.analysis`` — design-time queuing analysis;
-* ``repro.experiment`` — the Figure 6/7 apparatus and runners.
+* ``repro.experiment`` — the Figure 6/7 apparatus, the scenario
+  registry, and runners.
 """
 
 from repro.acme import ArchSystem, Component, Connector, Family, parse_acme
@@ -21,10 +25,22 @@ from repro.app import EnvironmentManager, GridApplication
 from repro.bus import EventBus, Message
 from repro.constraints import ConstraintChecker, Invariant, parse_expression
 from repro.errors import ReproError
-from repro.experiment import ScenarioConfig, run_scenario
+from repro.experiment import (
+    ScenarioConfig,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.monitoring import GaugeManager, ModelUpdater
 from repro.net import FlowNetwork, RemosService, Topology
 from repro.repair import ArchitectureManager, ModelTransaction, parse_repair_dsl
+from repro.runtime import (
+    AdaptationRuntime,
+    AdaptationSpec,
+    GaugeBinding,
+    ManagedApplication,
+    ProbeBinding,
+)
 from repro.sim import Process, Simulator
 from repro.styles import (
     FIGURE5_DSL,
@@ -73,9 +89,17 @@ __all__ = [
     "TranslationCosts",
     "PerformanceProfile",
     "TaskManager",
+    # adaptation control plane
+    "AdaptationRuntime",
+    "AdaptationSpec",
+    "GaugeBinding",
+    "ManagedApplication",
+    "ProbeBinding",
     # analysis + experiments
     "MMcQueue",
     "required_servers",
     "ScenarioConfig",
     "run_scenario",
+    "register_scenario",
+    "scenario_names",
 ]

@@ -8,7 +8,8 @@ paper's §5.3 observation that monitoring shares the network).
 """
 
 from repro.bus.messages import Message
-from repro.bus.filters import AttributeFilter, subject_matches
+from repro.bus.filters import AttributeFilter, subject_matches, validate_pattern
+from repro.bus.index import SubjectTrie
 from repro.bus.bus import (
     EventBus,
     Subscription,
@@ -21,6 +22,8 @@ __all__ = [
     "Message",
     "AttributeFilter",
     "subject_matches",
+    "validate_pattern",
+    "SubjectTrie",
     "EventBus",
     "Subscription",
     "DeliveryModel",

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.bus.filters import AttributeFilter, subject_matches
+from repro.bus.filters import AttributeFilter, subject_matches, validate_pattern
+from repro.bus.index import SubjectTrie
 from repro.bus.messages import Message
 from repro.sim.kernel import Simulator
 from repro.util.ids import IdGenerator
@@ -54,13 +55,18 @@ class CallableDelay(DeliveryModel):
 
 @dataclass
 class Subscription:
-    """A registered interest: subject pattern + optional attribute filter."""
+    """A registered interest: subject pattern + optional attribute filter.
+
+    ``seq`` is the bus-assigned subscription order; delivery order follows
+    it regardless of how candidates were looked up.
+    """
 
     sid: str
     pattern: str
     handler: Callable[[Message], None]
     attr_filter: Optional[AttributeFilter] = None
     active: bool = True
+    seq: int = 0
 
     def wants(self, message: Message) -> bool:
         if not self.active:
@@ -84,12 +90,15 @@ class EventBus:
         sim: Simulator,
         delivery: Optional[DeliveryModel] = None,
         name: str = "bus",
+        indexed: bool = True,
     ):
         self.sim = sim
         self.name = name
         self.delivery = delivery or FixedDelay()
         self._subs: Dict[str, Subscription] = {}
+        self._index: Optional[SubjectTrie] = SubjectTrie() if indexed else None
         self._ids = IdGenerator()
+        self._seq = 0
         self.published = 0
         self.delivered = 0
         self.total_transit = 0.0
@@ -102,15 +111,21 @@ class EventBus:
         attr_filter: Optional[AttributeFilter] = None,
     ) -> Subscription:
         """Register ``handler`` for messages matching ``pattern`` (+filter)."""
-        subject_matches(pattern, "x")  # validate pattern eagerly
-        sub = Subscription(self._ids.next("sub"), pattern, handler, attr_filter)
+        validate_pattern(pattern)
+        self._seq += 1
+        sub = Subscription(
+            self._ids.next("sub"), pattern, handler, attr_filter, seq=self._seq
+        )
         self._subs[sub.sid] = sub
+        if self._index is not None:
+            self._index.add(sub)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
         """Deactivate and forget a subscription (idempotent)."""
         sub.active = False
-        self._subs.pop(sub.sid, None)
+        if self._subs.pop(sub.sid, None) is not None and self._index is not None:
+            self._index.remove(sub)
 
     @property
     def subscriptions(self) -> List[Subscription]:
@@ -125,10 +140,7 @@ class EventBus:
         msg = message.with_time(self.sim.now)
         self.published += 1
         matched = 0
-        # Snapshot: handlers subscribing during delivery see later messages only.
-        for sub in list(self._subs.values()):
-            if not sub.wants(msg):
-                continue
+        for sub in self._matches(msg):
             matched += 1
             delay = float(self.delivery.delay(msg))
             if delay < 0:
@@ -140,6 +152,24 @@ class EventBus:
     def publish_subject(self, subject: str, sender: str = "", **attributes) -> int:
         """Convenience: build and publish a message in one call."""
         return self.publish(Message(subject, attributes, self.sim.now, sender))
+
+    def _matches(self, msg: Message) -> List[Subscription]:
+        """Subscriptions that want ``msg``, in subscription order.
+
+        With the trie index, candidates already match the subject, so only
+        the activity and attribute-filter checks remain; the linear path
+        re-tests everything.  Both return the same subscriptions in the
+        same order (handlers never run synchronously, so the candidate set
+        is a snapshot either way).
+        """
+        if self._index is not None:
+            return [
+                sub
+                for sub in self._index.match(msg.subject)
+                if sub.active
+                and (sub.attr_filter is None or sub.attr_filter.matches(msg.attributes))
+            ]
+        return [sub for sub in list(self._subs.values()) if sub.wants(msg)]
 
     def _deliver(self, sub: Subscription, msg: Message) -> None:
         if not sub.active:

@@ -14,7 +14,27 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
-__all__ = ["subject_matches", "AttributeFilter"]
+__all__ = ["subject_matches", "validate_pattern", "AttributeFilter"]
+
+
+def validate_pattern(pattern: str) -> str:
+    """Check that ``pattern`` is a well-formed subject pattern.
+
+    A valid pattern is a non-empty dotted sequence of non-empty segments
+    where ``>`` (if present) is the final segment.  Returns the pattern so
+    callers can validate inline; raises :class:`ValueError` otherwise.
+    """
+    if not isinstance(pattern, str):
+        raise ValueError(f"subject pattern must be a string, got {pattern!r}")
+    if not pattern:
+        raise ValueError("subject pattern must not be empty")
+    parts = pattern.split(".")
+    for i, segment in enumerate(parts):
+        if not segment:
+            raise ValueError(f"empty segment in subject pattern {pattern!r}")
+        if segment == ">" and i != len(parts) - 1:
+            raise ValueError(f"'>' must be the final segment: {pattern!r}")
+    return pattern
 
 
 def subject_matches(pattern: str, subject: str) -> bool:

@@ -6,8 +6,13 @@
   bandwidth competition and request load;
 * :mod:`repro.experiment.scenario` — run configurations (control,
   adapted, ablations);
-* :mod:`repro.experiment.runner` — wires everything and runs 30 minutes
-  of simulated time, with result caching for the benchmark harness;
+* :mod:`repro.experiment.scenarios` — the scenario registry
+  (``client_server``, ``pipeline``, and user-registered builders);
+* :mod:`repro.experiment.runner` — wires the client/server experiment
+  and runs 30 minutes of simulated time, with LRU result caching for the
+  benchmark harness;
+* :mod:`repro.experiment.pipeline_scenario` — the batch-pipeline
+  scenario driven through the reusable adaptation runtime;
 * :mod:`repro.experiment.metrics` — time-series sampling and the §5
   scalar claims;
 * :mod:`repro.experiment.reporting` — text rendering of each figure.
@@ -17,7 +22,19 @@ from repro.experiment.testbed import Testbed, build_testbed
 from repro.experiment.workload import Workload, build_workload
 from repro.experiment.scenario import ScenarioConfig
 from repro.experiment.series import TimeSeries
-from repro.experiment.runner import Experiment, ExperimentResult, run_scenario
+from repro.experiment.runner import (
+    Experiment,
+    ExperimentResult,
+    clear_cache,
+    run_scenario,
+    set_cache_capacity,
+)
+from repro.experiment.pipeline_scenario import PipelineExperiment
+from repro.experiment.scenarios import (
+    register_scenario,
+    scenario_builder,
+    scenario_names,
+)
 from repro.experiment.metrics import MetricsSampler, ClaimReport, extract_claims
 from repro.experiment import reporting
 
@@ -30,7 +47,13 @@ __all__ = [
     "TimeSeries",
     "Experiment",
     "ExperimentResult",
+    "PipelineExperiment",
     "run_scenario",
+    "clear_cache",
+    "set_cache_capacity",
+    "register_scenario",
+    "scenario_builder",
+    "scenario_names",
     "MetricsSampler",
     "ClaimReport",
     "extract_claims",

@@ -1,0 +1,284 @@
+"""The ``pipeline`` scenario: a second application, same control plane.
+
+This is the style-generality claim made runnable end to end.  A simulated
+batch pipeline (:class:`~repro.app.pipeline_app.PipelineApplication`) is
+wrapped in :class:`ManagedApplication` and adapted by the *same*
+:class:`~repro.runtime.core.AdaptationRuntime` the client/server
+experiment uses — different family, invariant, operators, probes, and
+translator, but zero new control-plane machinery:
+
+* workload: a Poisson item stream that bursts above the bottleneck
+  stage's capacity mid-run (analogous to the Figure 7 stress phase);
+* monitoring: per-stage backlog probes -> windowed backlog gauges ->
+  generic :class:`~repro.runtime.updater.PropertyUpdater`;
+* constraint: the style's ``backlog <= maxBacklog`` invariant, scoped to
+  ``FilterT``;
+* repair: ``fixBacklog`` from :data:`~repro.styles.pipeline.PIPELINE_DSL`
+  widens the violating stage within a worker budget;
+* translation: :class:`PipelineTranslator` charges a worker spin-up cost,
+  applies ``setStageWidth``, and blanks the stage's gauges for the
+  redeployment window.
+
+The control run injects the identical seeded workload with no adaptation:
+the bottleneck backlog grows throughout the burst and never drains inside
+the horizon, while the adapted run widens the stage and recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.app.pipeline_app import PipelineApplication
+from repro.bus.bus import FixedDelay
+from repro.errors import TranslationError
+from repro.experiment.scenario import ScenarioConfig
+from repro.experiment.series import TimeSeries
+from repro.monitoring.gauges import BacklogGauge
+from repro.monitoring.probes import StageBacklogProbe
+from repro.repair.history import RepairHistory
+from repro.runtime import (
+    AdaptationRuntime,
+    AdaptationSpec,
+    GaugeBinding,
+    IntentExecutor,
+    ManagedApplication,
+    ProbeBinding,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+from repro.styles.pipeline import (
+    PIPELINE_DSL,
+    build_pipeline_family,
+    build_pipeline_model,
+    pipeline_operators,
+)
+from repro.util.rng import SeedSequenceFactory
+from repro.util.windows import StepFunction
+
+__all__ = [
+    "PipelineExperiment",
+    "PipelineManagedApplication",
+    "PipelineTranslator",
+]
+
+#: (stage, initial width, service seconds/item) — transform is the
+#: designed bottleneck: capacity 1/0.9 ≈ 1.1 items/s at width 1.
+STAGES = (("ingest", 2, 0.40), ("transform", 1, 0.90), ("publish", 2, 0.30))
+
+BASELINE_RATE = 0.8   # items/s, below the bottleneck's initial capacity
+BURST_RATE = 3.0      # items/s, needs transform width >= 3
+MAX_BACKLOG = 25.0    # the scenario's threshold (backlogBound invariant)
+WORKER_BUDGET = 8     # total workers across stages (5 initial + 3 spare)
+WIDEN_COST = 8.0      # s to spin up one worker (translation cost)
+REDEPLOY_WINDOW = 10.0  # s the stage's gauges stay blank after a repair
+
+
+class PipelineTranslator(IntentExecutor):
+    """Replays committed ``widenStage``/``narrowStage`` intents.
+
+    The pipeline analogue of :class:`~repro.translation.translator.Translator`:
+    each intent charges its cost *before* taking effect, then triggers a
+    gauge redeployment for the affected stage (the monitoring blind spot).
+    """
+
+    def __init__(
+        self,
+        app: PipelineApplication,
+        gauge_manager=None,
+        trace: Optional[Trace] = None,
+        widen_cost: float = WIDEN_COST,
+        redeploy_window: float = REDEPLOY_WINDOW,
+    ):
+        self.app = app
+        self.sim = app.sim
+        self.gauge_manager = gauge_manager
+        self.trace = trace if trace is not None else app.trace
+        self.widen_cost = float(widen_cost)
+        self.redeploy_window = float(redeploy_window)
+        self.executed: List = []
+
+    def execute(self, intents, on_done=None) -> Process:
+        return Process(
+            self.sim, self._run(list(intents), on_done), name="pipeline-translator"
+        )
+
+    def _run(self, intents, on_done):
+        for intent in intents:
+            if intent.op not in ("widenStage", "narrowStage"):
+                raise TranslationError(
+                    f"no pipeline mapping for intent {intent.op!r}"
+                )
+            self.trace.emit(
+                self.sim.now, "translate.begin",
+                op=intent.op, cost=self.widen_cost, **intent.args,
+            )
+            if self.widen_cost > 0:
+                yield self.sim.timeout(self.widen_cost)
+            self.app.set_width(intent.args["stage"], intent.args["width"])
+            self.executed.append(intent)
+            if self.gauge_manager is not None:
+                self.gauge_manager.redeploy_for(
+                    intent.args["stage"], self.redeploy_window
+                )
+        if on_done is not None:
+            on_done()
+
+
+class PipelineManagedApplication(ManagedApplication):
+    """The batch pipeline wrapped for the adaptation runtime."""
+
+    name = "batch-pipeline"
+
+    def __init__(self, app: PipelineApplication):
+        self.app = app
+
+    def architecture(self):
+        model = build_pipeline_model(
+            "PipelineModel", self.app.stage_order, family=build_pipeline_family()
+        )
+        for stage in self.app.stages:
+            comp = model.component(stage.name)
+            comp.set_property("width", stage.width)
+            comp.set_property("serviceRate", stage.service_rate)
+        return model
+
+    def intent_executor(self, runtime: AdaptationRuntime) -> PipelineTranslator:
+        return PipelineTranslator(
+            self.app, gauge_manager=runtime.gauge_manager, trace=runtime.trace
+        )
+
+
+class PipelineMetricsSampler:
+    """Out-of-band ground-truth sampling for the pipeline scenario.
+
+    Series: ``backlog.<stage>``, ``width.<stage>``, and ``repair.active``
+    (mirroring the client/server sampler's shape so reporting helpers and
+    result consumers work unchanged).
+    """
+
+    def __init__(self, experiment: "PipelineExperiment"):
+        self.experiment = experiment
+        self.period = experiment.config.sample_period
+        self.series: Dict[str, TimeSeries] = {}
+        for stage in experiment.app.stage_order:
+            self.series[f"backlog.{stage}"] = TimeSeries(f"backlog.{stage}", "items")
+            self.series[f"width.{stage}"] = TimeSeries(f"width.{stage}", "workers")
+        self.series["repair.active"] = TimeSeries("repair.active", "")
+
+    def start(self) -> Process:
+        return Process(
+            self.experiment.sim, self._run(), name="pipeline-metrics-sampler"
+        )
+
+    def _run(self):
+        sim = self.experiment.sim
+        while True:
+            self.sample()
+            yield sim.timeout(self.period)
+
+    def sample(self) -> None:
+        exp = self.experiment
+        now = exp.sim.now
+        for stage in exp.app.stages:
+            self.series[f"backlog.{stage.name}"].append(now, float(stage.backlog))
+            self.series[f"width.{stage.name}"].append(now, float(stage.width))
+        manager = exp.runtime.manager if exp.runtime is not None else None
+        busy = 1.0 if (manager is not None and manager.busy) else 0.0
+        self.series["repair.active"].append(now, busy)
+
+
+class PipelineExperiment:
+    """One wired pipeline run (control or adapted), ready to run."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.seeds = SeedSequenceFactory(config.seed)
+        self.app = PipelineApplication(self.sim, STAGES, trace=self.trace)
+        # burst sits at the same fractions of the horizon as the paper's
+        # stress phase sits in the 30-minute run (1/6 .. 1/2).
+        self.burst_start = config.horizon / 6.0
+        self.burst_end = config.horizon / 2.0
+        self.arrival_rate = StepFunction(
+            [
+                (0.0, BASELINE_RATE),
+                (self.burst_start, BURST_RATE),
+                (self.burst_end, BASELINE_RATE),
+            ]
+        )
+        self._rng = self.seeds.rng("pipeline.source")
+        self.runtime: Optional[AdaptationRuntime] = None
+        if config.adaptation:
+            self.runtime = AdaptationRuntime(
+                self.sim,
+                PipelineManagedApplication(self.app),
+                self._adaptation_spec(),
+                trace=self.trace,
+            )
+        self.metrics = PipelineMetricsSampler(self)
+
+    def _adaptation_spec(self) -> AdaptationSpec:
+        cfg = self.config
+        app = self.app
+        instruments: List = []
+        for stage in app.stage_order:
+            instruments.append(ProbeBinding(
+                lambda rt, s=stage: StageBacklogProbe(
+                    rt.sim, rt.probe_bus, app, s, period=cfg.load_probe_period,
+                ),
+                periodic=True,
+            ))
+            instruments.append(GaugeBinding(
+                lambda rt, s=stage: BacklogGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, s,
+                    period=cfg.gauge_period, horizon=cfg.load_horizon,
+                ),
+                entities=[stage],
+            ))
+        return AdaptationSpec(
+            style="PipelineFam",
+            dsl_source=PIPELINE_DSL,
+            invariant_scopes={"b": "FilterT"},
+            bindings={"maxBacklog": MAX_BACKLOG},
+            operators=lambda rt: pipeline_operators(worker_budget=WORKER_BUDGET),
+            instruments=instruments,
+            gauge_property_map={"backlog": "backlog"},
+            delivery=FixedDelay(0.05),
+            gauge_caching=cfg.gauge_caching,
+            settle_time=cfg.settle_time,
+            failed_repair_cost=cfg.failed_repair_cost,
+            violation_policy=cfg.violation_policy,
+        )
+
+    # -- workload ----------------------------------------------------------
+    def _arrivals(self):
+        """Poisson item stream whose rate follows the burst schedule."""
+        while True:
+            rate = self.arrival_rate(self.sim.now)
+            yield self.sim.timeout(float(self._rng.exponential(1.0 / rate)))
+            self.app.submit()
+
+    # -- execution ---------------------------------------------------------
+    def run(self):
+        from repro.experiment.runner import ExperimentResult
+
+        cfg = self.config
+        Process(self.sim, self._arrivals(), name="pipeline-source")
+        if self.runtime is not None:
+            self.runtime.start()
+        self.metrics.start()
+        self.sim.run(until=cfg.horizon)
+        rt = self.runtime
+        return ExperimentResult(
+            config=cfg,
+            series=self.metrics.series,
+            trace=self.trace,
+            history=rt.history if rt is not None else RepairHistory(),
+            issued=self.app.issued,
+            completed=self.app.completed,
+            dropped=0,
+            bus_stats=rt.bus_stats() if rt is not None else {},
+            gauge_stats=rt.gauge_stats() if rt is not None else {},
+        )

@@ -1,18 +1,25 @@
 """Builds and runs complete experiments (control and adapted).
 
-This module performs the Figure 1 wiring: runtime layer (testbed network,
-application, competition generators), model layer (architectural model,
-constraint checker, repair strategies from the Figure 5 DSL, translator),
-and the monitoring infrastructure connecting them.  The control run omits
-the model layer and monitoring entirely — it is the same application under
-the same seeded workload with no adaptation.
+This module owns the *runtime layer* of the paper's client/server
+scenario — testbed network, application, competition generators — and
+composes it with the reusable control plane in :mod:`repro.runtime`.  The
+Figure 1 wiring (model layer, constraint checker, repair strategies from
+the Figure 5 DSL, translator, monitoring) is expressed declaratively as an
+:class:`~repro.runtime.spec.AdaptationSpec` and built by
+:class:`~repro.runtime.core.AdaptationRuntime`; the control run omits the
+spec entirely — the same application under the same seeded workload with
+no adaptation.
 
-Full runs simulate 30 minutes and several benches share them, so results
-are cached per :class:`ScenarioConfig`.
+Scenario dispatch goes through the registry in
+:mod:`repro.experiment.scenarios` (this module's :class:`Experiment` is
+the registered ``client_server`` builder).  Full runs simulate 30 minutes
+and several benches share them, so results are cached per
+:class:`ScenarioConfig` in a bounded LRU.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -21,7 +28,6 @@ from repro.app.env_manager import EnvironmentManager
 from repro.app.server import Server
 from repro.app.system import GridApplication
 from repro.bus.bus import CallableDelay, EventBus, FixedDelay
-from repro.constraints.invariants import ConstraintChecker
 from repro.experiment.metrics import MetricsSampler
 from repro.experiment.scenario import ScenarioConfig
 from repro.experiment.series import TimeSeries
@@ -34,7 +40,6 @@ from repro.monitoring.gauges import (
     LoadGauge,
     UtilizationGauge,
 )
-from repro.monitoring.manager import GaugeManager
 from repro.monitoring.probes import (
     BandwidthProbe,
     ClientLatencyProbe,
@@ -44,11 +49,15 @@ from repro.monitoring.probes import (
 from repro.net.flows import FlowNetwork
 from repro.net.remos import RemosService
 from repro.net.traffic import CrossTrafficGenerator
-from repro.repair.context import AppRuntimeView
-from repro.repair.dsl import parse_repair_dsl
-from repro.repair.dsl.interp import build_strategies
-from repro.repair.engine import ArchitectureManager
+from repro.repair.context import AppRuntimeView, RuntimeView
 from repro.repair.history import RepairHistory
+from repro.runtime import (
+    AdaptationRuntime,
+    AdaptationSpec,
+    GaugeBinding,
+    ManagedApplication,
+    ProbeBinding,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
 from repro.styles.client_server import (
@@ -64,7 +73,14 @@ from repro.translation.costs import TranslationCosts
 from repro.translation.translator import Translator
 from repro.util.rng import SeedSequenceFactory
 
-__all__ = ["Experiment", "ExperimentResult", "run_scenario", "clear_cache"]
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ClientServerApplication",
+    "run_scenario",
+    "clear_cache",
+    "set_cache_capacity",
+]
 
 #: invariant name (from the DSL) -> scope element type
 _INVARIANT_SCOPES = {"r": "ClientRoleT", "u": "ServerGroupT"}
@@ -106,8 +122,44 @@ class ExperimentResult:
         ]
 
 
+class ClientServerApplication(ManagedApplication):
+    """The paper's grid application, wrapped for the adaptation runtime."""
+
+    name = "client-server-grid"
+
+    def __init__(self, env: EnvironmentManager, testbed: Testbed,
+                 config: ScenarioConfig):
+        self.env = env
+        self.testbed = testbed
+        self.config = config
+
+    def architecture(self):
+        return build_client_server_model(
+            "GridModel",
+            assignments=self.testbed.initial_assignments,
+            groups=self.testbed.initial_groups,
+            family=build_client_server_family(),
+        )
+
+    def intent_executor(self, runtime: AdaptationRuntime) -> Translator:
+        costs = TranslationCosts(cached_gauges=self.config.gauge_caching)
+        return Translator(
+            self.env, costs,
+            gauge_manager=runtime.gauge_manager, trace=runtime.trace,
+        )
+
+    def runtime_view(self) -> RuntimeView:
+        return AppRuntimeView(self.env)
+
+
 class Experiment:
-    """One wired experiment, ready to run."""
+    """One wired experiment, ready to run.
+
+    The runtime layer (network, application, workload) is built here; the
+    adaptation stack is delegated to :class:`AdaptationRuntime` when the
+    config asks for it.  ``manager``/``model``/``probe_bus``/... remain
+    available as properties for harness compatibility.
+    """
 
     def __init__(self, config: ScenarioConfig):
         self.config = config
@@ -131,16 +183,43 @@ class Experiment:
         )
         self._build_application()
         self._build_competition()
-        # adaptation stack (model layer + monitoring)
-        self.manager: Optional[ArchitectureManager] = None
-        self.model = None
-        self.gauge_manager: Optional[GaugeManager] = None
-        self.probe_bus: Optional[EventBus] = None
-        self.gauge_bus: Optional[EventBus] = None
-        self._periodic_probes: List[Any] = []
+        # adaptation stack (model layer + monitoring), via the control plane
+        self.runtime: Optional[AdaptationRuntime] = None
         if config.adaptation:
-            self._build_adaptation()
+            self.runtime = AdaptationRuntime(
+                self.sim,
+                ClientServerApplication(self.env, self.testbed, config),
+                self._adaptation_spec(),
+                trace=self.trace,
+            )
+            if config.remos_prewarm:
+                self.remos.prewarm_all_hosts()
         self.metrics = MetricsSampler(self)
+
+    # -- control-plane views (None on control runs) ------------------------
+    @property
+    def manager(self):
+        return self.runtime.manager if self.runtime is not None else None
+
+    @property
+    def model(self):
+        return self.runtime.model if self.runtime is not None else None
+
+    @property
+    def gauge_manager(self):
+        return self.runtime.gauge_manager if self.runtime is not None else None
+
+    @property
+    def probe_bus(self) -> Optional[EventBus]:
+        return self.runtime.probe_bus if self.runtime is not None else None
+
+    @property
+    def gauge_bus(self) -> Optional[EventBus]:
+        return self.runtime.gauge_bus if self.runtime is not None else None
+
+    @property
+    def updater(self):
+        return self.runtime.updater if self.runtime is not None else None
 
     # ------------------------------------------------------------------
     # Runtime layer
@@ -202,7 +281,7 @@ class Experiment:
         ]
 
     # ------------------------------------------------------------------
-    # Model layer + monitoring
+    # Control-plane configuration (consumed by AdaptationRuntime)
     # ------------------------------------------------------------------
     def _monitoring_delay(self) -> Any:
         """Bus delivery model: in-band monitoring slows under congestion.
@@ -228,17 +307,21 @@ class Experiment:
 
         return CallableDelay(delay)
 
-    def _build_adaptation(self) -> None:
-        cfg = self.config
-        tb = self.testbed
+    def _adaptation_spec(self) -> AdaptationSpec:
+        """The client/server scenario's control plane, declaratively.
 
-        family = build_client_server_family()
-        self.model = build_client_server_model(
-            "GridModel",
-            assignments=tb.initial_assignments,
-            groups=tb.initial_groups,
-            family=family,
-        )
+        Instrument order matters (gauge activations are scheduled at
+        creation; ties break in scheduling order) and mirrors the paper's
+        deployment: per client a latency event probe, a bandwidth probe,
+        and the two matching gauges; per group a queue-length probe and
+        load gauge, plus the utilization pair when the shrink repair is on.
+        """
+        cfg = self.config
+        app, remos = self.app, self.remos
+
+        dsl_source = FIGURE5_DSL
+        if cfg.underutilization_repair:
+            dsl_source = dsl_source + "\n" + UNDERUTILIZATION_DSL
         profile = PerformanceProfile(
             max_latency=cfg.max_latency,
             max_server_load=cfg.max_server_load,
@@ -248,102 +331,81 @@ class Experiment:
                 "minUtilization": cfg.min_utilization,
             },
         )
-        checker = ConstraintChecker()
-        TaskManager(profile).configure(checker)
 
-        dsl_source = FIGURE5_DSL
-        if cfg.underutilization_repair:
-            dsl_source = dsl_source + "\n" + UNDERUTILIZATION_DSL
-        document = parse_repair_dsl(dsl_source)
-        strategies = build_strategies(document)
-        for decl in document.invariants:
-            checker.add_source(
-                decl.name, decl.expression,
-                scope_type=_INVARIANT_SCOPES.get(decl.name),
-                repair=decl.strategy,
-            )
+        instruments: List[Any] = []
+        for client in self.testbed.clients:
+            instruments.append(ProbeBinding(
+                lambda rt, c=client: ClientLatencyProbe(
+                    rt.sim, rt.probe_bus, app.client(c)
+                )
+            ))
+            instruments.append(ProbeBinding(
+                lambda rt, c=client: BandwidthProbe(
+                    rt.sim, rt.probe_bus, app, remos,
+                    c, period=cfg.bandwidth_probe_period,
+                ),
+                periodic=True,
+            ))
+            instruments.append(GaugeBinding(
+                lambda rt, c=client: AverageLatencyGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, c,
+                    period=cfg.gauge_period, horizon=cfg.latency_horizon,
+                ),
+                entities=[client],
+            ))
+            instruments.append(GaugeBinding(
+                lambda rt, c=client: BandwidthGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, c,
+                    period=cfg.gauge_period,
+                ),
+                entities=[client],
+            ))
+        for group in self.testbed.initial_groups:
+            instruments.append(ProbeBinding(
+                lambda rt, g=group: QueueLengthProbe(
+                    rt.sim, rt.probe_bus, app, g,
+                    period=cfg.load_probe_period,
+                ),
+                periodic=True,
+            ))
+            instruments.append(GaugeBinding(
+                lambda rt, g=group: LoadGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, g,
+                    period=cfg.gauge_period, horizon=cfg.load_horizon,
+                ),
+                entities=[group],
+            ))
+            if cfg.underutilization_repair:
+                instruments.append(ProbeBinding(
+                    lambda rt, g=group: UtilizationProbe(
+                        rt.sim, rt.probe_bus, app, g,
+                        period=cfg.gauge_period,
+                    ),
+                    periodic=True,
+                ))
+                instruments.append(GaugeBinding(
+                    lambda rt, g=group: UtilizationGauge(
+                        rt.sim, rt.probe_bus, rt.gauge_bus, g,
+                        period=cfg.gauge_period,
+                    ),
+                    entities=[group],
+                ))
 
-        self.gauge_manager = GaugeManager(
-            self.sim, self.trace, create_delay=14.0, cached=cfg.gauge_caching
-        )
-        costs = TranslationCosts(cached_gauges=cfg.gauge_caching)
-        translator = Translator(
-            self.env, costs, gauge_manager=self.gauge_manager, trace=self.trace
-        )
-        self.manager = ArchitectureManager(
-            self.sim,
-            self.model,
-            checker,
-            translator=translator,
-            runtime=AppRuntimeView(self.env),
-            operators=style_operators(lambda: self.sim.now),
-            trace=self.trace,
+        return AdaptationSpec(
+            style="ClientServerFam",
+            dsl_source=dsl_source,
+            invariant_scopes=_INVARIANT_SCOPES,
+            bindings=TaskManager(profile).profile.bindings(),
+            operators=lambda rt: style_operators(lambda: rt.sim.now),
+            instruments=instruments,
+            updater=lambda rt: ModelUpdater(rt.model, rt.gauge_bus, rt.manager),
+            delivery=self._monitoring_delay(),
+            gauge_create_delay=14.0,
+            gauge_caching=cfg.gauge_caching,
             settle_time=cfg.settle_time,
             failed_repair_cost=cfg.failed_repair_cost,
             violation_policy=cfg.violation_policy,
         )
-        for strategy in strategies.values():
-            self.manager.register_strategy(strategy)
-
-        # Monitoring: probe bus -> gauges -> gauge bus -> model updater.
-        delivery = self._monitoring_delay()
-        self.probe_bus = EventBus(self.sim, delivery=delivery, name="probe-bus")
-        self.gauge_bus = EventBus(self.sim, delivery=delivery, name="gauge-bus")
-
-        for client in tb.clients:
-            ClientLatencyProbe(self.sim, self.probe_bus, self.app.client(client))
-            self._periodic_probes.append(
-                BandwidthProbe(
-                    self.sim, self.probe_bus, self.app, self.remos,
-                    client, period=cfg.bandwidth_probe_period,
-                )
-            )
-            self.gauge_manager.create(
-                AverageLatencyGauge(
-                    self.sim, self.probe_bus, self.gauge_bus, client,
-                    period=cfg.gauge_period, horizon=cfg.latency_horizon,
-                ),
-                entities=[client],
-            )
-            self.gauge_manager.create(
-                BandwidthGauge(
-                    self.sim, self.probe_bus, self.gauge_bus, client,
-                    period=cfg.gauge_period,
-                ),
-                entities=[client],
-            )
-        for group in tb.initial_groups:
-            self._periodic_probes.append(
-                QueueLengthProbe(
-                    self.sim, self.probe_bus, self.app, group,
-                    period=cfg.load_probe_period,
-                )
-            )
-            self.gauge_manager.create(
-                LoadGauge(
-                    self.sim, self.probe_bus, self.gauge_bus, group,
-                    period=cfg.gauge_period, horizon=cfg.load_horizon,
-                ),
-                entities=[group],
-            )
-            if cfg.underutilization_repair:
-                self._periodic_probes.append(
-                    UtilizationProbe(
-                        self.sim, self.probe_bus, self.app, group,
-                        period=cfg.gauge_period,
-                    )
-                )
-                self.gauge_manager.create(
-                    UtilizationGauge(
-                        self.sim, self.probe_bus, self.gauge_bus, group,
-                        period=cfg.gauge_period,
-                    ),
-                    entities=[group],
-                )
-        self.updater = ModelUpdater(self.model, self.gauge_bus, self.manager)
-
-        if cfg.remos_prewarm:
-            self.remos.prewarm_all_hosts()
 
     # ------------------------------------------------------------------
     # Execution
@@ -352,8 +414,8 @@ class Experiment:
         cfg = self.config
         for generator in self.generators:
             generator.start()
-        for probe in self._periodic_probes:
-            probe.start()
+        if self.runtime is not None:
+            self.runtime.start()
         self.app.start_clients(cfg.horizon)
         self.metrics.start()
         self.sim.run(until=cfg.horizon)
@@ -361,32 +423,18 @@ class Experiment:
 
     def _result(self) -> ExperimentResult:
         dropped = sum(s.dropped for s in self.app.servers.values())
-        history = self.manager.history if self.manager else RepairHistory()
-        bus_stats: Dict[str, float] = {}
-        if self.probe_bus is not None:
-            bus_stats = {
-                "probe_published": self.probe_bus.published,
-                "probe_mean_transit": self.probe_bus.mean_transit,
-                "gauge_published": self.gauge_bus.published,
-                "gauge_mean_transit": self.gauge_bus.mean_transit,
-            }
-        gauge_stats: Dict[str, int] = {}
-        if self.gauge_manager is not None:
-            gauge_stats = {
-                "created": self.gauge_manager.created,
-                "redeployments": self.gauge_manager.redeployments,
-            }
+        rt = self.runtime
         return ExperimentResult(
             config=self.config,
             series=self.metrics.series,
             trace=self.trace,
-            history=history,
+            history=rt.history if rt is not None else RepairHistory(),
             issued=self.app.total_issued,
             completed=self.app.total_completed,
             dropped=dropped,
             remos_stats=self.remos.stats,
-            bus_stats=bus_stats,
-            gauge_stats=gauge_stats,
+            bus_stats=rt.bus_stats() if rt is not None else {},
+            gauge_stats=rt.gauge_stats() if rt is not None else {},
         )
 
 
@@ -394,18 +442,77 @@ class Experiment:
 # Result cache (benches share the two 30-minute headline runs)
 # ---------------------------------------------------------------------------
 
-_CACHE: Dict[Tuple, ExperimentResult] = {}
+class _ResultCache:
+    """Bounded LRU keyed by :meth:`ScenarioConfig.cache_key`.
+
+    Long parameter sweeps touch many configs; an unbounded dict of full
+    :class:`ExperimentResult` objects (series + traces) grows without
+    limit.  The default cap of 32 comfortably covers the headline runs
+    plus every ablation the benches share.
+    """
+
+    def __init__(self, capacity: int = 32):
+        self._data: "OrderedDict[Tuple, ExperimentResult]" = OrderedDict()
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Tuple) -> Optional[ExperimentResult]:
+        result = self._data.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: Tuple, result: ExperimentResult) -> None:
+        self._data[key] = result
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+_CACHE = _ResultCache()
 
 
 def run_scenario(config: ScenarioConfig, fresh: bool = False) -> ExperimentResult:
-    """Run (or fetch the cached result of) one scenario."""
+    """Run (or fetch the cached result of) one scenario.
+
+    Dispatches through the scenario registry
+    (:mod:`repro.experiment.scenarios`) on ``config.scenario``, so any
+    registered scenario — ``client_server``, ``pipeline``, or a
+    user-registered one — runs through the same caching front door.
+    """
     key = config.cache_key()
-    if not fresh and key in _CACHE:
-        return _CACHE[key]
-    result = Experiment(config).run()
-    _CACHE[key] = result
+    if not fresh:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+    from repro.experiment.scenarios import scenario_builder
+
+    result = scenario_builder(config.scenario)(config).run()
+    _CACHE.put(key, result)
     return result
 
 
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+def set_cache_capacity(capacity: int) -> None:
+    """Bound the result cache (evicting least-recently-used overflow)."""
+    _CACHE.resize(capacity)

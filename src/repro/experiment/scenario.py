@@ -20,6 +20,12 @@ class ScenarioConfig:
     seed: int = 2002  # HPDC'02
     horizon: float = 1800.0
 
+    #: which registered scenario builds the experiment (see
+    #: :mod:`repro.experiment.scenarios`); the paper's client/server
+    #: testbed is the default, ``"pipeline"`` drives the batch-pipeline
+    #: style end-to-end.
+    scenario: str = "client_server"
+
     # adaptation stack
     adaptation: bool = True
     underutilization_repair: bool = True

@@ -1,0 +1,84 @@
+"""The scenario registry: named experiment builders.
+
+A *scenario* pairs an application (runtime layer) with the control plane
+that adapts it.  Builders take a :class:`ScenarioConfig` and return an
+experiment object exposing ``run() -> ExperimentResult``;
+:func:`repro.experiment.runner.run_scenario` dispatches through this
+registry on ``config.scenario``, so every scenario shares the same
+caching front door and result shape.
+
+Built-ins:
+
+* ``client_server`` — the paper's Figure 6/7 grid experiment
+  (:class:`~repro.experiment.runner.Experiment`);
+* ``pipeline`` — a batch pipeline driven through the same
+  :class:`~repro.runtime.core.AdaptationRuntime` with the
+  :mod:`repro.styles.pipeline` style
+  (:class:`~repro.experiment.pipeline_scenario.PipelineExperiment`).
+
+Downstream code can register more::
+
+    from repro.experiment.scenarios import register_scenario
+
+    @register_scenario("my_scenario")
+    def build(config):
+        return MyExperiment(config)
+
+    run_scenario(ScenarioConfig(scenario="my_scenario"))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.experiment.pipeline_scenario import PipelineExperiment
+from repro.experiment.runner import Experiment
+from repro.experiment.scenario import ScenarioConfig
+
+__all__ = [
+    "register_scenario",
+    "scenario_builder",
+    "scenario_names",
+]
+
+#: scenario name -> builder(config) -> experiment with .run()
+_REGISTRY: Dict[str, Callable[[ScenarioConfig], object]] = {}
+
+
+def register_scenario(name: str):
+    """Decorator registering a scenario builder under ``name``."""
+
+    def decorate(builder: Callable[[ScenarioConfig], object]):
+        if name in _REGISTRY:
+            raise ReproError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = builder
+        return builder
+
+    return decorate
+
+
+def scenario_builder(name: str) -> Callable[[ScenarioConfig], object]:
+    """The builder registered under ``name`` (raises on unknown names)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"no scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+@register_scenario("client_server")
+def _build_client_server(config: ScenarioConfig) -> Experiment:
+    """The paper's client/server grid experiment."""
+    return Experiment(config)
+
+
+@register_scenario("pipeline")
+def _build_pipeline(config: ScenarioConfig) -> PipelineExperiment:
+    """The batch-pipeline scenario (style generality, end to end)."""
+    return PipelineExperiment(config)

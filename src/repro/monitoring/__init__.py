@@ -22,6 +22,7 @@ from repro.monitoring.probes import (
     QueueLengthProbe,
     BandwidthProbe,
     UtilizationProbe,
+    StageBacklogProbe,
 )
 from repro.monitoring.gauges import (
     Gauge,
@@ -29,6 +30,7 @@ from repro.monitoring.gauges import (
     LoadGauge,
     BandwidthGauge,
     UtilizationGauge,
+    BacklogGauge,
 )
 from repro.monitoring.manager import GaugeManager
 from repro.monitoring.consumers import ModelUpdater
@@ -38,11 +40,13 @@ __all__ = [
     "QueueLengthProbe",
     "BandwidthProbe",
     "UtilizationProbe",
+    "StageBacklogProbe",
     "Gauge",
     "AverageLatencyGauge",
     "LoadGauge",
     "BandwidthGauge",
     "UtilizationGauge",
+    "BacklogGauge",
     "GaugeManager",
     "ModelUpdater",
 ]

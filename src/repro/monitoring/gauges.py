@@ -24,6 +24,7 @@ __all__ = [
     "LoadGauge",
     "BandwidthGauge",
     "UtilizationGauge",
+    "BacklogGauge",
 ]
 
 
@@ -157,6 +158,29 @@ class LoadGauge(Gauge):
         super().__init__(
             sim, probe_bus, gauge_bus, group,
             probe_subject=f"probe.load.{group}", period=period,
+        )
+        self.window = SlidingWindow(horizon)
+
+    def _consume(self, message: Message) -> None:
+        self.window.add(self.sim.now, float(message["length"]))
+
+    def _value(self) -> Optional[float]:
+        return self.window.mean(self.sim.now)
+
+    def _clear(self) -> None:
+        self.window.clear()
+
+
+class BacklogGauge(Gauge):
+    """Windowed mean waiting-item count for one pipeline stage."""
+
+    kind = "backlog"
+
+    def __init__(self, sim, probe_bus, gauge_bus, stage: str,
+                 period: float = 5.0, horizon: float = 30.0):
+        super().__init__(
+            sim, probe_bus, gauge_bus, stage,
+            probe_subject=f"probe.backlog.{stage}", period=period,
         )
         self.window = SlidingWindow(horizon)
 

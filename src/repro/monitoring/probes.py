@@ -31,6 +31,7 @@ __all__ = [
     "QueueLengthProbe",
     "BandwidthProbe",
     "UtilizationProbe",
+    "StageBacklogProbe",
 ]
 
 
@@ -161,6 +162,28 @@ class BandwidthProbe(_PeriodicProbe):
                 group=group,
                 bandwidth=pending["min"],
             )
+
+
+class StageBacklogProbe(_PeriodicProbe):
+    """Samples a pipeline stage's waiting-item count.
+
+    The pipeline scenario's analogue of :class:`QueueLengthProbe`; the
+    observed application only needs ``backlog(stage) -> int``.
+    """
+
+    def __init__(
+        self, sim: Simulator, bus: EventBus, app, stage: str, period: float = 1.0,
+    ):
+        super().__init__(sim, bus, f"probe.backlog.{stage}", period)
+        self.app = app
+        self.stage = stage
+
+    def sample(self) -> None:
+        self.publish(
+            f"probe.backlog.{self.stage}",
+            stage=self.stage,
+            length=float(self.app.backlog(self.stage)),
+        )
 
 
 class UtilizationProbe(_PeriodicProbe):

@@ -1,0 +1,151 @@
+"""The reusable adaptation control plane.
+
+:class:`AdaptationRuntime` assembles the full monitoring-and-repair stack
+of Figure 1 — probe bus, gauges and their manager, architectural model,
+constraint checker, repair engine, translator — from a declarative
+:class:`~repro.runtime.spec.AdaptationSpec` and a wrapped
+:class:`~repro.runtime.app.ManagedApplication`.  Nothing in here knows
+about clients, servers, pipelines, or any other style: scenario builders
+(see :mod:`repro.experiment.scenarios`) provide the style-specific parts
+as data.
+
+Construction order is fixed and documented because the simulator breaks
+ties in scheduling order; building the same spec twice must produce the
+same event schedule:
+
+1. architectural model (from the managed application);
+2. constraint checker + threshold bindings;
+3. repair DSL parse, strategy build, invariant registration;
+4. gauge manager;
+5. intent executor (translator), which may capture the gauge manager;
+6. architecture manager + strategy registration;
+7. probe bus, then gauge bus (sharing the spec's delivery model);
+8. instruments, in spec order (gauge creation schedules activations);
+9. model updater.
+
+``start`` launches the periodic probes (in instrument order); everything
+else is event-driven from there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.bus.bus import EventBus
+from repro.constraints.invariants import ConstraintChecker
+from repro.monitoring.gauges import Gauge
+from repro.monitoring.manager import GaugeManager
+from repro.repair.dsl import parse_repair_dsl
+from repro.repair.dsl.interp import build_strategies
+from repro.repair.engine import ArchitectureManager
+from repro.runtime.app import ManagedApplication
+from repro.runtime.spec import AdaptationSpec, GaugeBinding, ProbeBinding
+from repro.runtime.updater import PropertyUpdater
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+__all__ = ["AdaptationRuntime"]
+
+
+class AdaptationRuntime:
+    """One scenario's control plane, built from a spec + managed app."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: ManagedApplication,
+        spec: AdaptationSpec,
+        trace: Optional[Trace] = None,
+    ):
+        self.sim = sim
+        self.app = app
+        self.spec = spec
+        self.trace = trace if trace is not None else Trace()
+
+        # 1-3: model layer
+        self.model = app.architecture()
+        self.checker = ConstraintChecker()
+        self.checker.bindings.update(spec.bindings)
+        document = parse_repair_dsl(spec.dsl_source)
+        strategies = build_strategies(document)
+        for decl in document.invariants:
+            self.checker.add_source(
+                decl.name, decl.expression,
+                scope_type=spec.invariant_scopes.get(decl.name),
+                repair=decl.strategy,
+            )
+
+        # 4-6: gauge lifecycle, translation, repair engine
+        self.gauge_manager = GaugeManager(
+            sim, self.trace,
+            create_delay=spec.gauge_create_delay, cached=spec.gauge_caching,
+        )
+        self.translator = app.intent_executor(self)
+        self.manager = ArchitectureManager(
+            sim,
+            self.model,
+            self.checker,
+            translator=self.translator,
+            runtime=app.runtime_view(),
+            operators=spec.operators(self),
+            trace=self.trace,
+            settle_time=spec.settle_time,
+            failed_repair_cost=spec.failed_repair_cost,
+            violation_policy=spec.violation_policy,
+        )
+        for strategy in strategies.values():
+            self.manager.register_strategy(strategy)
+
+        # 7-8: monitoring infrastructure
+        self.probe_bus = EventBus(sim, delivery=spec.delivery, name="probe-bus")
+        self.gauge_bus = EventBus(sim, delivery=spec.delivery, name="gauge-bus")
+        self.probes: List[Any] = []
+        self.periodic_probes: List[Any] = []
+        self.gauges: List[Gauge] = []
+        for binding in spec.instruments:
+            if isinstance(binding, GaugeBinding):
+                gauge = binding.factory(self)
+                self.gauge_manager.create(gauge, entities=binding.entities)
+                self.gauges.append(gauge)
+            elif isinstance(binding, ProbeBinding):
+                probe = binding.factory(self)
+                self.probes.append(probe)
+                if binding.periodic:
+                    self.periodic_probes.append(probe)
+            else:  # pragma: no cover - spec typo guard
+                raise TypeError(f"unknown instrument binding {binding!r}")
+
+        # 9: close the monitoring half of the loop
+        if spec.updater is not None:
+            self.updater = spec.updater(self)
+        else:
+            self.updater = PropertyUpdater(
+                self.model, self.gauge_bus, self.manager,
+                property_map=spec.gauge_property_map,
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Start every periodic probe (in instrument order)."""
+        for probe in self.periodic_probes:
+            probe.start()
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def history(self):
+        return self.manager.history
+
+    def bus_stats(self) -> Dict[str, float]:
+        """Monitoring-overhead numbers for the experiment harness."""
+        return {
+            "probe_published": self.probe_bus.published,
+            "probe_mean_transit": self.probe_bus.mean_transit,
+            "gauge_published": self.gauge_bus.published,
+            "gauge_mean_transit": self.gauge_bus.mean_transit,
+        }
+
+    def gauge_stats(self) -> Dict[str, int]:
+        return {
+            "created": self.gauge_manager.created,
+            "redeployments": self.gauge_manager.redeployments,
+        }

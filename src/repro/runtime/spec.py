@@ -1,0 +1,113 @@
+"""Declarative configuration for an :class:`AdaptationRuntime`.
+
+An :class:`AdaptationSpec` says *what* the control plane for one scenario
+looks like — style family, repair DSL source, monitoring instrumentation,
+thresholds, repair-engine policy — without wiring any of it.  The runtime
+consumes the spec in a fixed order (model, checker, DSL, gauge manager,
+translator, engine, buses, instruments, updater), so two runs built from
+equal specs produce identical event schedules.
+
+Instrumentation is an ordered list of bindings rather than a free-form
+callback: each :class:`ProbeBinding`/:class:`GaugeBinding` contributes one
+probe or gauge, and the list order *is* the creation order.  Creation
+order matters in a deterministic simulator — gauge activations are
+scheduled at construction time and ties break in scheduling order — which
+is why the spec keeps it explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.bus.bus import DeliveryModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.gauges import Gauge
+    from repro.runtime.core import AdaptationRuntime
+
+__all__ = ["ProbeBinding", "GaugeBinding", "InstrumentBinding", "AdaptationSpec"]
+
+
+@dataclass(frozen=True)
+class ProbeBinding:
+    """One probe to deploy: a factory invoked with the built runtime.
+
+    The factory typically closes over application objects and attaches the
+    probe to ``runtime.probe_bus``.  Periodic probes are collected into
+    ``runtime.periodic_probes`` and started by :meth:`AdaptationRuntime.start`;
+    event probes (e.g. response hooks) need no start call.
+    """
+
+    factory: Callable[["AdaptationRuntime"], Any]
+    periodic: bool = False
+
+
+@dataclass(frozen=True)
+class GaugeBinding:
+    """One gauge to deploy through the runtime's gauge manager.
+
+    ``entities`` names the runtime entities the gauge observes (used for
+    repair-time redeployment); defaults to the gauge's own target.
+    """
+
+    factory: Callable[["AdaptationRuntime"], "Gauge"]
+    entities: Optional[List[str]] = None
+
+
+InstrumentBinding = Union[ProbeBinding, GaugeBinding]
+
+
+@dataclass
+class AdaptationSpec:
+    """Everything that defines one scenario's control plane.
+
+    Required:
+
+    * ``style`` — the style-family name (informational; traces/reporting);
+    * ``dsl_source`` — repair DSL text: invariants, strategies, tactics;
+    * ``invariant_scopes`` — invariant name -> scope element type (how the
+      checker fans each invariant out over model elements);
+    * ``bindings`` — constraint-language globals (the task layer's
+      thresholds, e.g. ``maxLatency``);
+    * ``operators`` — builds the style-operator table for repair contexts
+      (receives the runtime so operators can read the simulation clock);
+    * ``instruments`` — ordered probe/gauge bindings (see module doc).
+
+    Optional knobs mirror the seed experiment's defaults: bus delivery
+    model (shared by both buses when given), gauge lifecycle costs, and
+    the repair engine's pacing/selection policy.  ``updater`` builds the
+    gauge consumer that maps reports onto the model; when omitted the
+    generic :class:`~repro.runtime.updater.PropertyUpdater` is used with
+    ``gauge_property_map``.
+    """
+
+    style: str
+    dsl_source: str
+    invariant_scopes: Mapping[str, Optional[str]]
+    bindings: Mapping[str, Any]
+    operators: Callable[["AdaptationRuntime"], Mapping[str, Callable[..., Any]]]
+    instruments: Sequence[InstrumentBinding] = ()
+
+    updater: Optional[Callable[["AdaptationRuntime"], Any]] = None
+    gauge_property_map: Dict[str, str] = field(default_factory=dict)
+    delivery: Optional[DeliveryModel] = None
+
+    # gauge lifecycle (paper §4: creation charges a deployment delay)
+    gauge_create_delay: float = 14.0
+    gauge_caching: bool = False
+
+    # repair engine policy (paper §5.3/§7)
+    settle_time: float = 20.0
+    failed_repair_cost: float = 2.0
+    violation_policy: str = "first"

@@ -1,0 +1,57 @@
+"""Style-agnostic gauge consumer: maps reports onto model properties.
+
+The client/server scenario keeps its specialised
+:class:`~repro.monitoring.consumers.ModelUpdater` (it also mirrors values
+onto link connectors and roles, which Figure 5's ``badRole`` needs).  Every
+other style can use this generic consumer: ``gauge.<kind>.<target>``
+reports set ``property_map[kind]`` on the model component named
+``<target>``, then nudge the architecture manager to re-evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.acme.system import ArchSystem
+from repro.bus.bus import EventBus
+from repro.bus.messages import Message
+
+__all__ = ["PropertyUpdater"]
+
+
+class PropertyUpdater:
+    """Applies ``gauge.<kind>.<target>`` reports via a kind -> property map.
+
+    Reports whose kind is unmapped or whose target is missing from the
+    model (e.g. a gauge firing mid-repair for a just-removed element) are
+    counted and skipped, like the client/server updater.
+    """
+
+    def __init__(
+        self,
+        system: ArchSystem,
+        gauge_bus: EventBus,
+        arch_manager=None,
+        property_map: Optional[Mapping[str, str]] = None,
+    ):
+        self.system = system
+        self.arch_manager = arch_manager
+        self.property_map = dict(property_map or {})
+        self.applied = 0
+        self.skipped = 0
+        gauge_bus.subscribe("gauge.>", self._on_report)
+
+    def _on_report(self, message: Message) -> None:
+        parts = message.subject.split(".")
+        if len(parts) != 3:
+            self.skipped += 1
+            return
+        _, kind, target = parts
+        prop = self.property_map.get(kind)
+        if prop is None or not self.system.has_component(target):
+            self.skipped += 1
+            return
+        self.system.component(target).set_property(prop, float(message["value"]))
+        self.applied += 1
+        if self.arch_manager is not None:
+            self.arch_manager.evaluate()

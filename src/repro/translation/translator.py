@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.app.env_manager import EnvironmentManager
 from repro.errors import EnvironmentError_, TranslationError
 from repro.repair.context import RuntimeIntent
+from repro.runtime.app import IntentExecutor
 from repro.sim.process import Process
 from repro.sim.trace import Trace
 from repro.translation.costs import TranslationCosts
@@ -30,7 +31,7 @@ from repro.translation.costs import TranslationCosts
 __all__ = ["Translator"]
 
 
-class Translator:
+class Translator(IntentExecutor):
     """Model-operator to runtime-operation mapping and execution engine."""
 
     def __init__(

@@ -1,0 +1,103 @@
+"""End-to-end tests for the registered ``pipeline`` scenario.
+
+The acceptance shape mirrors the paper's headline comparison, transposed
+to the batch-pipeline style: under the same seeded burst workload, the
+adapted run detects the backlog violation, widens the slowest stage
+through the full control plane (gauges -> model -> constraint -> repair
+-> translation), and the backlog recovers; the control run commits no
+repairs and ends the horizon still drowning.
+"""
+
+import pytest
+
+from repro.experiment import ScenarioConfig, run_scenario
+from repro.experiment.pipeline_scenario import (
+    BURST_RATE,
+    MAX_BACKLOG,
+    PipelineExperiment,
+    STAGES,
+    WORKER_BUDGET,
+)
+
+
+def _adapted():
+    return run_scenario(ScenarioConfig(name="adapted", scenario="pipeline"))
+
+
+def _control():
+    return run_scenario(
+        ScenarioConfig(name="control", scenario="pipeline", adaptation=False)
+    )
+
+
+class TestPipelineScenarioEndToEnd:
+    def test_same_seeded_workload_both_runs(self):
+        assert _adapted().issued == _control().issued > 0
+
+    def test_adapted_commits_repairs_control_does_not(self):
+        adapted, control = _adapted(), _control()
+        assert len(adapted.history.committed) >= 1
+        assert len(control.history) == 0
+        record = adapted.history.committed[0]
+        assert record.strategy == "fixBacklog"
+        assert record.intents and record.intents[0].op == "widenStage"
+
+    def test_repair_widens_the_slowest_stage(self):
+        adapted = _adapted()
+        # transform is the designed bottleneck; every widening targets it
+        targets = {
+            i.args["stage"]
+            for r in adapted.history.committed
+            for i in r.intents
+        }
+        assert targets == {"transform"}
+        assert adapted.s("width.transform").values[-1] > 1
+        # ... within the style's worker budget
+        final_total = sum(
+            adapted.s(f"width.{name}").values[-1] for name, _, _ in STAGES
+        )
+        assert final_total <= WORKER_BUDGET
+
+    def test_adapted_backlog_recovers_control_drowns(self):
+        adapted, control = _adapted(), _control()
+        assert adapted.s("backlog.transform").values[-1] < MAX_BACKLOG
+        assert control.s("backlog.transform").values[-1] > 10 * MAX_BACKLOG
+        assert adapted.completed > control.completed
+
+    def test_widened_capacity_covers_burst(self):
+        adapted = _adapted()
+        final_width = adapted.s("width.transform").values[-1]
+        service_time = dict((n, t) for n, _, t in STAGES)["transform"]
+        assert final_width / service_time >= BURST_RATE
+
+    def test_repair_marks_fall_inside_run(self):
+        adapted = _adapted()
+        intervals = adapted.repair_intervals()
+        assert len(intervals) >= 1
+        for start, end in intervals:
+            assert 0.0 < start < end <= adapted.config.horizon
+
+    def test_control_has_no_control_plane(self):
+        exp = PipelineExperiment(
+            ScenarioConfig(name="control", scenario="pipeline", adaptation=False)
+        )
+        assert exp.runtime is None
+
+    def test_cache_key_distinguishes_scenarios(self):
+        client_server = ScenarioConfig(name="adapted")
+        pipeline = ScenarioConfig(name="adapted", scenario="pipeline")
+        assert client_server.cache_key() != pipeline.cache_key()
+
+    def test_results_reproducible_for_same_seed(self):
+        first = run_scenario(
+            ScenarioConfig(name="adapted", scenario="pipeline"), fresh=True
+        )
+        second = run_scenario(
+            ScenarioConfig(name="adapted", scenario="pipeline"), fresh=True
+        )
+        assert first.issued == second.issued
+        assert first.completed == second.completed
+        assert len(first.history) == len(second.history)
+        assert list(first.s("backlog.transform").values) == pytest.approx(
+            list(second.s("backlog.transform").values)
+        )
