@@ -1,0 +1,183 @@
+"""X4 — control-loop constraint checking: interpreted-full vs compiled-incremental.
+
+The adaptation loop's hottest path is ``ConstraintChecker.check_all``:
+every gauge report may trigger it, and the paper's viability argument
+(Figures 8-13) rests on the control loop staying cheap relative to the
+managed application.  The seed implementation re-walked every invariant
+AST over every scope element per check — O(model) — while a real control
+loop touches ~1% of the model between checks.
+
+This bench builds synthetic architectures of 100/300/1000 components
+(each with a latency/load/utilization property set and a role-carrying
+link, mirroring the client/server shape), registers the style's three
+invariant shapes (two type-scoped scope-local ones plus one system-wide
+quantified one), dirties 1% of the components per round, and measures
+rounds/sec and per-check latency for:
+
+* ``interpreted-full``  — tree-walking evaluator, no caching (the seed);
+* ``compiled-full``     — closure compiler, no caching (ablation);
+* ``compiled-incremental`` — the default fast path.
+
+Output: a rendered table artifact plus machine-readable
+``out/BENCH_control_loop.json``.  The acceptance gate asserts >= 5x for
+compiled-incremental over interpreted-full at 300 components with 1%
+dirty per round.  ``BENCH_FAST=1`` shrinks the sizes so CI smoke runs
+keep the emitters and assertions honest without the full cost.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.acme.system import ArchSystem
+from repro.constraints.invariants import ConstraintChecker
+from repro.util.tables import render_table
+
+FAST = os.environ.get("BENCH_FAST", "") == "1"
+SIZES = (30, 60) if FAST else (100, 300, 1000)
+DIRTY_FRACTION = 0.01
+GATE_SIZE = 300          # the acceptance-criterion size
+GATE_SPEEDUP = 5.0
+
+BINDINGS = {"maxLatency": 2.0, "maxLoad": 6.0, "minUtilization": 0.35}
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def build_model(n_components: int) -> ArchSystem:
+    """A client/server-shaped synthetic model: components + role links."""
+    system = ArchSystem(f"Synthetic{n_components}")
+    for i in range(n_components):
+        comp = system.new_component(f"n{i}", ["NodeT"])
+        comp.set_property("latency", 1.0 + (i % 7) * 0.1)
+        comp.set_property("load", float(i % 5))
+        comp.set_property("utilization", 0.5 + (i % 4) * 0.1)
+        comp.add_port("req", {"RequestT"})
+        link = system.new_connector(f"link_n{i}", ["LinkT"])
+        role = link.add_role("client", {"ClientRoleT"})
+        role.set_property("latency", 1.0)
+        system.attach(comp.port("req"), role)
+    return system
+
+
+def build_checker(compiled: bool, incremental: bool) -> ConstraintChecker:
+    checker = ConstraintChecker(
+        bindings=dict(BINDINGS), compiled=compiled, incremental=incremental
+    )
+    checker.add_source("r", "latency <= maxLatency", scope_type="NodeT")
+    checker.add_source(
+        "u", "load <= maxLoad or utilization >= minUtilization",
+        scope_type="NodeT",
+    )
+    checker.add_source(
+        "g", "forall n : NodeT in system.components | n.latency >= 0"
+    )
+    return checker
+
+
+def run_variant(checker: ConstraintChecker, system: ArchSystem,
+                n_components: int, rounds: int):
+    """``rounds`` checks, dirtying 1% of the components before each."""
+    dirty_count = max(1, int(n_components * DIRTY_FRACTION))
+    components = system.components
+    cursor = 0
+    checker.check_all(system)  # warm: compile + populate the cache
+    start = time.perf_counter()
+    results = None
+    for round_no in range(rounds):
+        for k in range(dirty_count):
+            comp = components[(cursor + k) % n_components]
+            comp.set_property("latency", 1.0 + ((round_no + k) % 9) * 0.1)
+        cursor = (cursor + dirty_count) % n_components
+        results = checker.check_all(system)
+    elapsed = time.perf_counter() - start
+    return elapsed, results
+
+
+def run_comparison():
+    variants = (
+        ("interpreted-full", False, False),
+        ("compiled-full", True, False),
+        ("compiled-incremental", True, True),
+    )
+    report = {}
+    for size in SIZES:
+        rounds = max(10, 6000 // size) if FAST else max(20, 30000 // size)
+        per_size = {}
+        reference_sample = None
+        for label, compiled, incremental in variants:
+            system = build_model(size)  # fresh model: identical dirt pattern
+            checker = build_checker(compiled, incremental)
+            elapsed, results = run_variant(checker, system, size, rounds)
+            assert results is not None and all(r.ok for r in results)
+            sample = [(r.invariant, r.scope, r.ok, r.error) for r in results]
+            if reference_sample is None:
+                reference_sample = sample
+            else:
+                assert sample == reference_sample, f"{label} diverged at {size}"
+            per_size[label] = {
+                "rounds": rounds,
+                "seconds": elapsed,
+                "checks_per_second": rounds / elapsed,
+                "per_check_ms": 1000.0 * elapsed / rounds,
+                "scopes_evaluated": checker.stats["scopes_evaluated"],
+                "scopes_reused": checker.stats["scopes_reused"],
+            }
+        base = per_size["interpreted-full"]["per_check_ms"]
+        for label in per_size:
+            per_size[label]["speedup"] = base / per_size[label]["per_check_ms"]
+        report[size] = per_size
+    return report
+
+
+def test_x4_control_loop(artifact):
+    report = run_comparison()
+
+    rows = []
+    for size, per_size in report.items():
+        for label, stats in per_size.items():
+            rows.append([
+                size, label,
+                round(stats["per_check_ms"], 4),
+                int(stats["checks_per_second"]),
+                stats["scopes_evaluated"],
+                round(stats["speedup"], 1),
+            ])
+    text = render_table(
+        ["components", "variant", "per-check (ms)", "checks/s",
+         "scopes evaluated", "speedup (x)"],
+        rows,
+        title=(
+            f"X4: check_all with {DIRTY_FRACTION:.0%} dirty elements "
+            f"per round{' [fast mode]' if FAST else ''}"
+        ),
+    )
+    print(text)
+    artifact("x4_control_loop", text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_control_loop.json").write_text(
+        json.dumps(
+            {
+                "bench": "x4_control_loop",
+                "fast": FAST,
+                "dirty_fraction": DIRTY_FRACTION,
+                "sizes": list(SIZES),
+                "results": {str(k): v for k, v in report.items()},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The fast path must beat the seed path everywhere...
+    for size, per_size in report.items():
+        assert per_size["compiled-incremental"]["speedup"] > 1.0, (
+            f"no speedup at {size} components"
+        )
+    # ...and by >= 5x at the acceptance size (full runs only).
+    if GATE_SIZE in report:
+        speedup = report[GATE_SIZE]["compiled-incremental"]["speedup"]
+        assert speedup >= GATE_SPEEDUP, (
+            f"compiled-incremental only {speedup:.1f}x at {GATE_SIZE} components"
+        )

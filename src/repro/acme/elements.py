@@ -45,6 +45,10 @@ class Element(PropertyBag):
         self.name = _check_name(name)
         self.types: Set[str] = set(types or ())
         self.system: Optional["ArchSystem"] = None
+        #: owning system's epoch at this element's last property change;
+        #: maintained by :meth:`ArchSystem._touch` for incremental
+        #: constraint checking (see repro.constraints.invariants)
+        self.dirty_epoch: int = 0
 
     def declares_type(self, type_name: str) -> bool:
         return type_name in self.types
@@ -104,12 +108,16 @@ class Component(Element):
         self._ports[name] = port
         if self.system is not None:
             self.system._adopt(port)  # late port: wire change forwarding now
+            self.system._touch_structure()
         return port
 
     def remove_port(self, name: str) -> Port:
         if name not in self._ports:
             raise UnknownElementError(f"no port {name!r} on {self.name!r}")
-        return self._ports.pop(name)
+        port = self._ports.pop(name)
+        if self.system is not None:
+            self.system._touch_structure()
+        return port
 
     def port(self, name: str) -> Port:
         try:
@@ -142,12 +150,16 @@ class Connector(Element):
         self._roles[name] = role
         if self.system is not None:
             self.system._adopt(role)  # late role: wire change forwarding now
+            self.system._touch_structure()
         return role
 
     def remove_role(self, name: str) -> Role:
         if name not in self._roles:
             raise UnknownElementError(f"no role {name!r} on {self.name!r}")
-        return self._roles.pop(name)
+        role = self._roles.pop(name)
+        if self.system is not None:
+            self.system._touch_structure()
+        return role
 
     def role(self, name: str) -> Role:
         try:

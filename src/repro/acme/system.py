@@ -8,7 +8,8 @@ engine's transactions stack to implement Figure 5's ``commit repair`` /
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.acme.elements import Attachment, Component, Connector, Element, Port, Role
 from repro.errors import (
@@ -21,6 +22,10 @@ __all__ = ["ArchSystem"]
 
 # (description, undo_closure) delivered to mutation listeners
 MutationListener = Callable[[str, Callable[[], None]], None]
+
+#: bound on the per-system dirty log; when exceeded, incremental
+#: consumers that fell too far behind get a ``None`` ("do a full pass")
+_DIRTY_LOG_CAP = 4096
 
 
 class ArchSystem:
@@ -35,6 +40,50 @@ class ArchSystem:
         self._mutation_listeners: List[MutationListener] = []
         self._property_listeners: List[Callable[[Element, str, Any, Any], None]] = []
         self.invariant_sources: List[Tuple[str, str]] = []  # (name, expression text)
+        #: monotone change counter: bumped by every property/structural
+        #: mutation (including transaction undo); the incremental
+        #: constraint checker keys its result cache on this
+        self.epoch: int = 0
+        #: ``epoch`` value of the last *structural* mutation (element
+        #: add/remove, port/role add/remove, attach/detach) — structural
+        #: changes invalidate cached invariant scope lists wholesale
+        self.structure_epoch: int = 0
+        self._dirty_log: Deque[Tuple[int, Element]] = deque()
+        self._dirty_floor: int = 0  # epochs <= floor fell off the log
+
+    # ------------------------------------------------------------------
+    # Change epochs (incremental constraint evaluation)
+    # ------------------------------------------------------------------
+    def _touch(self, element: Element) -> None:
+        """Record a property change on ``element`` at a fresh epoch."""
+        self.epoch += 1
+        element.dirty_epoch = self.epoch
+        log = self._dirty_log
+        if len(log) >= _DIRTY_LOG_CAP:
+            self._dirty_floor = log.popleft()[0]
+        log.append((self.epoch, element))
+
+    def _touch_structure(self) -> None:
+        """Record a structural mutation (scope sets may have changed)."""
+        self.epoch += 1
+        self.structure_epoch = self.epoch
+
+    def dirty_elements_since(self, epoch: int) -> Optional[List[Element]]:
+        """Elements whose properties changed after ``epoch`` (deduplicated,
+        most recent first), or None when the log no longer reaches back
+        that far and the caller must fall back to a full pass."""
+        if epoch < self._dirty_floor:
+            return None
+        out: List[Element] = []
+        seen: Set[int] = set()
+        for logged_epoch, element in reversed(self._dirty_log):
+            if logged_epoch <= epoch:
+                break
+            marker = id(element)
+            if marker not in seen:
+                seen.add(marker)
+                out.append(element)
+        return out
 
     # ------------------------------------------------------------------
     # Observation
@@ -58,6 +107,7 @@ class ArchSystem:
         element.system = self
 
         def forward(owner, name, old, new, _elem=element):
+            self._touch(_elem if owner is _elem else owner)
             for listener in self._property_listeners:
                 listener(_elem if owner is _elem else owner, name, old, new)
             # Property change undo: restore the previous value.
@@ -82,6 +132,7 @@ class ArchSystem:
             raise DuplicateElementError(f"element {component.name!r} already in system")
         self._components[component.name] = component
         self._adopt(component)
+        self._touch_structure()
         self._mutated(
             f"add component {component.name}",
             lambda: self._silent_remove_component(component.name),
@@ -98,11 +149,13 @@ class ArchSystem:
         for att in dropped:
             self.detach(att.port, att.role)
         del self._components[name]
+        self._touch_structure()
 
         def undo() -> None:
             self._components[name] = comp
             for att in dropped:
                 self._attachments[att.key] = att
+            self._touch_structure()
 
         self._mutated(f"remove component {name}", undo)
         return comp
@@ -114,12 +167,14 @@ class ArchSystem:
         for key, att in list(self._attachments.items()):
             if att.port.component is comp:
                 del self._attachments[key]
+        self._touch_structure()
 
     def add_connector(self, connector: Connector) -> Connector:
         if connector.name in self._connectors or connector.name in self._components:
             raise DuplicateElementError(f"element {connector.name!r} already in system")
         self._connectors[connector.name] = connector
         self._adopt(connector)
+        self._touch_structure()
         self._mutated(
             f"add connector {connector.name}",
             lambda: self._silent_remove_connector(connector.name),
@@ -135,11 +190,13 @@ class ArchSystem:
         for att in dropped:
             self.detach(att.port, att.role)
         del self._connectors[name]
+        self._touch_structure()
 
         def undo() -> None:
             self._connectors[name] = conn
             for att in dropped:
                 self._attachments[att.key] = att
+            self._touch_structure()
 
         self._mutated(f"remove connector {name}", undo)
         return conn
@@ -151,6 +208,7 @@ class ArchSystem:
         for key, att in list(self._attachments.items()):
             if att.role.connector is conn:
                 del self._attachments[key]
+        self._touch_structure()
 
     # ------------------------------------------------------------------
     # Attachments
@@ -167,9 +225,13 @@ class ArchSystem:
         if att.key in self._attachments:
             raise AttachmentError(f"duplicate attachment {att}")
         self._attachments[att.key] = att
-        self._mutated(
-            f"attach {att}", lambda: self._attachments.pop(att.key, None)
-        )
+        self._touch_structure()
+
+        def undo() -> None:
+            self._attachments.pop(att.key, None)
+            self._touch_structure()
+
+        self._mutated(f"attach {att}", undo)
         return att
 
     def detach(self, port: Port, role: Role) -> None:
@@ -179,9 +241,13 @@ class ArchSystem:
             raise AttachmentError(
                 f"no attachment {port.qualified_name} to {role.qualified_name}"
             )
-        self._mutated(
-            f"detach {att}", lambda: self._attachments.__setitem__(att.key, att)
-        )
+        self._touch_structure()
+
+        def undo() -> None:
+            self._attachments[att.key] = att
+            self._touch_structure()
+
+        self._mutated(f"detach {att}", undo)
 
     # ------------------------------------------------------------------
     # Lookup

@@ -22,6 +22,11 @@ from repro.constraints.ast import (
     Unary,
 )
 from repro.constraints.parser import parse_expression
+from repro.constraints.compile import (
+    CompiledExpression,
+    compile_expression,
+    is_scope_local,
+)
 from repro.constraints.evaluator import Evaluator, EvalContext
 from repro.constraints.stdlib import STDLIB
 from repro.constraints.invariants import (
@@ -41,6 +46,9 @@ __all__ = [
     "SetLiteral",
     "Unary",
     "parse_expression",
+    "CompiledExpression",
+    "compile_expression",
+    "is_scope_local",
     "Evaluator",
     "EvalContext",
     "STDLIB",

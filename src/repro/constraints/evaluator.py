@@ -250,12 +250,19 @@ class Evaluator:
                     raise EvaluationError(
                         f"arithmetic {op!r} requires numbers, got {v!r}"
                     )
-            if op == "/" and right == 0:
-                raise EvaluationError("division by zero")
-            if op == "%" and right == 0:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                return left / right
+            if right == 0:
                 raise EvaluationError("modulo by zero")
-            return {"+": left + right, "-": left - right, "*": left * right,
-                    "/": left / right, "%": left % right}[op]
+            return left % right
         raise EvaluationError(f"unknown operator {op!r}")
 
     # -- quantifiers -------------------------------------------------------------------------

@@ -9,18 +9,46 @@ client roles, producing one violation per misbehaving client.
 :class:`ConstraintChecker` evaluates a set of invariants and returns
 structured results; the architecture manager reacts to violations by
 dispatching the associated repair strategy (Figure 5 line 2).
+
+The checker is **incremental** by default: expressions are compiled once
+to closure trees (:mod:`repro.constraints.compile`), and results are
+cached per (invariant, scope element) keyed on the system's change epoch
+(:attr:`~repro.acme.system.ArchSystem.epoch`).  A periodic check after a
+quiet interval reuses every cached result; after ``k`` property changes
+it re-evaluates O(k) scopes instead of O(model):
+
+* *scope-local* invariants (proven by
+  :func:`~repro.constraints.compile.is_scope_local` to read only their
+  scope element's properties and the global bindings) re-run only for
+  scope elements whose :attr:`dirty_epoch` advanced;
+* every other invariant — system-scoped, graph-reading, quantified —
+  conservatively re-runs whenever *anything* changed;
+* structural mutations, binding changes, a new/different system object,
+  or an overflowed dirty log fall back to a full pass (as does the
+  ``check_all(system, full=True)`` escape hatch).
+
+The tree-walking interpreter remains available (``compiled=False``) as
+the reference implementation, and ``incremental=False`` restores the
+always-full behavior; ``tests/test_constraints_compile.py`` holds the
+equivalence suite for both axes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.acme.elements import Element
 from repro.acme.system import ArchSystem
 from repro.constraints.ast import Node
+from repro.constraints.compile import (
+    CompiledExpression,
+    compile_expression,
+    is_scope_local,
+)
 from repro.constraints.evaluator import EvalContext, Evaluator
 from repro.constraints.parser import parse_expression
+from repro.constraints.stdlib import STDLIB
 from repro.errors import ConstraintError, EvaluationError
 
 __all__ = ["Invariant", "ConstraintResult", "ConstraintChecker"]
@@ -70,6 +98,9 @@ class Invariant:
             raise ConstraintError(
                 f"invariant {name!r} does not parse: {exc}"
             ) from exc
+        #: True when the expression provably reads only its scope
+        #: element + bindings (the incremental checker's fast lane)
+        self.scope_local: bool = is_scope_local(self.ast)
 
     def _scopes(self, system: ArchSystem) -> List[Optional[Element]]:
         if self.scope_type is None:
@@ -95,7 +126,12 @@ class Invariant:
         bindings: Optional[Dict[str, Any]] = None,
         functions: Optional[Dict[str, Callable[..., Any]]] = None,
     ) -> List[ConstraintResult]:
-        """Evaluate over every scope element; one result per scope."""
+        """Evaluate over every scope element; one result per scope.
+
+        This is the reference (tree-walking, always-full) path; the
+        checker's :meth:`ConstraintChecker.check_all` adds compilation
+        and incremental reuse on top of identical semantics.
+        """
         results: List[ConstraintResult] = []
         evaluator = Evaluator()
         for scope in self._scopes(system):
@@ -121,22 +157,69 @@ class Invariant:
         return results
 
 
+#: result-cache key: (invariant name, scope element or None)
+_Key = Tuple[str, Optional[Element]]
+
+
+class _CheckSession:
+    """Cached state of the last check against one system object."""
+
+    __slots__ = (
+        "system", "epoch", "structure_epoch", "bindings", "functions",
+        "order", "results", "scope_index", "global_keys",
+    )
+
+    def __init__(self, system: ArchSystem):
+        self.system = system
+        self.epoch = 0
+        self.structure_epoch = 0
+        self.bindings: Dict[str, Any] = {}
+        self.functions: Dict[str, Callable[..., Any]] = {}
+        #: full-check output order (stable across incremental updates)
+        self.order: List[_Key] = []
+        self.results: Dict[_Key, ConstraintResult] = {}
+        #: dirty element -> result keys to re-evaluate (scope-local lane)
+        self.scope_index: Dict[Element, List[_Key]] = {}
+        #: keys re-evaluated whenever anything changed (conservative lane)
+        self.global_keys: List[_Key] = []
+
+
 class ConstraintChecker:
-    """Holds invariants + global bindings; evaluates them on demand."""
+    """Holds invariants + global bindings; evaluates them on demand.
+
+    ``compiled``/``incremental`` select the fast path (both default on);
+    ``check_all(system, full=True)`` forces one full re-evaluation
+    without disabling the cache for later checks.
+    """
 
     def __init__(
         self,
         bindings: Optional[Dict[str, Any]] = None,
         functions: Optional[Dict[str, Callable[..., Any]]] = None,
+        compiled: bool = True,
+        incremental: bool = True,
     ):
         self.bindings: Dict[str, Any] = dict(bindings or {})
         self.functions: Dict[str, Callable[..., Any]] = dict(functions or {})
+        self.compiled = bool(compiled)
+        self.incremental = bool(incremental)
         self._invariants: Dict[str, Invariant] = {}
+        self._programs: Dict[str, CompiledExpression] = {}
+        self._program_table: Optional[Dict[str, Callable[..., Any]]] = None
+        self._session: Optional[_CheckSession] = None
+        self.stats: Dict[str, int] = {
+            "full_checks": 0,
+            "incremental_checks": 0,
+            "scopes_evaluated": 0,
+            "scopes_reused": 0,
+        }
 
     def add(self, invariant: Invariant) -> Invariant:
         if invariant.name in self._invariants:
             raise ConstraintError(f"duplicate invariant {invariant.name!r}")
         self._invariants[invariant.name] = invariant
+        self._session = None
+        self._programs.pop(invariant.name, None)
         return invariant
 
     def add_source(
@@ -158,11 +241,145 @@ class ConstraintChecker:
     def invariants(self) -> List[Invariant]:
         return [self._invariants[k] for k in sorted(self._invariants)]
 
-    def check_all(self, system: ArchSystem) -> List[ConstraintResult]:
-        results: List[ConstraintResult] = []
-        for inv in self.invariants:
-            results.extend(inv.check(system, self.bindings, self.functions))
-        return results
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def check_all(
+        self, system: ArchSystem, full: bool = False
+    ) -> List[ConstraintResult]:
+        """Evaluate every invariant; identical results to the reference
+        interpreter, but O(changed scopes) when the cache applies.
+
+        ``full=True`` is the escape hatch: one unconditional full pass
+        (the cache is rebuilt, so later calls stay incremental).
+        """
+        self._ensure_programs()
+        sess = self._session
+        if (
+            full
+            or not self.incremental
+            or sess is None
+            or sess.system is not system
+            or sess.structure_epoch != system.structure_epoch
+            or sess.bindings != self.bindings
+            or sess.functions != self.functions
+        ):
+            return self._full_check(system)
+        if sess.epoch != system.epoch:
+            dirty = system.dirty_elements_since(sess.epoch)
+            if dirty is None:
+                return self._full_check(system)
+            self._incremental_check(sess, system, dirty)
+        else:
+            self.stats["incremental_checks"] += 1
+            self.stats["scopes_reused"] += len(sess.order)
+        results = sess.results
+        return [results[key] for key in sess.order]
 
     def violations(self, system: ArchSystem) -> List[ConstraintResult]:
         return [r for r in self.check_all(system) if r.violated]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _merged_functions(self) -> Dict[str, Callable[..., Any]]:
+        merged = dict(STDLIB)
+        merged.update(self.functions)
+        return merged
+
+    def _ensure_programs(self) -> None:
+        """(Re)compile when first used or when the function table moved."""
+        if not self.compiled:
+            return
+        if self._program_table != self.functions or not all(
+            name in self._programs for name in self._invariants
+        ):
+            table = self._merged_functions()
+            self._programs = {
+                name: compile_expression(inv.ast, table)
+                for name, inv in self._invariants.items()
+            }
+            self._program_table = dict(self.functions)
+            self._session = None  # results may depend on the functions
+
+    def _make_ctx(self, system: ArchSystem) -> EvalContext:
+        return EvalContext(
+            system, scope=None, bindings=self.bindings, functions=self.functions
+        )
+
+    def _eval_one(
+        self,
+        invariant: Invariant,
+        scope: Optional[Element],
+        ctx: EvalContext,
+        evaluator: Optional[Evaluator],
+    ) -> ConstraintResult:
+        ctx.scope = scope
+        scope_name = scope.qualified_name if scope is not None else None
+        self.stats["scopes_evaluated"] += 1
+        try:
+            if evaluator is None:
+                value = self._programs[invariant.name].evaluate(ctx)
+            else:
+                value = evaluator.evaluate(invariant.ast, ctx)
+        except EvaluationError as exc:
+            return ConstraintResult(
+                invariant.name, False, scope_name, scope, str(exc)
+            )
+        if not isinstance(value, bool):
+            return ConstraintResult(
+                invariant.name, False, scope_name, scope,
+                f"invariant must be boolean, got {value!r}",
+            )
+        return ConstraintResult(invariant.name, value, scope_name, scope)
+
+    def _full_check(self, system: ArchSystem) -> List[ConstraintResult]:
+        self.stats["full_checks"] += 1
+        # capture epochs *before* evaluating so mutations racing the check
+        # (from exotic custom functions) surface as dirty next time
+        sess = _CheckSession(system)
+        sess.epoch = system.epoch
+        sess.structure_epoch = system.structure_epoch
+        sess.bindings = dict(self.bindings)
+        sess.functions = dict(self.functions)
+        ctx = self._make_ctx(system)
+        evaluator = None if self.compiled else Evaluator()
+        out: List[ConstraintResult] = []
+        for inv in self.invariants:
+            fast_lane = inv.scope_local and inv.scope_type is not None
+            for scope in inv._scopes(system):
+                key: _Key = (inv.name, scope)
+                result = self._eval_one(inv, scope, ctx, evaluator)
+                sess.order.append(key)
+                sess.results[key] = result
+                out.append(result)
+                if fast_lane:
+                    sess.scope_index.setdefault(scope, []).append(key)
+                elif not inv.scope_local:
+                    sess.global_keys.append(key)
+                # scope-local + system-scoped: only bindings can move it,
+                # and binding changes force a full pass anyway
+        self._session = sess if self.incremental else None
+        return out
+
+    def _incremental_check(
+        self, sess: _CheckSession, system: ArchSystem, dirty: List[Element]
+    ) -> None:
+        self.stats["incremental_checks"] += 1
+        epoch = system.epoch
+        redo: List[_Key] = []
+        if dirty:
+            redo.extend(sess.global_keys)
+            scope_index = sess.scope_index
+            for element in dirty:
+                redo.extend(scope_index.get(element, ()))
+        if redo:
+            ctx = self._make_ctx(system)
+            evaluator = None if self.compiled else Evaluator()
+            results = sess.results
+            for key in redo:
+                results[key] = self._eval_one(
+                    self._invariants[key[0]], key[1], ctx, evaluator
+                )
+        self.stats["scopes_reused"] += len(sess.order) - len(redo)
+        sess.epoch = epoch

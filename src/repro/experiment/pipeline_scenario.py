@@ -9,12 +9,15 @@ translator, but zero new control-plane machinery:
 
 * workload: a Poisson item stream that bursts above the bottleneck
   stage's capacity mid-run (analogous to the Figure 7 stress phase);
-* monitoring: per-stage backlog probes -> windowed backlog gauges ->
+* monitoring: per-stage backlog probes -> windowed backlog gauges, plus
+  worker-occupancy probes -> EWMA utilization gauges, both through the
   generic :class:`~repro.runtime.updater.PropertyUpdater`;
-* constraint: the style's ``backlog <= maxBacklog`` invariant, scoped to
-  ``FilterT``;
+* constraints: the style's ``backlog <= maxBacklog`` invariant plus the
+  ``idleWidth`` underutilization invariant, both scoped to ``FilterT``;
 * repair: ``fixBacklog`` from :data:`~repro.styles.pipeline.PIPELINE_DSL`
-  widens the violating stage within a worker budget;
+  widens the violating stage within a worker budget, and ``shrinkStage``
+  narrows an idle stage back toward its designed ``minWidth`` once the
+  burst passes (the scale-down mirror);
 * translation: :class:`PipelineTranslator` charges a worker spin-up cost,
   applies ``setStageWidth``, and blanks the stage's gauges for the
   redeployment window.
@@ -33,8 +36,8 @@ from repro.bus.bus import FixedDelay
 from repro.errors import TranslationError
 from repro.experiment.scenario import ScenarioConfig
 from repro.experiment.series import TimeSeries
-from repro.monitoring.gauges import BacklogGauge
-from repro.monitoring.probes import StageBacklogProbe
+from repro.monitoring.gauges import BacklogGauge, UtilizationGauge
+from repro.monitoring.probes import StageBacklogProbe, StageUtilizationProbe
 from repro.repair.history import RepairHistory
 from repro.runtime import (
     AdaptationRuntime,
@@ -69,6 +72,8 @@ STAGES = (("ingest", 2, 0.40), ("transform", 1, 0.90), ("publish", 2, 0.30))
 BASELINE_RATE = 0.8   # items/s, below the bottleneck's initial capacity
 BURST_RATE = 3.0      # items/s, needs transform width >= 3
 MAX_BACKLOG = 25.0    # the scenario's threshold (backlogBound invariant)
+LOW_WATER = 2.0       # backlog guard: never narrow a stage still queueing
+MIN_UTILIZATION = 0.5  # occupancy under which surplus width is idle
 WORKER_BUDGET = 8     # total workers across stages (5 initial + 3 spare)
 WIDEN_COST = 8.0      # s to spin up one worker (translation cost)
 REDEPLOY_WINDOW = 10.0  # s the stage's gauges stay blank after a repair
@@ -140,6 +145,9 @@ class PipelineManagedApplication(ManagedApplication):
         for stage in self.app.stages:
             comp = model.component(stage.name)
             comp.set_property("width", stage.width)
+            # the initial width is the designed floor the shrink repair
+            # may narrow an over-widened stage back down to
+            comp.set_property("minWidth", stage.width)
             comp.set_property("serviceRate", stage.service_rate)
         return model
 
@@ -237,14 +245,31 @@ class PipelineExperiment:
                 ),
                 entities=[stage],
             ))
+            instruments.append(ProbeBinding(
+                lambda rt, s=stage: StageUtilizationProbe(
+                    rt.sim, rt.probe_bus, app, s, period=cfg.load_probe_period,
+                ),
+                periodic=True,
+            ))
+            instruments.append(GaugeBinding(
+                lambda rt, s=stage: UtilizationGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, s,
+                    period=cfg.gauge_period,
+                ),
+                entities=[stage],
+            ))
         return AdaptationSpec(
             style="PipelineFam",
             dsl_source=PIPELINE_DSL,
-            invariant_scopes={"b": "FilterT"},
-            bindings={"maxBacklog": MAX_BACKLOG},
+            invariant_scopes={"b": "FilterT", "u": "FilterT"},
+            bindings={
+                "maxBacklog": MAX_BACKLOG,
+                "lowWater": LOW_WATER,
+                "minUtilization": MIN_UTILIZATION,
+            },
             operators=lambda rt: pipeline_operators(worker_budget=WORKER_BUDGET),
             instruments=instruments,
-            gauge_property_map={"backlog": "backlog"},
+            gauge_property_map={"backlog": "backlog", "utilization": "utilization"},
             delivery=FixedDelay(0.05),
             gauge_caching=cfg.gauge_caching,
             settle_time=cfg.settle_time,

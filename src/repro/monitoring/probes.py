@@ -32,6 +32,7 @@ __all__ = [
     "BandwidthProbe",
     "UtilizationProbe",
     "StageBacklogProbe",
+    "StageUtilizationProbe",
 ]
 
 
@@ -183,6 +184,30 @@ class StageBacklogProbe(_PeriodicProbe):
             f"probe.backlog.{self.stage}",
             stage=self.stage,
             length=float(self.app.backlog(self.stage)),
+        )
+
+
+class StageUtilizationProbe(_PeriodicProbe):
+    """Samples a pipeline stage's worker occupancy (busy / width).
+
+    Feeds the pipeline style's shrink repair the same way
+    :class:`UtilizationProbe` feeds the server-group one: an instantaneous
+    snapshot the utilization gauge's EWMA smooths into a trend.
+    """
+
+    def __init__(
+        self, sim: Simulator, bus: EventBus, app, stage: str, period: float = 1.0,
+    ):
+        super().__init__(sim, bus, f"probe.utilization.{stage}", period)
+        self.app = app
+        self.stage = stage
+
+    def sample(self) -> None:
+        stage = self.app.stage(self.stage)
+        self.publish(
+            f"probe.utilization.{self.stage}",
+            stage=self.stage,
+            utilization=stage.busy / max(1, stage.width),
         )
 
 

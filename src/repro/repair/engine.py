@@ -98,18 +98,30 @@ class ArchitectureManager:
     def busy(self) -> bool:
         return self._busy
 
+    @property
+    def constraint_stats(self) -> Dict[str, int]:
+        """Checker counters: full vs incremental passes, scopes evaluated
+        vs reused (the control-loop overhead ledger)."""
+        return dict(self.checker.stats)
+
     # -- the adaptation loop entry point ------------------------------------------
-    def evaluate(self) -> Optional[RepairRecord]:
+    def evaluate(self, full: bool = False) -> Optional[RepairRecord]:
         """Check constraints; dispatch a repair for the first violation.
 
         Returns the started :class:`RepairRecord`, or None when the model
         is healthy, the manager is busy/settling, or no strategy applies.
+
+        Constraint evaluation rides the checker's compiled-incremental
+        fast path: gauge updates between evaluations dirty only the
+        elements they touch, so the periodic check re-evaluates O(changed)
+        scopes, not O(model).  ``full=True`` forces one full re-check
+        (the escape hatch for out-of-band model surgery).
         """
         if self._busy or self.sim.now < self._cooldown_until:
             return None
         self.evaluations += 1
         actionable: List[ConstraintResult] = []
-        for result in self.checker.check_all(self.system):
+        for result in self.checker.check_all(self.system, full=full):
             if not result.violated:
                 continue
             if result.error is not None:

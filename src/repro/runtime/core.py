@@ -149,3 +149,10 @@ class AdaptationRuntime:
             "created": self.gauge_manager.created,
             "redeployments": self.gauge_manager.redeployments,
         }
+
+    def constraint_stats(self) -> Dict[str, int]:
+        """Incremental-checker counters for the evaluation hot path
+        (see docs/performance.md): evaluations, full vs incremental
+        passes, and per-scope evaluate/reuse totals."""
+        return {"evaluations": self.manager.evaluations,
+                **self.manager.constraint_stats}

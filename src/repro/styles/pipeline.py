@@ -7,9 +7,13 @@ operators — same constraint checker, transactions, DSL, and engine.
 
 The style models a linear pipeline of filter stages connected by pipes.
 Each stage has a ``backlog`` (items waiting) and a ``width`` (parallel
-workers).  The invariant bounds stage backlog; the repair widens the
-slowest stage (up to a worker budget) — a miniature of the paper's
-``addServer``.
+workers).  The ``backlogBound`` invariant bounds stage backlog; its repair
+widens the slowest stage (up to a worker budget) — a miniature of the
+paper's ``addServer``.  The mirror-image ``idleWidth`` invariant narrows a
+stage back toward its designed ``minWidth`` once its backlog stays under
+the low-water mark — the pipeline analogue of the paper's §3.2
+underutilization repair that "reduces the number of servers in a server
+group if the server group is underutilized".
 """
 
 from __future__ import annotations
@@ -36,6 +40,8 @@ def build_pipeline_family() -> Family:
         fam.component_type("FilterT")
         .declare_property("backlog", "float", 0.0)
         .declare_property("width", "int", 1)
+        .declare_property("minWidth", "int", 1)
+        .declare_property("utilization", "float", 1.0)
         .declare_property("serviceRate", "float", 1.0)
     )
     fam.connector_type("PipeT").declare_property("inFlight", "float", 0.0)
@@ -44,6 +50,9 @@ def build_pipeline_family() -> Family:
     fam.role_type("SourceRoleT")
     fam.role_type("SinkRoleT")
     fam.add_invariant("backlogBound", "backlog <= maxBacklog")
+    fam.add_invariant(
+        "idleWidth", "width <= minWidth or utilization >= minUtilization"
+    )
     return fam
 
 
@@ -109,6 +118,8 @@ def pipeline_operators(worker_budget: int = 8) -> Dict[str, Callable[..., Any]]:
 
 PIPELINE_DSL = """
 invariant b : backlog <= maxBacklog ! -> fixBacklog(b);
+invariant u : width <= minWidth or utilization >= minUtilization
+    ! -> shrinkStage(u);
 
 strategy fixBacklog(badStage : FilterT) = {
     if (widenStage(badStage)) {
@@ -123,6 +134,32 @@ tactic widenStage(stage : FilterT) : boolean = {
         return false;
     }
     stage.widen(1);
+    return true;
+}
+
+// The scale-down mirror of fixBacklog: release one worker at a time
+// while a stage's worker occupancy idles under minUtilization above its
+// designed minimum width (the client/server style's shrinkGroup,
+// transposed; the backlog guard is its "group still loaded" test).
+strategy shrinkStage(idleStage : FilterT) = {
+    if (narrowStage(idleStage)) {
+        commit repair;
+    } else {
+        abort ModelError;
+    }
+}
+
+tactic narrowStage(stage : FilterT) : boolean = {
+    if (stage.width <= stage.minWidth) {
+        return false;
+    }
+    if (stage.utilization >= minUtilization) {
+        return false;
+    }
+    if (stage.backlog >= lowWater) {
+        return false;
+    }
+    stage.narrow(1);
     return true;
 }
 """

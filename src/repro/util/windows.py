@@ -21,6 +21,11 @@ class SlidingWindow:
     Samples must be added with non-decreasing timestamps (simulation time is
     monotone).  ``mean(now)`` first expires samples older than
     ``now - horizon``.
+
+    Aggregates are O(1) per query: the running sum backs ``mean``/``rate``,
+    and a monotonic max-deque backs ``maximum`` — every sample is pushed and
+    popped at most once, so the amortized cost per ``add`` is constant even
+    though gauges query these every report period.
     """
 
     def __init__(self, horizon: float):
@@ -28,6 +33,8 @@ class SlidingWindow:
             raise ValueError(f"horizon must be positive, got {horizon}")
         self.horizon = float(horizon)
         self._samples: Deque[Tuple[float, float]] = deque()
+        # Monotonically non-increasing values; front holds the window max.
+        self._maxq: Deque[Tuple[float, float]] = deque()
         self._sum = 0.0
         self._last_time: Optional[float] = None
 
@@ -38,14 +45,23 @@ class SlidingWindow:
                 f"samples must be time-ordered: got {time} after {self._last_time}"
             )
         self._last_time = time
-        self._samples.append((time, float(value)))
-        self._sum += float(value)
+        value = float(value)
+        self._samples.append((time, value))
+        self._sum += value
+        maxq = self._maxq
+        while maxq and maxq[-1][1] <= value:
+            maxq.pop()
+        maxq.append((time, value))
 
     def _expire(self, now: float) -> None:
         cutoff = now - self.horizon
-        while self._samples and self._samples[0][0] < cutoff:
-            _, v = self._samples.popleft()
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            _, v = samples.popleft()
             self._sum -= v
+        maxq = self._maxq
+        while maxq and maxq[0][0] < cutoff:
+            maxq.popleft()
 
     def mean(self, now: float) -> Optional[float]:
         """Mean of samples in ``[now - horizon, now]``; None when empty."""
@@ -55,10 +71,11 @@ class SlidingWindow:
         return self._sum / len(self._samples)
 
     def maximum(self, now: float) -> Optional[float]:
+        """Largest live sample; O(1) via the monotonic deque."""
         self._expire(now)
         if not self._samples:
             return None
-        return max(v for _, v in self._samples)
+        return self._maxq[0][1]
 
     def count(self, now: float) -> int:
         """Number of live samples in the window."""
@@ -74,6 +91,7 @@ class SlidingWindow:
 
     def clear(self) -> None:
         self._samples.clear()
+        self._maxq.clear()
         self._sum = 0.0
         self._last_time = None
 

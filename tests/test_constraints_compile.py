@@ -1,0 +1,443 @@
+"""Equivalence suite: compiled + incremental vs the reference interpreter.
+
+Three layers of defense, all over *randomized* inputs:
+
+1. expression equivalence — randomly generated ASTs (every node type,
+   valid and error-producing) must evaluate to identical values or raise
+   identical ``EvaluationError``s (message for message) under the
+   closure compiler and the tree-walking interpreter;
+2. checker equivalence — ``ConstraintChecker(compiled=True)`` must
+   produce ``ConstraintResult`` lists identical to the interpreter over
+   randomized systems and invariant sets;
+3. incremental equivalence — after arbitrary mutation sequences
+   (property writes, structural surgery, transaction aborts), the
+   incremental ``check_all`` must equal a from-scratch full check.
+"""
+
+import random
+
+import pytest
+
+from repro.acme.system import ArchSystem
+from repro.constraints.ast import (
+    Binary,
+    Call,
+    Literal,
+    Name,
+    PropertyAccess,
+    Quantifier,
+    Select,
+    SetLiteral,
+    Unary,
+)
+from repro.constraints.compile import compile_expression, is_scope_local
+from repro.constraints.evaluator import EvalContext, Evaluator
+from repro.constraints.invariants import ConstraintChecker
+from repro.constraints.parser import parse_expression
+from repro.constraints.stdlib import STDLIB
+from repro.errors import EvaluationError
+from repro.repair.transactions import ModelTransaction
+
+# ---------------------------------------------------------------------------
+# Randomized model building blocks
+# ---------------------------------------------------------------------------
+
+TYPES = ("ClientT", "ServerT", "GroupT")
+PROPS = ("load", "latency", "count", "ratio", "label", "flag")
+
+
+def build_system(rng: random.Random, n_components: int = 6) -> ArchSystem:
+    system = ArchSystem("Rand")
+    for i in range(n_components):
+        comp = system.new_component(f"c{i}", rng.sample(TYPES, rng.randint(1, 2)))
+        for prop in rng.sample(PROPS, rng.randint(2, len(PROPS))):
+            comp.set_property(prop, _random_value(rng, prop))
+        if rng.random() < 0.7:
+            comp.add_port(f"p{i}", {"PortT"})
+    for i in range(n_components // 2):
+        conn = system.new_connector(f"k{i}", ["LinkT"])
+        conn.set_property("bandwidth", rng.uniform(0, 100))
+        role = conn.add_role("r", {"RoleT"})
+        role.set_property("latency", rng.uniform(0, 5))
+        comp = system.component(f"c{rng.randrange(n_components)}")
+        if comp.ports and system.attached_port(role) is None:
+            port = comp.ports[0]
+            if system.attached_role(port) is None:
+                system.attach(port, role)
+    return system
+
+
+def _random_value(rng: random.Random, prop: str):
+    if prop == "label":
+        return rng.choice(["red", "green", "blue"])
+    if prop == "flag":
+        return rng.random() < 0.5
+    if prop == "count":
+        return rng.randrange(0, 10)
+    return round(rng.uniform(-10.0, 10.0), 3)
+
+
+BINDINGS = {"maxLatency": 2.0, "threshold": 0.0, "limit": 7, "tag": "red"}
+
+
+# ---------------------------------------------------------------------------
+# Randomized expression generator (ASTs, including error-producing ones)
+# ---------------------------------------------------------------------------
+
+_NAMES = PROPS + ("maxLatency", "threshold", "limit", "tag",
+                  "self", "system", "noSuchName")
+_ATTRS = PROPS + ("name", "type", "ports", "roles", "components",
+                  "connectors", "noSuchProp")
+_FUNCS = (("size", 1), ("isEmpty", 1), ("contains", 2), ("sum", 1),
+          ("avg", 1), ("max", 1), ("min", 1), ("abs", 1), ("sqrt", 1),
+          ("declaresType", 2), ("hasProperty", 2), ("union", 2),
+          ("intersection", 2), ("connected", 2), ("attached", 2),
+          ("noSuchFn", 1))
+_BIN_OPS = ("and", "or", "->", "==", "!=", "in",
+            "<", "<=", ">", ">=", "+", "-", "*", "/", "%")
+
+
+def gen_expr(rng: random.Random, depth: int, locals_: tuple = ()) -> object:
+    """A random expression AST; shallow recursion keeps evaluation fast."""
+    choices = ["literal", "name"]
+    if depth > 0:
+        choices += ["binary", "binary", "unary", "property", "call",
+                    "quantifier", "select", "set"]
+    kind = rng.choice(choices)
+    line, column = rng.randrange(1, 9), rng.randrange(1, 40)
+
+    if kind == "literal":
+        value = rng.choice(
+            [0, 1, -3, 2.5, 0.0, True, False, None, "red", "x"]
+        )
+        return Literal(value).at(line, column)
+    if kind == "name":
+        pool = _NAMES + locals_ if locals_ else _NAMES
+        return Name(rng.choice(pool)).at(line, column)
+    if kind == "unary":
+        op = rng.choice(["!", "-"])
+        return Unary(op, gen_expr(rng, depth - 1, locals_)).at(line, column)
+    if kind == "binary":
+        op = rng.choice(_BIN_OPS)
+        return Binary(
+            op,
+            gen_expr(rng, depth - 1, locals_),
+            gen_expr(rng, depth - 1, locals_),
+        ).at(line, column)
+    if kind == "property":
+        obj = rng.choice([
+            Name("self").at(line, column),
+            Name("system").at(line, column),
+            gen_expr(rng, depth - 1, locals_),
+        ])
+        return PropertyAccess(obj, rng.choice(_ATTRS)).at(line, column)
+    if kind == "call":
+        func, arity = rng.choice(_FUNCS)
+        args = [gen_expr(rng, depth - 1, locals_) for _ in range(arity)]
+        receiver = None
+        if rng.random() < 0.3:
+            receiver = args.pop(0) if args else Name("self").at(line, column)
+        return Call(func, args, receiver=receiver).at(line, column)
+    if kind in ("quantifier", "select"):
+        var = rng.choice(["x", "y"])
+        domain = rng.choice([
+            PropertyAccess(Name("system").at(line, column), "components"),
+            PropertyAccess(Name("self").at(line, column), "ports"),
+            SetLiteral([gen_expr(rng, 0, locals_) for _ in range(3)]),
+            gen_expr(rng, depth - 1, locals_),
+        ])
+        if isinstance(domain, PropertyAccess):
+            domain.at(line, column)
+        type_name = rng.choice([None, "ClientT", "ServerT"])
+        body = gen_expr(rng, depth - 1, locals_ + (var,))
+        if kind == "quantifier":
+            qkind = rng.choice(["forall", "exists", "exists_unique"])
+            return Quantifier(qkind, var, type_name, domain, body).at(line, column)
+        return Select(
+            var, type_name, domain, body, one=rng.random() < 0.5
+        ).at(line, column)
+    return SetLiteral(
+        [gen_expr(rng, depth - 1, locals_) for _ in range(rng.randrange(0, 4))]
+    ).at(line, column)
+
+
+def outcome(fn):
+    """Run ``fn``; normalize to ('ok', value) or ('err', type, message)."""
+    try:
+        return ("ok", fn())
+    except Exception as exc:  # compare error type + message verbatim
+        return ("err", type(exc), str(exc))
+
+
+# ---------------------------------------------------------------------------
+# 1. Expression-level equivalence
+# ---------------------------------------------------------------------------
+
+class TestCompiledExpressionEquivalence:
+    def test_randomized_asts_match_interpreter(self):
+        rng = random.Random(4242)
+        evaluator = Evaluator()
+        checked = errors = 0
+        for round_no in range(300):
+            system = build_system(random.Random(round_no), n_components=4)
+            node = gen_expr(rng, depth=3)
+            program = compile_expression(node, {**STDLIB})
+            scopes = [None, system.components[0]]
+            role_conns = [c for c in system.connectors if c.roles]
+            if role_conns:
+                scopes.append(role_conns[0].roles[0])
+            for scope in scopes:
+                def interp():
+                    ctx = EvalContext(system, scope=scope, bindings=BINDINGS)
+                    return evaluator.evaluate(node, ctx)
+
+                def compiled():
+                    ctx = EvalContext(system, scope=scope, bindings=BINDINGS)
+                    return program.evaluate(ctx)
+
+                want, got = outcome(interp), outcome(compiled)
+                assert got == want, (
+                    f"divergence on {node!r} scope={scope!r}:\n"
+                    f"  interpreter: {want}\n  compiled:    {got}"
+                )
+                checked += 1
+                if want[0] == "err":
+                    errors += 1
+        # the generator must actually exercise both outcomes
+        assert checked > 500
+        assert 0 < errors < checked
+
+    def test_parsed_sources_match_interpreter(self):
+        sources = [
+            "averageLatency <= maxLatency",
+            "load <= maxLatency or flag",
+            "count % limit == 1",
+            "size(system.components) > 0",
+            "forall c : ClientT in system.components | c.load < 100",
+            "exists unique c in system.components | c.name == 'c0'",
+            "select one c in system.components | c.flag != true",
+            "size(select c in system.components | c.count >= 0) >= 0",
+            "!(1 > 2) and (nil == nil)",
+            "self.noSuchProp > 1",
+            "1 / 0 == 1",
+            "1 + 0 == 1",       # regression: eager-dict ZeroDivisionError
+            "5 % 0 == 1",
+            "-latency <= 0 -> true",
+            "'red' in {label, 'blue'}",
+            "sqrt(-1) == 0",
+            "avg({}) == 0",
+            "unknownFn(1)",
+            "contains(system.components, self)",
+        ]
+        rng = random.Random(7)
+        evaluator = Evaluator()
+        for source in sources:
+            node = parse_expression(source)
+            program = compile_expression(node, {**STDLIB})
+            for seed in range(3):
+                system = build_system(random.Random(seed))
+                scope = rng.choice([None] + list(system.components))
+
+                def interp():
+                    ctx = EvalContext(system, scope=scope, bindings=BINDINGS)
+                    return evaluator.evaluate(node, ctx)
+
+                def compiled():
+                    ctx = EvalContext(system, scope=scope, bindings=BINDINGS)
+                    return program.evaluate(ctx)
+
+                assert outcome(compiled) == outcome(interp), source
+
+
+class TestScopeLocality:
+    @pytest.mark.parametrize("source", [
+        "averageLatency <= maxLatency",
+        "width <= minWidth or utilization >= minUtilization",
+        "replication <= minServers or utilization >= minUtilization",
+        "backlog <= maxBacklog",
+        "self.load + 1 < limit and !flag",
+        "abs(self.load) <= sqrt(4)",
+        "self.name == 'c0'",
+    ])
+    def test_local(self, source):
+        assert is_scope_local(parse_expression(source))
+
+    @pytest.mark.parametrize("source", [
+        "size(system.components) > 0",
+        "forall c in system.components | c.load < 1",
+        "select one p in self.ports | true != nil",
+        "size(self.ports) == 2",
+        "connected(self, self)",
+        "self.component.load > 1",
+        # a binding may hold an element: reaching *through* one is non-local
+        "other.load > 1 or other.flag",
+    ])
+    def test_not_local(self, source):
+        assert not is_scope_local(parse_expression(source))
+
+
+# ---------------------------------------------------------------------------
+# 2. Checker-level equivalence (compiled vs interpreter, both full)
+# ---------------------------------------------------------------------------
+
+INVARIANT_SOURCES = [
+    ("latency_bound", "latency <= maxLatency", "ClientT"),
+    ("load_bound", "load < 9.5", "ServerT"),
+    ("count_mod", "count % limit != 3", "GroupT"),
+    ("has_components", "size(system.components) > 0", None),
+    ("connected_pairs",
+     "forall c : ClientT in system.components | c.latency >= -100", None),
+    ("role_latency", "latency <= maxLatency", "RoleT"),
+    ("broken", "noSuchName < 1", "ClientT"),
+]
+
+
+def make_checker(**kwargs) -> ConstraintChecker:
+    checker = ConstraintChecker(bindings=dict(BINDINGS), **kwargs)
+    for name, source, scope_type in INVARIANT_SOURCES:
+        checker.add_source(name, source, scope_type=scope_type)
+    return checker
+
+
+def assert_same_results(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert (g.invariant, g.scope, g.ok, g.error) == (
+            w.invariant, w.scope, w.ok, w.error
+        )
+        assert g.element is w.element
+
+
+class TestCheckerEquivalence:
+    def test_compiled_full_matches_interpreter_full(self):
+        for seed in range(12):
+            system = build_system(random.Random(seed))
+            reference = make_checker(compiled=False, incremental=False)
+            fast = make_checker(compiled=True, incremental=False)
+            assert_same_results(
+                fast.check_all(system), reference.check_all(system)
+            )
+
+    def test_error_results_identical(self):
+        system = build_system(random.Random(99))
+        reference = make_checker(compiled=False, incremental=False)
+        fast = make_checker()
+        ref_errors = [r for r in reference.check_all(system) if r.error]
+        fast_errors = [r for r in fast.check_all(system) if r.error]
+        assert [r.error for r in fast_errors] == [r.error for r in ref_errors]
+
+
+# ---------------------------------------------------------------------------
+# 3. Incremental equivalence under arbitrary mutation sequences
+# ---------------------------------------------------------------------------
+
+def mutate(rng: random.Random, system: ArchSystem, counter: list) -> None:
+    """One random model mutation, weighted toward the property hot path."""
+    roll = rng.random()
+    if roll < 0.70:
+        elements = list(system.components)
+        for conn in system.connectors:
+            elements.append(conn)
+            elements.extend(conn.roles)
+        element = rng.choice(elements)
+        prop = rng.choice(PROPS)
+        element.set_property(prop, _random_value(rng, prop))
+    elif roll < 0.80:
+        counter[0] += 1
+        comp = system.new_component(
+            f"n{counter[0]}", rng.sample(TYPES, 1)
+        )
+        comp.set_property("latency", rng.uniform(0, 5))
+        comp.set_property("load", rng.uniform(0, 12))
+    elif roll < 0.88 and len(system.components) > 2:
+        system.remove_component(rng.choice(system.components).name)
+    elif roll < 0.94:
+        # a repair-shaped transaction that aborts: net model no-op
+        txn = ModelTransaction(system).begin()
+        comp = rng.choice(system.components)
+        comp.set_property("load", 999.0)
+        counter[0] += 1
+        system.new_component(f"t{counter[0]}", ["ServerT"])
+        txn.abort()
+    else:
+        counter[0] += 1
+        comp = rng.choice(system.components)
+        comp.add_port(f"q{counter[0]}", {"PortT"})
+
+
+class TestIncrementalEquivalence:
+    def test_incremental_equals_full_after_mutation_sequences(self):
+        for seed in range(8):
+            rng = random.Random(1000 + seed)
+            system = build_system(rng)
+            incremental = make_checker()          # compiled + incremental
+            reference = make_checker(compiled=False, incremental=False)
+            counter = [0]
+            assert_same_results(
+                incremental.check_all(system), reference.check_all(system)
+            )
+            for step in range(60):
+                for _ in range(rng.randrange(0, 4)):
+                    mutate(rng, system, counter)
+                full = step % 17 == 0  # exercise the escape hatch too
+                assert_same_results(
+                    incremental.check_all(system, full=full),
+                    reference.check_all(system),
+                )
+
+    def test_quiet_check_reuses_everything(self):
+        system = build_system(random.Random(3))
+        checker = make_checker()
+        checker.check_all(system)
+        evaluated = checker.stats["scopes_evaluated"]
+        first = checker.check_all(system)
+        second = checker.check_all(system)
+        assert checker.stats["scopes_evaluated"] == evaluated  # no re-eval
+        assert [r.ok for r in first] == [r.ok for r in second]
+
+    def test_one_dirty_element_reevaluates_one_scope(self):
+        system = ArchSystem("S")
+        for i in range(20):
+            comp = system.new_component(f"c{i}", ["ClientT"])
+            comp.set_property("latency", 1.0)
+        checker = ConstraintChecker(bindings={"maxLatency": 2.0})
+        checker.add_source("r", "latency <= maxLatency", scope_type="ClientT")
+        checker.check_all(system)
+        before = checker.stats["scopes_evaluated"]
+        system.component("c7").set_property("latency", 5.0)
+        results = checker.check_all(system)
+        assert checker.stats["scopes_evaluated"] == before + 1
+        assert [r.scope for r in results if r.violated] == ["c7"]
+
+    def test_binding_change_forces_full_pass(self):
+        system = build_system(random.Random(5))
+        checker = make_checker()
+        checker.check_all(system)
+        checker.bindings["maxLatency"] = -100.0
+        reference = make_checker(compiled=False, incremental=False)
+        reference.bindings["maxLatency"] = -100.0
+        assert_same_results(
+            checker.check_all(system), reference.check_all(system)
+        )
+
+    def test_fresh_system_object_is_not_served_from_cache(self):
+        checker = make_checker()
+        a = build_system(random.Random(1))
+        b = build_system(random.Random(2))
+        ra = checker.check_all(a)
+        rb = checker.check_all(b)
+        reference = make_checker(compiled=False, incremental=False)
+        assert_same_results(rb, reference.check_all(b))
+        assert_same_results(checker.check_all(a), reference.check_all(a))
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_function_table_change_invalidates_cache(self, compiled):
+        system = ArchSystem("S")
+        comp = system.new_component("c0", ["ClientT"])
+        comp.set_property("latency", 4.0)
+        checker = ConstraintChecker(bindings={"cap": 10.0}, compiled=compiled)
+        checker.add_source("r", "boost(latency) <= cap", scope_type="ClientT")
+        checker.functions["boost"] = lambda ctx, x: x * 2
+        assert [r.ok for r in checker.check_all(system)] == [True]
+        checker.functions["boost"] = lambda ctx, x: x * 3
+        assert [r.ok for r in checker.check_all(system)] == [False]

@@ -5,7 +5,9 @@ to the batch-pipeline style: under the same seeded burst workload, the
 adapted run detects the backlog violation, widens the slowest stage
 through the full control plane (gauges -> model -> constraint -> repair
 -> translation), and the backlog recovers; the control run commits no
-repairs and ends the horizon still drowning.
+repairs and ends the horizon still drowning.  Once the burst passes, the
+``idleWidth`` invariant's shrink repair narrows the widened stage back to
+its designed width — the style's underutilization scale-down.
 """
 
 import pytest
@@ -44,19 +46,22 @@ class TestPipelineScenarioEndToEnd:
 
     def test_repair_widens_the_slowest_stage(self):
         adapted = _adapted()
-        # transform is the designed bottleneck; every widening targets it
+        # transform is the designed bottleneck; every repair targets it
         targets = {
             i.args["stage"]
             for r in adapted.history.committed
             for i in r.intents
         }
         assert targets == {"transform"}
-        assert adapted.s("width.transform").values[-1] > 1
+        assert max(adapted.s("width.transform").values) > 1
         # ... within the style's worker budget
-        final_total = sum(
-            adapted.s(f"width.{name}").values[-1] for name, _, _ in STAGES
+        peak_total = max(
+            sum(widths)
+            for widths in zip(
+                *(adapted.s(f"width.{name}").values for name, _, _ in STAGES)
+            )
         )
-        assert final_total <= WORKER_BUDGET
+        assert peak_total <= WORKER_BUDGET
 
     def test_adapted_backlog_recovers_control_drowns(self):
         adapted, control = _adapted(), _control()
@@ -66,9 +71,40 @@ class TestPipelineScenarioEndToEnd:
 
     def test_widened_capacity_covers_burst(self):
         adapted = _adapted()
-        final_width = adapted.s("width.transform").values[-1]
+        peak_width = max(adapted.s("width.transform").values)
         service_time = dict((n, t) for n, _, t in STAGES)["transform"]
-        assert final_width / service_time >= BURST_RATE
+        assert peak_width / service_time >= BURST_RATE
+
+    def test_stage_narrows_back_after_burst(self):
+        """The underutilization shrink repair: once the burst passes and
+        the widened stage idles, shrinkStage narrows it back down to its
+        designed minimum width, one worker per settle period."""
+        adapted = _adapted()
+        burst_end = adapted.config.horizon / 2.0  # PipelineExperiment.burst_end
+        narrows = [
+            r for r in adapted.history.committed if r.strategy == "shrinkStage"
+        ]
+        assert narrows, "no shrinkStage repair committed"
+        for record in narrows:
+            assert record.started > burst_end  # never mid-burst
+            assert all(i.op == "narrowStage" for i in record.intents)
+        # ...all the way back to the designed width
+        initial_width = dict((n, w) for n, w, _ in STAGES)["transform"]
+        assert adapted.s("width.transform").values[-1] == initial_width
+        # the scale-down must not reopen the backlog violation
+        assert adapted.s("backlog.transform").values[-1] < MAX_BACKLOG
+
+    def test_no_widen_narrow_oscillation(self):
+        """The utilization guard keeps the shrink repair off mid-burst:
+        the width trace rises monotonically to its peak, then falls
+        monotonically back — no widen/narrow thrash."""
+        adapted = _adapted()
+        widths = list(adapted.s("width.transform").values)
+        peak = max(widths)
+        peak_at = widths.index(peak)
+        rising, falling = widths[: peak_at + 1], widths[peak_at:]
+        assert all(a <= b for a, b in zip(rising, rising[1:]))
+        assert all(a >= b for a, b in zip(falling, falling[1:]))
 
     def test_repair_marks_fall_inside_run(self):
         adapted = _adapted()

@@ -60,8 +60,12 @@ def tiny_runtime(sim=None, max_backlog=4.0, settle_time=5.0):
     spec = AdaptationSpec(
         style="PipelineFam",
         dsl_source=PIPELINE_DSL,
-        invariant_scopes={"b": "FilterT"},
-        bindings={"maxBacklog": max_backlog},
+        invariant_scopes={"b": "FilterT", "u": "FilterT"},
+        bindings={
+            "maxBacklog": max_backlog,
+            "lowWater": 1.0,
+            "minUtilization": 0.0,  # tiny runtime never scales down
+        },
         operators=lambda rt: pipeline_operators(worker_budget=6),
         instruments=instruments,
         gauge_property_map={"backlog": "backlog"},
@@ -80,8 +84,8 @@ class TestAdaptationRuntimeBuild:
         _, app, rt = tiny_runtime()
         assert rt.model.has_component("extract")
         assert rt.model.component("load").get_property("width") == 1
-        assert rt.manager.strategies == ["fixBacklog"]
-        assert [i.name for i in rt.checker.invariants] == ["b"]
+        assert rt.manager.strategies == ["fixBacklog", "shrinkStage"]
+        assert [i.name for i in rt.checker.invariants] == ["b", "u"]
         assert rt.checker.bindings["maxBacklog"] == 4.0
         assert isinstance(rt.translator, PipelineTranslator)
         assert isinstance(rt.updater, PropertyUpdater)
@@ -134,6 +138,23 @@ class TestAdaptationRuntimeLoop:
         sim.run(until=20.0)
         assert len(rt.history) == 0
         assert app.completed == 1
+
+    def test_periodic_check_rides_incremental_fast_path(self):
+        """Gauge-driven evaluations reuse cached constraint results: only
+        the dirtied scopes re-evaluate between checks."""
+        sim, app, rt = tiny_runtime(max_backlog=1e9)  # healthy throughout
+        rt.start()
+        for _ in range(12):
+            app.submit()
+        sim.run(until=20.0)
+        stats = rt.constraint_stats()
+        assert stats["evaluations"] > 10
+        assert stats["incremental_checks"] > 0
+        assert stats["full_checks"] <= 2  # the initial cache build
+        # strictly cheaper than re-evaluating every scope every check
+        total_scopes = stats["scopes_evaluated"] + stats["scopes_reused"]
+        assert stats["scopes_reused"] > 0
+        assert stats["scopes_evaluated"] < total_scopes
 
     def test_updater_applies_gauge_reports_to_model(self):
         sim, app, rt = tiny_runtime(max_backlog=1e9)  # never violate

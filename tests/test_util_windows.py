@@ -59,6 +59,71 @@ class TestSlidingWindow:
         assert w.mean(0.0) == 2.0
 
 
+class TestSlidingWindowMonotonicMax:
+    """The O(1) max-deque must agree with a naive rescan under expiry."""
+
+    @staticmethod
+    def _naive(samples, now, horizon):
+        live = [(t, v) for t, v in samples if t >= now - horizon]
+        return {
+            "mean": (sum(v for _, v in live) / len(live)) if live else None,
+            "maximum": max((v for _, v in live), default=None),
+            "count": len(live),
+            "rate": len(live) / horizon if live else 0.0,
+        }
+
+    def test_aggregates_match_naive_scan_under_expiry(self):
+        import random
+
+        rng = random.Random(2002)
+        horizon = 7.0
+        w = SlidingWindow(horizon)
+        samples = []
+        t = 0.0
+        for _ in range(2000):
+            t += rng.expovariate(1.0)
+            v = rng.choice([rng.uniform(-50, 50), rng.randrange(-5, 6)])
+            w.add(t, v)
+            samples.append((t, float(v)))
+            if rng.random() < 0.4:
+                now = t + rng.uniform(0.0, 2 * horizon)
+                want = self._naive(samples, now, horizon)
+                assert w.maximum(now) == want["maximum"]
+                assert w.count(now) == want["count"]
+                assert w.rate(now) == pytest.approx(want["rate"])
+                if want["mean"] is None:
+                    assert w.mean(now) is None
+                else:
+                    assert w.mean(now) == pytest.approx(want["mean"])
+                # queries are monotone in now; re-sync the naive model
+                samples = [(st, sv) for st, sv in samples if st >= now - horizon]
+
+    def test_maximum_handles_duplicate_values(self):
+        w = SlidingWindow(10.0)
+        w.add(0.0, 5.0)
+        w.add(1.0, 5.0)
+        w.add(2.0, 1.0)
+        assert w.maximum(2.0) == 5.0
+        # the t=0 duplicate expires; the t=1 one still holds the max
+        assert w.maximum(10.5) == 5.0
+        assert w.maximum(11.5) == 1.0
+
+    def test_maximum_decreasing_then_increasing(self):
+        w = SlidingWindow(4.0)
+        for t, v in enumerate([9.0, 7.0, 5.0, 3.0, 6.0, 8.0]):
+            w.add(float(t), v)
+        assert w.maximum(5.0) == 8.0  # window [1, 5]: 7,5,3,6,8
+        assert w.count(5.0) == 5
+
+    def test_clear_resets_max_state(self):
+        w = SlidingWindow(10.0)
+        w.add(0.0, 100.0)
+        w.clear()
+        assert w.maximum(0.0) is None
+        w.add(0.0, 2.0)
+        assert w.maximum(0.0) == 2.0
+
+
 class TestEWMA:
     def test_first_sample_sets_value(self):
         e = EWMA(tau=10.0)
