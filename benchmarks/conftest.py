@@ -14,21 +14,26 @@ import pathlib
 
 import pytest
 
-from repro.experiment import ScenarioConfig, run_scenario
+from repro import api
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
 @pytest.fixture(scope="session")
 def control_result():
-    """The paper's control run (no adaptation), full 1800 s."""
-    return run_scenario(ScenarioConfig.control())
+    """The paper's control run (no adaptation), full 1800 s.
+
+    Built through the scenario-neutral front door; individual benches
+    that still construct legacy ``ScenarioConfig`` ablations share the
+    same cache entries (both shapes resolve to one cache key).
+    """
+    return api.run(api.RunConfig.control())
 
 
 @pytest.fixture(scope="session")
 def adapted_result():
     """The paper's repair run (full adaptation framework), full 1800 s."""
-    return run_scenario(ScenarioConfig.adapted())
+    return api.run(api.RunConfig.adapted())
 
 
 @pytest.fixture(scope="session")

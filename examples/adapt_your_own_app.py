@@ -10,17 +10,34 @@ application you write four small pieces:
 3. a ``ManagedApplication`` adapter (model snapshot + intent executor);
 4. an ``AdaptationSpec`` naming the thresholds and probe/gauge bindings.
 
+Step 5 then plugs the whole thing into the scenario-neutral experiment
+API: a typed frozen params block + ``register_scenario`` make the app
+drivable through ``repro.api.run(RunConfig(...))``, the shared result
+cache, and the ``python -m repro`` CLI — exactly how the built-in
+``master_worker`` scenario is registered.
+
 Everything here is self-contained: a toy job queue whose worker pool is
 grown whenever its depth gauge crosses the threshold.
 
 Run:  python examples/adapt_your_own_app.py
 """
 
+from dataclasses import dataclass
+
+from repro import api
 from repro.acme.family import Family
 from repro.acme.system import ArchSystem
 from repro.errors import TacticFailure
+from repro.experiment import (
+    RunConfig,
+    RunResult,
+    ScenarioParams,
+    TimeSeries,
+    register_scenario,
+)
 from repro.monitoring.gauges import BacklogGauge
 from repro.monitoring.probes import StageBacklogProbe
+from repro.repair.history import RepairHistory
 from repro.runtime import (
     AdaptationRuntime,
     AdaptationSpec,
@@ -30,6 +47,7 @@ from repro.runtime import (
     ProbeBinding,
 )
 from repro.sim import Process, Simulator
+from repro.sim.trace import Trace
 
 # ---------------------------------------------------------------------------
 # 0. The application being adapted: a job queue with a worker pool
@@ -157,20 +175,17 @@ class ManagedJobQueue(ManagedApplication):
 
 
 # ---------------------------------------------------------------------------
-# 4. The spec, and a run
+# 4. The spec (thresholds + probe/gauge bindings), built per run
 # ---------------------------------------------------------------------------
 
 
-def main() -> None:
-    sim = Simulator()
-    # 2 workers at 1 s/job drain 2 jobs/s; arrivals come at 4 jobs/s.
-    app = JobQueueApp(sim, workers=2, service_time=1.0, arrival_interval=0.25)
-    spec = AdaptationSpec(
+def queue_spec(app: JobQueueApp, params: "JobQueueParams") -> AdaptationSpec:
+    return AdaptationSpec(
         style="QueueFam",
         dsl_source=QUEUE_DSL,
         invariant_scopes={"q": "WorkerPoolT"},
-        bindings={"maxDepth": 10.0},
-        operators=lambda rt: queue_operators(worker_cap=8),
+        bindings={"maxDepth": params.max_depth},
+        operators=lambda rt: queue_operators(worker_cap=params.worker_cap),
         instruments=[
             ProbeBinding(
                 lambda rt: StageBacklogProbe(rt.sim, rt.probe_bus, app, "pool",
@@ -187,16 +202,93 @@ def main() -> None:
         gauge_create_delay=1.0,
         settle_time=4.0,
     )
-    runtime = AdaptationRuntime(sim, ManagedJobQueue(app), spec)
-    runtime.start()
-    sim.run(until=120.0)
 
-    print(f"workers: 2 -> {app.workers}")
-    print(f"completed jobs: {app.completed}, final depth: {app.depth}")
-    print(f"repairs committed: {len(runtime.history.committed)}")
-    for record in runtime.history.committed:
+
+# ---------------------------------------------------------------------------
+# 5. Register it as a scenario: typed params + builder -> repro.api
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobQueueParams(ScenarioParams):
+    """The job queue's typed knob block (frozen -> cacheable)."""
+
+    workers: int = 2
+    service_time: float = 1.0
+    arrival_interval: float = 0.25
+    max_depth: float = 10.0
+    worker_cap: int = 8
+
+
+class JobQueueExperiment:
+    """One wired job-queue run — the Scenario protocol, minimally."""
+
+    def __init__(self, config: RunConfig):
+        self.config = config
+        params: JobQueueParams = config.params
+        self.sim = Simulator()
+        self.app = JobQueueApp(
+            self.sim, workers=params.workers,
+            service_time=params.service_time,
+            arrival_interval=params.arrival_interval,
+        )
+        self.runtime = None
+        if config.adaptation:
+            self.runtime = AdaptationRuntime(
+                self.sim, ManagedJobQueue(self.app), queue_spec(self.app, params)
+            )
+
+    def build(self):
+        return self.runtime
+
+    def run(self) -> RunResult:
+        if self.runtime is not None:
+            self.runtime.start()
+        depth = TimeSeries("depth", "jobs")
+
+        def sampler():
+            while True:
+                depth.append(self.sim.now, float(self.app.depth))
+                yield self.sim.timeout(self.config.sample_period)
+
+        Process(self.sim, sampler(), name="sampler")
+        self.sim.run(until=self.config.horizon)
+        rt = self.runtime
+        return RunResult(
+            config=self.config,
+            series={"depth": depth},
+            trace=rt.trace if rt is not None else Trace(),
+            history=rt.history if rt is not None else RepairHistory(),
+            issued=self.app.completed + self.app.depth + self.app.busy,
+            completed=self.app.completed,
+            bus_stats=rt.bus_stats() if rt is not None else {},
+            gauge_stats=rt.gauge_stats() if rt is not None else {},
+            constraint_stats=rt.constraint_stats() if rt is not None else {},
+        )
+
+
+register_scenario(
+    "job_queue", params=JobQueueParams,
+    description="toy job queue (examples/adapt_your_own_app.py)",
+)(JobQueueExperiment)
+
+
+def main() -> None:
+    # 2 workers at 1 s/job drain 2 jobs/s; arrivals come at 4 jobs/s.
+    result = api.run(RunConfig.adapted("job_queue", horizon=120.0))
+    app_workers = result.config.params.workers
+    print(f"workers: {app_workers} -> grown by "
+          f"{len(result.history.committed)} repairs")
+    print(f"completed jobs: {result.completed}, "
+          f"final depth: {result.s('depth').values[-1]:.0f}")
+    for record in result.history.committed:
         intents = ", ".join(str(i) for i in record.intents)
         print(f"  t={record.started:6.1f}s {record.strategy}: {intents}")
+
+    # ...and the control comparison comes free from the shared front door:
+    control = api.run(RunConfig.control("job_queue", horizon=120.0))
+    print(f"without adaptation the queue ends {control.s('depth').values[-1]:.0f} "
+          f"jobs deep (adapted: {result.s('depth').values[-1]:.0f})")
 
 
 if __name__ == "__main__":

@@ -8,8 +8,8 @@ This example defines a batch-pipeline style and repairs a backlogged
 stage by widening it — no client/server anything involved.  (This drives
 the *model layer* directly; the registered ``pipeline`` scenario runs the
 same style end to end with a simulated application — see
-``run_scenario(ScenarioConfig(scenario="pipeline"))`` and
-docs/architecture.md.)
+``repro.api.run(RunConfig.adapted("pipeline"))``, ``python -m repro run
+pipeline``, and docs/architecture.md.)
 
 Run:  python examples/custom_style_pipeline.py
 """

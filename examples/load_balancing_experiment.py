@@ -11,19 +11,18 @@ Run:  python examples/load_balancing_experiment.py [--short]
 
 import sys
 
-from repro.experiment import ScenarioConfig, build_workload, reporting, run_scenario
+from repro import api
+from repro.experiment import build_workload, reporting
 from repro.experiment.metrics import extract_claims
 
 
 def main() -> None:
     horizon = 700.0 if "--short" in sys.argv else 1800.0
-    control_cfg = ScenarioConfig.control().but(horizon=horizon)
-    adapted_cfg = ScenarioConfig.adapted().but(horizon=horizon)
 
     print(f"running control scenario ({horizon:.0f} simulated seconds)...")
-    control = run_scenario(control_cfg)
+    control = api.run(api.RunConfig.control(horizon=horizon))
     print(f"running adapted scenario ({horizon:.0f} simulated seconds)...")
-    adapted = run_scenario(adapted_cfg)
+    adapted = api.run(api.RunConfig.adapted(horizon=horizon))
 
     print()
     print(reporting.render_workload(
@@ -58,7 +57,7 @@ def main() -> None:
     from repro.acme import unparse_system
     from repro.experiment.runner import Experiment
 
-    model = Experiment(adapted_cfg.but(horizon=1.0)).model
+    model = Experiment(api.RunConfig.adapted(horizon=1.0)).model
     print()
     print("initial architectural model (Acme):")
     print(unparse_system(model))

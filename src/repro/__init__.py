@@ -16,7 +16,9 @@ the system inventory.  Subpackages:
   ManagedApplication);
 * ``repro.analysis`` — design-time queuing analysis;
 * ``repro.experiment`` — the Figure 6/7 apparatus, the scenario
-  registry, and runners.
+  registry (typed RunConfig + per-scenario params), and runners;
+* ``repro.api`` / ``repro.cli`` — the scenario-neutral facade and the
+  ``python -m repro`` command line on top of it.
 """
 
 from repro.acme import ArchSystem, Component, Connector, Family, parse_acme
@@ -26,7 +28,10 @@ from repro.bus import EventBus, Message
 from repro.constraints import ConstraintChecker, Invariant, parse_expression
 from repro.errors import ReproError
 from repro.experiment import (
+    RunConfig,
+    RunResult,
     ScenarioConfig,
+    ScenarioParams,
     register_scenario,
     run_scenario,
     scenario_names,
@@ -50,6 +55,7 @@ from repro.styles import (
 )
 from repro.task import PerformanceProfile, TaskManager
 from repro.translation import TranslationCosts, Translator
+from repro import api
 
 __version__ = "1.0.0"
 
@@ -98,8 +104,12 @@ __all__ = [
     # analysis + experiments
     "MMcQueue",
     "required_servers",
+    "RunConfig",
+    "RunResult",
+    "ScenarioParams",
     "ScenarioConfig",
     "run_scenario",
     "register_scenario",
     "scenario_names",
+    "api",
 ]

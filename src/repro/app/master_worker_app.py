@@ -1,0 +1,190 @@
+"""A simulated master/worker task farm (runtime layer).
+
+The counterpart of :class:`~repro.app.pipeline_app.PipelineApplication`
+for the :mod:`repro.styles.master_worker` style: a master holds a FIFO
+task queue and dispatches to a pool of interchangeable workers.  Each
+task's service demand is drawn *at submission* (so control and adapted
+runs process the identical seeded task set); a small fraction of tasks
+are **stragglers** whose demand is multiplied by a heavy-tail factor —
+the grid reality (a task landed on an overloaded or failing node) that
+motivates re-dispatch repairs.
+
+Three runtime change operators (this application's Table 1):
+
+* :meth:`set_pool_size` — grow or shrink the worker pool.  Growing pumps
+  the queue immediately; shrinking below the busy count retires workers
+  lazily as their current tasks finish.
+* :meth:`redispatch_oldest` — cancel the longest-running assignment and
+  restart that task immediately with a *fresh* service draw (it moved to
+  a healthy node), leaving the original draw abandoned.  Cancellation is
+  epoch-based: every assignment carries an epoch, and a completion event
+  whose epoch is stale is ignored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.errors import EnvironmentError_
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+__all__ = ["FarmTask", "MasterWorkerApplication"]
+
+
+@dataclass(frozen=True)
+class FarmTask:
+    """One unit of work: identity, submission time, drawn demand."""
+
+    tid: int
+    submitted: float
+    service: float
+    straggler: bool
+
+
+@dataclass
+class _Assignment:
+    task: FarmTask
+    started: float
+    epoch: int
+
+
+class MasterWorkerApplication:
+    """A task farm: FIFO master queue draining into a worker pool."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workers: int,
+        service_mean: float,
+        straggler_prob: float,
+        straggler_factor: float,
+        task_rng,
+        rescue_rng,
+        trace: Optional[Trace] = None,
+    ):
+        if workers < 1:
+            raise EnvironmentError_("a worker pool needs at least one worker")
+        if service_mean <= 0:
+            raise EnvironmentError_("service_mean must be positive")
+        if not 0.0 <= straggler_prob < 1.0:
+            raise EnvironmentError_("straggler_prob must be in [0, 1)")
+        if straggler_factor < 1.0:
+            raise EnvironmentError_("straggler_factor must be >= 1")
+        self.sim = sim
+        self.trace = trace if trace is not None else Trace()
+        self.size = int(workers)
+        self.service_mean = float(service_mean)
+        self.straggler_prob = float(straggler_prob)
+        self.straggler_factor = float(straggler_factor)
+        self._task_rng = task_rng
+        self._rescue_rng = rescue_rng
+        self.queue: Deque[FarmTask] = deque()
+        self.running: Dict[int, _Assignment] = {}
+        self._epoch = 0
+        self._next_tid = 0
+        self.issued = 0
+        self.completed = 0
+        self.rescues = 0
+        self.straggler_tasks = 0
+
+    # -- task flow ---------------------------------------------------------
+    def submit(self) -> FarmTask:
+        """Inject one task; its demand is drawn now (run-independent)."""
+        self._next_tid += 1
+        service = float(self._task_rng.exponential(self.service_mean))
+        straggler = bool(self._task_rng.random() < self.straggler_prob)
+        if straggler:
+            service *= self.straggler_factor
+            self.straggler_tasks += 1
+        task = FarmTask(
+            tid=self._next_tid,
+            submitted=self.sim.now,
+            service=service,
+            straggler=straggler,
+        )
+        self.queue.append(task)
+        self.issued += 1
+        self._dispatch()
+        return task
+
+    def _dispatch(self) -> None:
+        while len(self.running) < self.size and self.queue:
+            task = self.queue.popleft()
+            self._epoch += 1
+            self.running[task.tid] = _Assignment(task, self.sim.now, self._epoch)
+            self.sim.schedule(task.service, self._finish, task.tid, self._epoch)
+
+    def _finish(self, tid: int, epoch: int) -> None:
+        assignment = self.running.get(tid)
+        if assignment is None or assignment.epoch != epoch:
+            return  # cancelled by a re-dispatch; ignore the stale event
+        del self.running[tid]
+        self.completed += 1
+        self._dispatch()
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        return len(self.running)
+
+    @property
+    def queue_length(self) -> int:
+        """Tasks waiting at the master (not counting running ones)."""
+        return len(self.queue)
+
+    @property
+    def pool_size(self) -> int:
+        return self.size
+
+    @property
+    def in_flight(self) -> int:
+        return self.issued - self.completed
+
+    def utilization(self) -> float:
+        """Busy workers over pool size, in [0, 1]."""
+        return min(1.0, self.busy / self.size)
+
+    def oldest_age(self, now: Optional[float] = None) -> float:
+        """Age of the longest-running assignment (0 when none run)."""
+        if not self.running:
+            return 0.0
+        now = self.sim.now if now is None else now
+        return now - min(a.started for a in self.running.values())
+
+    # -- runtime change operators (this application's Table 1) -------------
+    def set_pool_size(self, size: int) -> int:
+        """Resize the worker pool; returns the old size."""
+        if size < 1:
+            raise EnvironmentError_("a worker pool needs at least one worker")
+        old, self.size = self.size, int(size)
+        self.trace.emit(
+            self.sim.now, "runtime.op.setPoolSize", frm=old, to=self.size,
+        )
+        self._dispatch()  # growing frees capacity for queued tasks now
+        return old
+
+    def redispatch_oldest(self) -> Optional[int]:
+        """Restart the longest-running task with a fresh service draw.
+
+        Returns the re-dispatched task id, or None when nothing runs.
+        """
+        if not self.running:
+            return None
+        tid = min(
+            self.running, key=lambda t: (self.running[t].started, t)
+        )
+        old = self.running[tid]
+        fresh = float(self._rescue_rng.exponential(self.service_mean))
+        self._epoch += 1
+        self.running[tid] = _Assignment(old.task, self.sim.now, self._epoch)
+        self.sim.schedule(fresh, self._finish, tid, self._epoch)
+        self.rescues += 1
+        self.trace.emit(
+            self.sim.now, "runtime.op.redispatch",
+            tid=tid, stuck_for=self.sim.now - old.started,
+            straggler=old.task.straggler,
+        )
+        return tid

@@ -4,15 +4,25 @@
   (5 routers, 11 application machines, 10 Mbps links);
 * :mod:`repro.experiment.workload` — the Figure 7 stepping functions for
   bandwidth competition and request load;
-* :mod:`repro.experiment.scenario` — run configurations (control,
-  adapted, ablations);
+* :mod:`repro.experiment.config` / :mod:`repro.experiment.params` — the
+  scenario-neutral :class:`RunConfig` plus typed per-scenario parameter
+  blocks (:class:`ClientServerParams`, :class:`PipelineParams`,
+  :class:`MasterWorkerParams`);
+* :mod:`repro.experiment.scenario` — the legacy :class:`ScenarioConfig`
+  deprecation shim (converts into RunConfig + params on entry);
+* :mod:`repro.experiment.result` — the scenario-neutral
+  :class:`RunResult` and its per-scenario subclasses;
 * :mod:`repro.experiment.scenarios` — the scenario registry
-  (``client_server``, ``pipeline``, and user-registered builders);
+  (``client_server``, ``pipeline``, ``master_worker``, and
+  user-registered builders with their params types);
 * :mod:`repro.experiment.runner` — wires the client/server experiment
-  and runs 30 minutes of simulated time, with LRU result caching for the
-  benchmark harness;
+  and owns the caching ``run_scenario`` front door (bounded LRU shared
+  by the benchmark harness and the :mod:`repro.api` facade);
 * :mod:`repro.experiment.pipeline_scenario` — the batch-pipeline
   scenario driven through the reusable adaptation runtime;
+* :mod:`repro.experiment.master_worker_scenario` — the task-farm
+  scenario (straggler re-dispatch + pool grow/shrink), registered purely
+  through the public API;
 * :mod:`repro.experiment.metrics` — time-series sampling and the §5
   scalar claims;
 * :mod:`repro.experiment.reporting` — text rendering of each figure.
@@ -20,6 +30,17 @@
 
 from repro.experiment.testbed import Testbed, build_testbed
 from repro.experiment.workload import Workload, build_workload
+from repro.experiment.config import RunConfig, as_run_config
+from repro.experiment.params import (
+    ClientServerParams,
+    PipelineParams,
+    ScenarioParams,
+)
+from repro.experiment.result import (
+    ClientServerResult,
+    PipelineResult,
+    RunResult,
+)
 from repro.experiment.scenario import ScenarioConfig
 from repro.experiment.series import TimeSeries
 from repro.experiment.runner import (
@@ -31,9 +52,19 @@ from repro.experiment.runner import (
 )
 from repro.experiment.pipeline_scenario import PipelineExperiment
 from repro.experiment.scenarios import (
+    Scenario,
+    ScenarioEntry,
     register_scenario,
     scenario_builder,
+    scenario_entries,
+    scenario_entry,
     scenario_names,
+    unregister_scenario,
+)
+from repro.experiment.master_worker_scenario import (
+    MasterWorkerExperiment,
+    MasterWorkerParams,
+    MasterWorkerResult,
 )
 from repro.experiment.metrics import MetricsSampler, ClaimReport, extract_claims
 from repro.experiment import reporting
@@ -43,16 +74,32 @@ __all__ = [
     "build_testbed",
     "Workload",
     "build_workload",
+    "RunConfig",
+    "as_run_config",
+    "ScenarioParams",
+    "ClientServerParams",
+    "PipelineParams",
+    "MasterWorkerParams",
+    "RunResult",
+    "ClientServerResult",
+    "PipelineResult",
+    "MasterWorkerResult",
     "ScenarioConfig",
     "TimeSeries",
     "Experiment",
     "ExperimentResult",
     "PipelineExperiment",
+    "MasterWorkerExperiment",
     "run_scenario",
     "clear_cache",
     "set_cache_capacity",
+    "Scenario",
+    "ScenarioEntry",
     "register_scenario",
+    "unregister_scenario",
     "scenario_builder",
+    "scenario_entry",
+    "scenario_entries",
     "scenario_names",
     "MetricsSampler",
     "ClaimReport",

@@ -1,0 +1,454 @@
+"""The ``master_worker`` scenario: a grid task farm, same control plane.
+
+This module is the scenario-neutral experiment API's proof: a third
+application family registered **purely through the public surface** —
+``register_scenario(name, params=...)``, a typed frozen
+:class:`MasterWorkerParams` block, the generic
+:class:`~repro.monitoring.probes.CallbackProbe` / value gauges, the
+generic :class:`~repro.runtime.updater.PropertyUpdater`, and a
+:class:`~repro.experiment.result.RunResult` subclass — with zero new
+control-plane machinery.
+
+The workload is the ROADMAP's task farm: a Poisson task stream whose
+rate bursts above the pool's capacity mid-run (the Figure 7 stress
+phase, transposed), with a small fraction of **straggler** tasks whose
+service demand is multiplied by a heavy tail.  Three repairs drive it:
+
+* ``growPool`` widens the pool while the master's queue violates
+  ``maxBacklog`` (within a worker budget);
+* ``rescueStraggler`` re-dispatches the longest-running task once its
+  age crosses ``maxTaskAge`` — on re-dispatch it draws a *fresh* service
+  time (it moved to a healthy node);
+* ``shrinkPool`` releases surplus workers one settle period at a time
+  once the burst passes and the pool idles under ``minUtilization``.
+
+The control run processes the identical seeded task set with no
+adaptation: stragglers pin workers for their full inflated demand and
+the burst backlog never drains, so the adapted run completes strictly
+more work and ends back at its designed pool size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
+
+from repro.app.master_worker_app import MasterWorkerApplication
+from repro.bus.bus import FixedDelay
+from repro.errors import TranslationError
+from repro.experiment.config import RunConfig, as_run_config
+from repro.experiment.params import ScenarioParams
+from repro.experiment.result import RunResult
+from repro.experiment.scenario import ScenarioConfig
+from repro.experiment.scenarios import register_scenario
+from repro.experiment.series import TimeSeries
+from repro.experiment.workload import BurstArrivals
+from repro.monitoring.gauges import EwmaGauge, LatestValueGauge, WindowedMeanGauge
+from repro.monitoring.probes import CallbackProbe
+from repro.repair.history import RepairHistory
+from repro.runtime import (
+    AdaptationRuntime,
+    AdaptationSpec,
+    GaugeBinding,
+    IntentExecutor,
+    ManagedApplication,
+    ProbeBinding,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+from repro.styles.master_worker import (
+    MASTER_WORKER_DSL,
+    build_master_worker_family,
+    build_master_worker_model,
+    master_worker_operators,
+)
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = [
+    "MasterWorkerParams",
+    "MasterWorkerResult",
+    "MasterWorkerExperiment",
+    "MasterWorkerManagedApplication",
+    "MasterWorkerTranslator",
+]
+
+
+@dataclass(frozen=True)
+class MasterWorkerParams(ScenarioParams):
+    """The task-farm scenario's typed knob block."""
+
+    LEGACY_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "gauge_period",
+        "load_horizon",
+        "gauge_caching",
+        "settle_time",
+        "failed_repair_cost",
+        "violation_policy",
+    )
+
+    # pool shape
+    workers: int = 4          # initial (and designed minimum) pool size
+    min_workers: int = 4
+    max_workers: int = 12     # the grow repair's budget
+
+    # task service model
+    service_mean: float = 2.0       # s per task (exponential)
+    straggler_prob: float = 0.02    # fraction of tasks that straggle
+    straggler_factor: float = 25.0  # demand multiplier for stragglers
+
+    # workload: Poisson arrivals bursting above pool capacity mid-run
+    baseline_rate: float = 1.0  # tasks/s (capacity: workers/service_mean)
+    burst_rate: float = 4.5     # tasks/s, needs ~9 workers
+
+    # thresholds
+    max_backlog: float = 20.0      # queueBound invariant
+    max_task_age: float = 15.0     # stragglerBound invariant (>> p99 service)
+    min_utilization: float = 0.55  # idlePool invariant
+    low_water: float = 2.0         # never shrink while work still queues
+
+    # monitoring
+    probe_period: float = 1.0
+    gauge_period: float = 5.0
+    load_horizon: float = 30.0
+    utilization_tau: float = 60.0
+
+    # translation costs
+    spin_up_cost: float = 6.0      # s to provision one worker
+    redispatch_cost: float = 1.0   # s to move a task to another worker
+    redeploy_window: float = 10.0  # gauge blindness after a pool resize
+
+    # repair machinery
+    gauge_caching: bool = False
+    settle_time: float = 20.0
+    failed_repair_cost: float = 2.0
+    violation_policy: str = "first"
+
+    def validate(self, config: "RunConfig") -> None:
+        self._require(
+            1 <= self.min_workers <= self.workers <= self.max_workers,
+            "pool sizes must satisfy 1 <= min_workers <= workers <= "
+            "max_workers",
+        )
+        self._require(self.service_mean > 0, "service_mean must be positive")
+        self._require(
+            0.0 <= self.straggler_prob < 1.0, "straggler_prob must be in [0, 1)"
+        )
+        self._require(
+            self.straggler_factor >= 1.0, "straggler_factor must be >= 1"
+        )
+        self._require(self.baseline_rate > 0, "baseline_rate must be positive")
+        self._require(self.burst_rate > 0, "burst_rate must be positive")
+        self._require(self.probe_period > 0, "probe_period must be positive")
+        self._require(self.gauge_period > 0, "gauge_period must be positive")
+        self._check_policy(self.violation_policy)
+
+
+@dataclass
+class MasterWorkerResult(RunResult):
+    """The task-farm run, plus its pool/straggler views."""
+
+    rescues: int = 0
+    straggler_tasks: int = 0
+
+    @property
+    def peak_pool(self) -> float:
+        return float(self.s("pool.size").values.max())
+
+    @property
+    def final_pool(self) -> float:
+        return float(self.s("pool.size").values[-1])
+
+    def extras(self) -> Dict[str, Any]:
+        return {
+            "rescues": self.rescues,
+            "straggler_tasks": self.straggler_tasks,
+            "peak_pool": self.peak_pool,
+            "final_pool": self.final_pool,
+        }
+
+
+class MasterWorkerTranslator(IntentExecutor):
+    """Replays committed pool-resize and re-dispatch intents.
+
+    Pool resizes charge a per-step provisioning cost and blank the
+    pool's gauges for the redeployment window; a re-dispatch charges the
+    (small) task-move cost and leaves monitoring alone — the age probe
+    re-measures on its next sample.
+    """
+
+    def __init__(
+        self,
+        app: MasterWorkerApplication,
+        params: MasterWorkerParams,
+        gauge_manager=None,
+        trace: Optional[Trace] = None,
+    ):
+        self.app = app
+        self.params = params
+        self.sim = app.sim
+        self.gauge_manager = gauge_manager
+        self.trace = trace if trace is not None else app.trace
+        self.executed: List = []
+
+    def execute(self, intents, on_done=None) -> Process:
+        return Process(
+            self.sim,
+            self._run(list(intents), on_done),
+            name="master-worker-translator",
+        )
+
+    def _run(self, intents, on_done):
+        params = self.params
+        for intent in intents:
+            if intent.op in ("addWorkers", "removeWorkers"):
+                cost = params.spin_up_cost if intent.op == "addWorkers" else 0.0
+                self.trace.emit(
+                    self.sim.now, "translate.begin",
+                    op=intent.op, cost=cost, **intent.args,
+                )
+                if cost > 0:
+                    yield self.sim.timeout(cost)
+                self.app.set_pool_size(intent.args["size"])
+                if self.gauge_manager is not None:
+                    self.gauge_manager.redeploy_for(
+                        intent.args["pool"], params.redeploy_window
+                    )
+            elif intent.op == "redispatchOldest":
+                self.trace.emit(
+                    self.sim.now, "translate.begin",
+                    op=intent.op, cost=params.redispatch_cost, **intent.args,
+                )
+                if params.redispatch_cost > 0:
+                    yield self.sim.timeout(params.redispatch_cost)
+                self.app.redispatch_oldest()
+            else:
+                raise TranslationError(
+                    f"no master/worker mapping for intent {intent.op!r}"
+                )
+            self.executed.append(intent)
+        if on_done is not None:
+            on_done()
+
+
+class MasterWorkerManagedApplication(ManagedApplication):
+    """The task farm wrapped for the adaptation runtime."""
+
+    name = "master-worker-farm"
+
+    def __init__(self, app: MasterWorkerApplication, params: MasterWorkerParams):
+        self.app = app
+        self.params = params
+
+    def architecture(self):
+        return build_master_worker_model(
+            "FarmModel",
+            pool_size=self.app.pool_size,
+            min_size=self.params.min_workers,
+            family=build_master_worker_family(),
+        )
+
+    def intent_executor(self, runtime: AdaptationRuntime) -> MasterWorkerTranslator:
+        return MasterWorkerTranslator(
+            self.app,
+            self.params,
+            gauge_manager=runtime.gauge_manager,
+            trace=runtime.trace,
+        )
+
+
+class MasterWorkerMetricsSampler:
+    """Ground-truth sampling: queue depth, pool size, occupancy, age."""
+
+    def __init__(self, experiment: "MasterWorkerExperiment"):
+        self.experiment = experiment
+        self.period = experiment.config.sample_period
+        self.series: Dict[str, TimeSeries] = {
+            "queue.length": TimeSeries("queue.length", "tasks"),
+            "pool.size": TimeSeries("pool.size", "workers"),
+            "pool.utilization": TimeSeries("pool.utilization", ""),
+            "oldest.age": TimeSeries("oldest.age", "s"),
+            "repair.active": TimeSeries("repair.active", ""),
+        }
+
+    def start(self) -> Process:
+        return Process(
+            self.experiment.sim, self._run(), name="master-worker-metrics"
+        )
+
+    def _run(self):
+        sim = self.experiment.sim
+        while True:
+            self.sample()
+            yield sim.timeout(self.period)
+
+    def sample(self) -> None:
+        exp = self.experiment
+        app = exp.app
+        now = exp.sim.now
+        self.series["queue.length"].append(now, float(app.queue_length))
+        self.series["pool.size"].append(now, float(app.pool_size))
+        self.series["pool.utilization"].append(now, app.utilization())
+        self.series["oldest.age"].append(now, app.oldest_age(now))
+        manager = exp.runtime.manager if exp.runtime is not None else None
+        busy = 1.0 if (manager is not None and manager.busy) else 0.0
+        self.series["repair.active"].append(now, busy)
+
+
+class MasterWorkerExperiment:
+    """One wired task-farm run (control or adapted), ready to run."""
+
+    def __init__(self, config: Union[RunConfig, ScenarioConfig]):
+        config = as_run_config(config)
+        self.config = config
+        self.params: MasterWorkerParams = config.params
+        params = self.params
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.seeds = SeedSequenceFactory(config.seed)
+        self.app = MasterWorkerApplication(
+            self.sim,
+            workers=params.workers,
+            service_mean=params.service_mean,
+            straggler_prob=params.straggler_prob,
+            straggler_factor=params.straggler_factor,
+            task_rng=self.seeds.rng("master_worker.tasks"),
+            rescue_rng=self.seeds.rng("master_worker.rescue"),
+            trace=self.trace,
+        )
+        self.workload = BurstArrivals(
+            self.sim,
+            horizon=config.horizon,
+            baseline_rate=params.baseline_rate,
+            burst_rate=params.burst_rate,
+            rng=self.seeds.rng("master_worker.source"),
+            submit=self.app.submit,
+            name="master-worker-source",
+        )
+        self.burst_start = self.workload.burst_start
+        self.burst_end = self.workload.burst_end
+        self.runtime: Optional[AdaptationRuntime] = None
+        if config.adaptation:
+            self.runtime = AdaptationRuntime(
+                self.sim,
+                MasterWorkerManagedApplication(self.app, params),
+                self._adaptation_spec(),
+                trace=self.trace,
+            )
+        self.metrics = MasterWorkerMetricsSampler(self)
+
+    def build(self) -> Optional[AdaptationRuntime]:
+        """The control plane bound to this config (Scenario protocol)."""
+        return self.runtime
+
+    def _adaptation_spec(self) -> AdaptationSpec:
+        params = self.params
+        app = self.app
+        sim = self.sim
+        instruments: List = [
+            ProbeBinding(
+                lambda rt: CallbackProbe(
+                    rt.sim, rt.probe_bus, "backlog", "pool",
+                    lambda: app.queue_length, period=params.probe_period,
+                ),
+                periodic=True,
+            ),
+            GaugeBinding(
+                lambda rt: WindowedMeanGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, "backlog", "pool",
+                    period=params.gauge_period, horizon=params.load_horizon,
+                ),
+                entities=["pool"],
+            ),
+            ProbeBinding(
+                lambda rt: CallbackProbe(
+                    rt.sim, rt.probe_bus, "utilization", "pool",
+                    app.utilization, period=params.probe_period,
+                ),
+                periodic=True,
+            ),
+            GaugeBinding(
+                lambda rt: EwmaGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, "utilization", "pool",
+                    period=params.gauge_period, tau=params.utilization_tau,
+                ),
+                entities=["pool"],
+            ),
+            ProbeBinding(
+                lambda rt: CallbackProbe(
+                    rt.sim, rt.probe_bus, "age", "pool",
+                    lambda: app.oldest_age(sim.now),
+                    period=params.probe_period,
+                ),
+                periodic=True,
+            ),
+            GaugeBinding(
+                lambda rt: LatestValueGauge(
+                    rt.sim, rt.probe_bus, rt.gauge_bus, "age", "pool",
+                    period=params.gauge_period,
+                ),
+                entities=["pool"],
+            ),
+        ]
+        return AdaptationSpec(
+            style="MasterWorkerFam",
+            dsl_source=MASTER_WORKER_DSL,
+            invariant_scopes={
+                "q": "WorkerPoolT", "s": "WorkerPoolT", "u": "WorkerPoolT",
+            },
+            bindings={
+                "maxBacklog": params.max_backlog,
+                "maxTaskAge": params.max_task_age,
+                "minUtilization": params.min_utilization,
+                "lowWater": params.low_water,
+            },
+            operators=lambda rt: master_worker_operators(
+                max_workers=params.max_workers
+            ),
+            instruments=instruments,
+            gauge_property_map={
+                "backlog": "backlog",
+                "utilization": "utilization",
+                "age": "oldestAge",
+            },
+            delivery=FixedDelay(0.05),
+            gauge_caching=params.gauge_caching,
+            settle_time=params.settle_time,
+            failed_repair_cost=params.failed_repair_cost,
+            violation_policy=params.violation_policy,
+        )
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> MasterWorkerResult:
+        cfg = self.config
+        self.workload.start()
+        if self.runtime is not None:
+            self.runtime.start()
+        self.metrics.start()
+        self.sim.run(until=cfg.horizon)
+        rt = self.runtime
+        stats = rt.stats() if rt is not None else {}
+        return MasterWorkerResult(
+            config=cfg,
+            series=self.metrics.series,
+            trace=self.trace,
+            history=rt.history if rt is not None else RepairHistory(),
+            issued=self.app.issued,
+            completed=self.app.completed,
+            dropped=0,
+            bus_stats=stats.get("bus", {}),
+            gauge_stats=stats.get("gauges", {}),
+            constraint_stats=stats.get("constraints", {}),
+            rescues=self.app.rescues,
+            straggler_tasks=self.app.straggler_tasks,
+        )
+
+
+@register_scenario(
+    "master_worker",
+    params=MasterWorkerParams,
+    description="task farm: straggler re-dispatch, pool grow/shrink",
+)
+def _build_master_worker(config: RunConfig) -> MasterWorkerExperiment:
+    """The grid task-farm scenario (ROADMAP open item)."""
+    return MasterWorkerExperiment(config)

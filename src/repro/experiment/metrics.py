@@ -16,7 +16,8 @@ from repro.experiment.series import TimeSeries
 from repro.sim.process import Process
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.experiment.runner import Experiment, ExperimentResult
+    from repro.experiment.result import ClientServerResult
+    from repro.experiment.runner import Experiment
 
 __all__ = ["MetricsSampler", "ClaimReport", "extract_claims"]
 
@@ -141,14 +142,15 @@ class ClaimReport:
         ]
 
 
-def extract_claims(result: "ExperimentResult") -> ClaimReport:
-    """Compute the §5 claims from one run's result."""
+def extract_claims(result: "ClientServerResult") -> ClaimReport:
+    """Compute the §5 claims from one client/server run's result."""
     cfg = result.config
+    params = cfg.params  # ClientServerParams (thresholds, phase times)
     report = ClaimReport(name=cfg.name)
 
     latencies = [result.s(f"latency.{c}") for c in result.clients]
     crossings = [
-        ts.first_crossing(cfg.max_latency, after=cfg.quiescent_end)
+        ts.first_crossing(params.max_latency, after=params.quiescent_end)
         for ts in latencies
     ]
     crossings = [c for c in crossings if c is not None]
@@ -158,12 +160,12 @@ def extract_claims(result: "ExperimentResult") -> ClaimReport:
     final_start = cfg.horizon - 300.0
     worst = None
     for ts in latencies:
-        _, v = ts.window(start=cfg.quiescent_end)
+        _, v = ts.window(start=params.quiescent_end)
         total += v.size
-        above += int((v > cfg.max_latency).sum())
+        above += int((v > params.max_latency).sum())
         _, vf = ts.window(start=final_start)
         final_total += vf.size
-        final_above += int((vf > cfg.max_latency).sum())
+        final_above += int((vf > params.max_latency).sum())
         m = ts.max()
         if m is not None:
             worst = m if worst is None else max(worst, m)
@@ -177,15 +179,15 @@ def extract_claims(result: "ExperimentResult") -> ClaimReport:
     )
     out_n = out_a = in_n = in_a = 0
     for ts in loads:
-        _, vo = ts.window(start=cfg.quiescent_end, end=cfg.stress_start)
+        _, vo = ts.window(start=params.quiescent_end, end=params.stress_start)
         out_n += vo.size
-        out_a += int((vo > cfg.max_server_load).sum())
-        _, vo2 = ts.window(start=cfg.stress_end)
+        out_a += int((vo > params.max_server_load).sum())
+        _, vo2 = ts.window(start=params.stress_end)
         out_n += vo2.size
-        out_a += int((vo2 > cfg.max_server_load).sum())
-        _, vi = ts.window(start=cfg.stress_start, end=cfg.stress_end)
+        out_a += int((vo2 > params.max_server_load).sum())
+        _, vi = ts.window(start=params.stress_start, end=params.stress_end)
         in_n += vi.size
-        in_a += int((vi > cfg.max_server_load).sum())
+        in_a += int((vi > params.max_server_load).sum())
     report.load_over_limit_outside_stress = out_a / out_n if out_n else 0.0
     report.load_over_limit_inside_stress = in_a / in_n if in_n else 0.0
 

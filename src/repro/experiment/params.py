@@ -1,0 +1,232 @@
+"""Typed per-scenario parameter blocks.
+
+The scenario-neutral :class:`~repro.experiment.config.RunConfig` carries
+only what *every* experiment has (name, seed, horizon, adaptation toggle,
+sampling period, scenario id); everything a particular application family
+tunes lives in a frozen :class:`ScenarioParams` subclass registered
+alongside the scenario's builder::
+
+    register_scenario("pipeline", params=PipelineParams)
+
+Param blocks are frozen dataclasses, so they hash and compose into the
+result cache's key; :meth:`ScenarioParams.validate` runs when a config is
+resolved, before any simulation is built.
+
+``LEGACY_FIELDS`` names the :class:`~repro.experiment.scenario.ScenarioConfig`
+knobs a block adopts when a legacy config is converted through the
+deprecation shim — the fields the old god-config actually fed this
+scenario.  The default (every field the block declares) is right for
+:class:`ClientServerParams`, whose fields *are* the old config's fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiment.config import RunConfig
+
+__all__ = [
+    "ScenarioParams",
+    "ClientServerParams",
+    "PipelineParams",
+    "PIPELINE_STAGES",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Base class (and the no-knob default) for scenario param blocks."""
+
+    #: ScenarioConfig field names the deprecation shim copies into this
+    #: block; ``None`` means "every field this block declares".
+    LEGACY_FIELDS: ClassVar[Optional[Tuple[str, ...]]] = None
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def legacy_fields(cls) -> Tuple[str, ...]:
+        return cls.LEGACY_FIELDS if cls.LEGACY_FIELDS is not None else cls.field_names()
+
+    def but(self, **changes: Any) -> "ScenarioParams":
+        """A modified copy; rejects names the block does not declare."""
+        unknown = sorted(set(changes) - set(self.field_names()))
+        if unknown:
+            raise ReproError(
+                f"{type(self).__name__} has no parameter(s) {unknown}; "
+                f"declared: {sorted(self.field_names())}"
+            )
+        return replace(self, **changes)
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity, composed into :meth:`RunConfig.cache_key`."""
+        return (type(self).__name__,) + tuple(
+            getattr(self, name) for name in self.field_names()
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self.field_names()}
+
+    # -- validation hooks ---------------------------------------------------
+    def validate(self, config: "RunConfig") -> None:
+        """Raise :class:`ReproError` on inconsistent values.
+
+        Receives the enclosing (resolved) config so blocks can check
+        cross-cutting consistency, e.g. phase times against the horizon.
+        """
+
+    def _require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise ReproError(f"{type(self).__name__}: {message}")
+
+    def _check_policy(self, policy: str) -> None:
+        """Shared check for the repair engine's ``violation_policy`` knob."""
+        if policy not in ("first", "worst"):
+            raise ReproError(
+                f"{type(self).__name__}: violation_policy must be "
+                f"'first' or 'worst', got {policy!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ClientServerParams(ScenarioParams):
+    """The paper's Figure 6/7 client/server testbed knobs.
+
+    Field names and defaults mirror the legacy ``ScenarioConfig`` exactly,
+    so legacy configs convert value-for-value (and the adapted-run
+    fingerprint stays bit-for-bit identical through both front doors).
+    """
+
+    # adaptation stack
+    underutilization_repair: bool = True
+
+    # task-layer profile (paper §5 thresholds)
+    max_latency: float = 2.0
+    max_server_load: float = 6.0
+    min_bandwidth: float = 10e3
+    min_servers: int = 3
+    min_utilization: float = 0.35
+
+    # workload (Figure 7)
+    baseline_rate: float = 1.0
+    stress_rate: float = 3.0
+    quiescent_end: float = 120.0
+    stress_start: float = 600.0
+    stress_end: float = 1200.0
+
+    # application service model
+    service_base: float = 0.10        # s per request
+    service_per_byte: float = 7.5e-6  # s per response byte (20 KB -> +0.15 s)
+
+    # monitoring
+    gauge_period: float = 5.0
+    latency_horizon: float = 30.0
+    load_horizon: float = 30.0
+    load_probe_period: float = 1.0
+    bandwidth_probe_period: float = 10.0
+    monitoring_qos: bool = False      # A2: prioritize monitoring traffic
+    congestion_penalty: float = 8.0   # extra bus delay at full congestion, s
+
+    # repair machinery
+    settle_time: float = 20.0
+    failed_repair_cost: float = 2.0
+    violation_policy: str = "first"   # or "worst" (the paper's §7 proposal)
+    gauge_caching: bool = False       # A1: cache gauges instead of recreate
+    remos_prewarm: bool = True        # A3: pre-query Remos (paper's fix)
+    remos_cold_delay: float = 90.0
+    remos_warm_delay: float = 0.5
+
+    def validate(self, config: "RunConfig") -> None:
+        self._check_policy(self.violation_policy)
+        self._require(self.gauge_period > 0, "gauge_period must be positive")
+        self._require(
+            self.load_probe_period > 0, "load_probe_period must be positive"
+        )
+        self._require(
+            self.bandwidth_probe_period > 0,
+            "bandwidth_probe_period must be positive",
+        )
+        self._require(self.settle_time >= 0, "settle_time must be >= 0")
+        self._require(
+            self.quiescent_end <= self.stress_start <= self.stress_end,
+            "workload phases must be ordered "
+            "(quiescent_end <= stress_start <= stress_end)",
+        )
+
+
+#: (stage, initial width, service seconds/item) — transform is the
+#: designed bottleneck: capacity 1/0.9 ≈ 1.1 items/s at width 1.
+PIPELINE_STAGES: Tuple[Tuple[str, int, float], ...] = (
+    ("ingest", 2, 0.40),
+    ("transform", 1, 0.90),
+    ("publish", 2, 0.30),
+)
+
+
+@dataclass(frozen=True)
+class PipelineParams(ScenarioParams):
+    """The batch-pipeline scenario's knobs (stages, burst, budgets).
+
+    Only the adaptation-machinery fields are adopted from legacy configs
+    (``LEGACY_FIELDS``): the legacy god-config never carried pipeline
+    workload knobs — those were module constants — and its client/server
+    thresholds (e.g. ``min_utilization``) must not leak in.
+    """
+
+    LEGACY_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "gauge_period",
+        "load_probe_period",
+        "load_horizon",
+        "gauge_caching",
+        "settle_time",
+        "failed_repair_cost",
+        "violation_policy",
+    )
+
+    #: (name, initial width, service seconds/item) per stage, in order
+    stages: Tuple[Tuple[str, int, float], ...] = PIPELINE_STAGES
+
+    # workload: Poisson item stream bursting above the bottleneck capacity
+    baseline_rate: float = 0.8   # items/s, below the bottleneck's capacity
+    burst_rate: float = 3.0      # items/s, needs transform width >= 3
+
+    # thresholds and budgets
+    max_backlog: float = 25.0    # backlogBound invariant
+    low_water: float = 2.0       # never narrow a stage still queueing
+    min_utilization: float = 0.5  # occupancy under which width is idle
+    worker_budget: int = 8       # total workers across stages
+
+    # translation costs
+    widen_cost: float = 8.0      # s to spin up one worker
+    redeploy_window: float = 10.0  # s of gauge blindness after a repair
+
+    # monitoring + repair machinery (shared shape with the other blocks)
+    gauge_period: float = 5.0
+    load_probe_period: float = 1.0
+    load_horizon: float = 30.0
+    gauge_caching: bool = False
+    settle_time: float = 20.0
+    failed_repair_cost: float = 2.0
+    violation_policy: str = "first"
+
+    def validate(self, config: "RunConfig") -> None:
+        self._check_policy(self.violation_policy)
+        self._require(len(self.stages) >= 2, "a pipeline needs >= 2 stages")
+        self._require(self.baseline_rate > 0, "baseline_rate must be positive")
+        self._require(self.burst_rate > 0, "burst_rate must be positive")
+        self._require(self.worker_budget >= 1, "worker_budget must be >= 1")
+        self._require(self.gauge_period > 0, "gauge_period must be positive")
+        self._require(
+            self.load_probe_period > 0, "load_probe_period must be positive"
+        )
+        initial = sum(width for _, width, _ in self.stages)
+        self._require(
+            initial <= self.worker_budget,
+            f"initial widths ({initial}) exceed worker_budget "
+            f"({self.worker_budget})",
+        )

@@ -22,6 +22,13 @@ translator, but zero new control-plane machinery:
   applies ``setStageWidth``, and blanks the stage's gauges for the
   redeployment window.
 
+Every knob lives in the typed
+:class:`~repro.experiment.params.PipelineParams` block (the module-level
+constants are kept as aliases of its defaults for compatibility); the
+scenario consumes a scenario-neutral
+:class:`~repro.experiment.config.RunConfig` and returns a
+:class:`~repro.experiment.result.PipelineResult`.
+
 The control run injects the identical seeded workload with no adaptation:
 the bottleneck backlog grows throughout the burst and never drains inside
 the horizon, while the adapted run widens the stage and recovers.
@@ -29,13 +36,17 @@ the horizon, while the adapted run widens the stage and recovers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.app.pipeline_app import PipelineApplication
 from repro.bus.bus import FixedDelay
 from repro.errors import TranslationError
+from repro.experiment.config import RunConfig, as_run_config
+from repro.experiment.params import PIPELINE_STAGES, PipelineParams
+from repro.experiment.result import PipelineResult
 from repro.experiment.scenario import ScenarioConfig
 from repro.experiment.series import TimeSeries
+from repro.experiment.workload import BurstArrivals
 from repro.monitoring.gauges import BacklogGauge, UtilizationGauge
 from repro.monitoring.probes import StageBacklogProbe, StageUtilizationProbe
 from repro.repair.history import RepairHistory
@@ -57,7 +68,6 @@ from repro.styles.pipeline import (
     pipeline_operators,
 )
 from repro.util.rng import SeedSequenceFactory
-from repro.util.windows import StepFunction
 
 __all__ = [
     "PipelineExperiment",
@@ -65,18 +75,17 @@ __all__ = [
     "PipelineTranslator",
 ]
 
-#: (stage, initial width, service seconds/item) — transform is the
-#: designed bottleneck: capacity 1/0.9 ≈ 1.1 items/s at width 1.
-STAGES = (("ingest", 2, 0.40), ("transform", 1, 0.90), ("publish", 2, 0.30))
-
-BASELINE_RATE = 0.8   # items/s, below the bottleneck's initial capacity
-BURST_RATE = 3.0      # items/s, needs transform width >= 3
-MAX_BACKLOG = 25.0    # the scenario's threshold (backlogBound invariant)
-LOW_WATER = 2.0       # backlog guard: never narrow a stage still queueing
-MIN_UTILIZATION = 0.5  # occupancy under which surplus width is idle
-WORKER_BUDGET = 8     # total workers across stages (5 initial + 3 spare)
-WIDEN_COST = 8.0      # s to spin up one worker (translation cost)
-REDEPLOY_WINDOW = 10.0  # s the stage's gauges stay blank after a repair
+#: compatibility aliases for the typed defaults in PipelineParams
+_DEFAULTS = PipelineParams()
+STAGES = PIPELINE_STAGES
+BASELINE_RATE = _DEFAULTS.baseline_rate
+BURST_RATE = _DEFAULTS.burst_rate
+MAX_BACKLOG = _DEFAULTS.max_backlog
+LOW_WATER = _DEFAULTS.low_water
+MIN_UTILIZATION = _DEFAULTS.min_utilization
+WORKER_BUDGET = _DEFAULTS.worker_budget
+WIDEN_COST = _DEFAULTS.widen_cost
+REDEPLOY_WINDOW = _DEFAULTS.redeploy_window
 
 
 class PipelineTranslator(IntentExecutor):
@@ -135,8 +144,10 @@ class PipelineManagedApplication(ManagedApplication):
 
     name = "batch-pipeline"
 
-    def __init__(self, app: PipelineApplication):
+    def __init__(self, app: PipelineApplication,
+                 params: Optional[PipelineParams] = None):
         self.app = app
+        self.params = params if params is not None else PipelineParams()
 
     def architecture(self):
         model = build_pipeline_model(
@@ -153,7 +164,11 @@ class PipelineManagedApplication(ManagedApplication):
 
     def intent_executor(self, runtime: AdaptationRuntime) -> PipelineTranslator:
         return PipelineTranslator(
-            self.app, gauge_manager=runtime.gauge_manager, trace=runtime.trace
+            self.app,
+            gauge_manager=runtime.gauge_manager,
+            trace=runtime.trace,
+            widen_cost=self.params.widen_cost,
+            redeploy_window=self.params.redeploy_window,
         )
 
 
@@ -199,62 +214,68 @@ class PipelineMetricsSampler:
 class PipelineExperiment:
     """One wired pipeline run (control or adapted), ready to run."""
 
-    def __init__(self, config: ScenarioConfig):
+    def __init__(self, config: Union[RunConfig, ScenarioConfig]):
+        config = as_run_config(config)
         self.config = config
+        self.params: PipelineParams = config.params
+        params = self.params
         self.sim = Simulator()
         self.trace = Trace()
         self.seeds = SeedSequenceFactory(config.seed)
-        self.app = PipelineApplication(self.sim, STAGES, trace=self.trace)
-        # burst sits at the same fractions of the horizon as the paper's
-        # stress phase sits in the 30-minute run (1/6 .. 1/2).
-        self.burst_start = config.horizon / 6.0
-        self.burst_end = config.horizon / 2.0
-        self.arrival_rate = StepFunction(
-            [
-                (0.0, BASELINE_RATE),
-                (self.burst_start, BURST_RATE),
-                (self.burst_end, BASELINE_RATE),
-            ]
+        self.app = PipelineApplication(self.sim, params.stages, trace=self.trace)
+        self.workload = BurstArrivals(
+            self.sim,
+            horizon=config.horizon,
+            baseline_rate=params.baseline_rate,
+            burst_rate=params.burst_rate,
+            rng=self.seeds.rng("pipeline.source"),
+            submit=self.app.submit,
+            name="pipeline-source",
         )
-        self._rng = self.seeds.rng("pipeline.source")
+        self.burst_start = self.workload.burst_start
+        self.burst_end = self.workload.burst_end
         self.runtime: Optional[AdaptationRuntime] = None
         if config.adaptation:
             self.runtime = AdaptationRuntime(
                 self.sim,
-                PipelineManagedApplication(self.app),
+                PipelineManagedApplication(self.app, params),
                 self._adaptation_spec(),
                 trace=self.trace,
             )
         self.metrics = PipelineMetricsSampler(self)
 
+    def build(self) -> Optional[AdaptationRuntime]:
+        """The control plane bound to this config (Scenario protocol)."""
+        return self.runtime
+
     def _adaptation_spec(self) -> AdaptationSpec:
-        cfg = self.config
+        params = self.params
         app = self.app
         instruments: List = []
         for stage in app.stage_order:
             instruments.append(ProbeBinding(
                 lambda rt, s=stage: StageBacklogProbe(
-                    rt.sim, rt.probe_bus, app, s, period=cfg.load_probe_period,
+                    rt.sim, rt.probe_bus, app, s, period=params.load_probe_period,
                 ),
                 periodic=True,
             ))
             instruments.append(GaugeBinding(
                 lambda rt, s=stage: BacklogGauge(
                     rt.sim, rt.probe_bus, rt.gauge_bus, s,
-                    period=cfg.gauge_period, horizon=cfg.load_horizon,
+                    period=params.gauge_period, horizon=params.load_horizon,
                 ),
                 entities=[stage],
             ))
             instruments.append(ProbeBinding(
                 lambda rt, s=stage: StageUtilizationProbe(
-                    rt.sim, rt.probe_bus, app, s, period=cfg.load_probe_period,
+                    rt.sim, rt.probe_bus, app, s, period=params.load_probe_period,
                 ),
                 periodic=True,
             ))
             instruments.append(GaugeBinding(
                 lambda rt, s=stage: UtilizationGauge(
                     rt.sim, rt.probe_bus, rt.gauge_bus, s,
-                    period=cfg.gauge_period,
+                    period=params.gauge_period,
                 ),
                 entities=[stage],
             ))
@@ -263,40 +284,33 @@ class PipelineExperiment:
             dsl_source=PIPELINE_DSL,
             invariant_scopes={"b": "FilterT", "u": "FilterT"},
             bindings={
-                "maxBacklog": MAX_BACKLOG,
-                "lowWater": LOW_WATER,
-                "minUtilization": MIN_UTILIZATION,
+                "maxBacklog": params.max_backlog,
+                "lowWater": params.low_water,
+                "minUtilization": params.min_utilization,
             },
-            operators=lambda rt: pipeline_operators(worker_budget=WORKER_BUDGET),
+            operators=lambda rt: pipeline_operators(
+                worker_budget=params.worker_budget
+            ),
             instruments=instruments,
             gauge_property_map={"backlog": "backlog", "utilization": "utilization"},
             delivery=FixedDelay(0.05),
-            gauge_caching=cfg.gauge_caching,
-            settle_time=cfg.settle_time,
-            failed_repair_cost=cfg.failed_repair_cost,
-            violation_policy=cfg.violation_policy,
+            gauge_caching=params.gauge_caching,
+            settle_time=params.settle_time,
+            failed_repair_cost=params.failed_repair_cost,
+            violation_policy=params.violation_policy,
         )
 
-    # -- workload ----------------------------------------------------------
-    def _arrivals(self):
-        """Poisson item stream whose rate follows the burst schedule."""
-        while True:
-            rate = self.arrival_rate(self.sim.now)
-            yield self.sim.timeout(float(self._rng.exponential(1.0 / rate)))
-            self.app.submit()
-
     # -- execution ---------------------------------------------------------
-    def run(self):
-        from repro.experiment.runner import ExperimentResult
-
+    def run(self) -> PipelineResult:
         cfg = self.config
-        Process(self.sim, self._arrivals(), name="pipeline-source")
+        self.workload.start()
         if self.runtime is not None:
             self.runtime.start()
         self.metrics.start()
         self.sim.run(until=cfg.horizon)
         rt = self.runtime
-        return ExperimentResult(
+        stats = rt.stats() if rt is not None else {}
+        return PipelineResult(
             config=cfg,
             series=self.metrics.series,
             trace=self.trace,
@@ -304,6 +318,7 @@ class PipelineExperiment:
             issued=self.app.issued,
             completed=self.app.completed,
             dropped=0,
-            bus_stats=rt.bus_stats() if rt is not None else {},
-            gauge_stats=rt.gauge_stats() if rt is not None else {},
+            bus_stats=stats.get("bus", {}),
+            gauge_stats=stats.get("gauges", {}),
+            constraint_stats=stats.get("constraints", {}),
         )

@@ -13,7 +13,7 @@ from repro.util.tables import render_series, render_table
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiment.metrics import ClaimReport
-    from repro.experiment.runner import ExperimentResult
+    from repro.experiment.result import ClientServerResult, RunResult
     from repro.experiment.workload import Workload
 
 __all__ = [
@@ -51,7 +51,7 @@ def render_workload(workload: "Workload", title: str) -> str:
     )
 
 
-def _series_block(result: "ExperimentResult", names: Sequence[str],
+def _series_block(result: "RunResult", names: Sequence[str],
                   log: bool, unit: str) -> str:
     blocks = []
     for name in names:
@@ -61,28 +61,28 @@ def _series_block(result: "ExperimentResult", names: Sequence[str],
     return "\n".join(blocks)
 
 
-def render_latency_figure(result: "ExperimentResult", title: str) -> str:
+def render_latency_figure(result: "ClientServerResult", title: str) -> str:
     """Figures 8 / 11: per-client average latency (log scale)."""
     names = [f"latency.{c}" for c in result.clients]
     header = f"{title}  [{result.config.name} run, threshold 2 s]"
     return header + "\n" + _series_block(result, names, log=True, unit="s")
 
 
-def render_load_figure(result: "ExperimentResult", title: str) -> str:
+def render_load_figure(result: "ClientServerResult", title: str) -> str:
     """Figures 9 / 13: server load = queue length (log scale, limit 6)."""
     names = [f"load.{g}" for g in ("SG1", "SG2")]
     header = f"{title}  [{result.config.name} run, overload limit 6]"
     return header + "\n" + _series_block(result, names, log=True, unit="req")
 
 
-def render_bandwidth_figure(result: "ExperimentResult", title: str) -> str:
+def render_bandwidth_figure(result: "ClientServerResult", title: str) -> str:
     """Figures 10 / 12: available bandwidth (log scale, 10 Kbps line)."""
     names = [f"bandwidth.{c}" for c in ("C3", "C4")]
     header = f"{title}  [{result.config.name} run, threshold 10 Kbps]"
     return header + "\n" + _series_block(result, names, log=True, unit="bps")
 
 
-def render_repair_intervals(result: "ExperimentResult") -> str:
+def render_repair_intervals(result: "RunResult") -> str:
     """The repair-duration marks atop Figures 11-13."""
     intervals = result.repair_intervals()
     if not intervals:

@@ -10,27 +10,31 @@ the Figure 5 DSL, translator, monitoring) is expressed declaratively as an
 spec entirely — the same application under the same seeded workload with
 no adaptation.
 
-Scenario dispatch goes through the registry in
-:mod:`repro.experiment.scenarios` (this module's :class:`Experiment` is
-the registered ``client_server`` builder).  Full runs simulate 30 minutes
-and several benches share them, so results are cached per
-:class:`ScenarioConfig` in a bounded LRU.
+The module also owns the shared execution front door:
+:func:`run_scenario` normalizes any accepted config shape (the
+scenario-neutral :class:`~repro.experiment.config.RunConfig` or the
+legacy :class:`~repro.experiment.scenario.ScenarioConfig` shim, which
+converts bit-for-bit), dispatches through the scenario registry, and
+caches results in a bounded LRU keyed by the resolved config — so equal
+configurations share one 30-minute simulation regardless of which front
+door requested it.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple, Union
 
 from repro.app.client import Client
 from repro.app.env_manager import EnvironmentManager
 from repro.app.server import Server
 from repro.app.system import GridApplication
 from repro.bus.bus import CallableDelay, EventBus, FixedDelay
+from repro.experiment.config import RunConfig, as_run_config
 from repro.experiment.metrics import MetricsSampler
+from repro.experiment.params import ClientServerParams
+from repro.experiment.result import ClientServerResult, RunResult
 from repro.experiment.scenario import ScenarioConfig
-from repro.experiment.series import TimeSeries
 from repro.experiment.testbed import Testbed, build_testbed
 from repro.experiment.workload import Workload, build_workload
 from repro.monitoring.consumers import ModelUpdater
@@ -82,44 +86,12 @@ __all__ = [
     "set_cache_capacity",
 ]
 
+#: deprecated alias — the client/server result type (import RunResult /
+#: ClientServerResult from repro.experiment.result in new code)
+ExperimentResult = ClientServerResult
+
 #: invariant name (from the DSL) -> scope element type
 _INVARIANT_SCOPES = {"r": "ClientRoleT", "u": "ServerGroupT"}
-
-
-@dataclass
-class ExperimentResult:
-    """Everything a bench or test needs from one finished run."""
-
-    config: ScenarioConfig
-    series: Dict[str, TimeSeries]
-    trace: Trace
-    history: RepairHistory
-    issued: int
-    completed: int
-    dropped: int
-    remos_stats: Any = None
-    bus_stats: Dict[str, float] = field(default_factory=dict)
-    gauge_stats: Dict[str, int] = field(default_factory=dict)
-
-    def s(self, name: str) -> TimeSeries:
-        try:
-            return self.series[name]
-        except KeyError:
-            raise KeyError(
-                f"no series {name!r}; available: {sorted(self.series)}"
-            ) from None
-
-    @property
-    def clients(self) -> List[str]:
-        return sorted(
-            n.split(".", 1)[1] for n in self.series if n.startswith("latency.C")
-        )
-
-    def repair_intervals(self) -> List[Tuple[float, float]]:
-        """(start, end) of every repair (the marks atop Figures 11-13)."""
-        return [
-            (a, b) for a, b, _ in self.trace.intervals("repair.start", "repair.end")
-        ]
 
 
 class ClientServerApplication(ManagedApplication):
@@ -128,10 +100,10 @@ class ClientServerApplication(ManagedApplication):
     name = "client-server-grid"
 
     def __init__(self, env: EnvironmentManager, testbed: Testbed,
-                 config: ScenarioConfig):
+                 params: ClientServerParams):
         self.env = env
         self.testbed = testbed
-        self.config = config
+        self.params = params
 
     def architecture(self):
         return build_client_server_model(
@@ -142,7 +114,7 @@ class ClientServerApplication(ManagedApplication):
         )
 
     def intent_executor(self, runtime: AdaptationRuntime) -> Translator:
-        costs = TranslationCosts(cached_gauges=self.config.gauge_caching)
+        costs = TranslationCosts(cached_gauges=self.params.gauge_caching)
         return Translator(
             self.env, costs,
             gauge_manager=runtime.gauge_manager, trace=runtime.trace,
@@ -153,16 +125,21 @@ class ClientServerApplication(ManagedApplication):
 
 
 class Experiment:
-    """One wired experiment, ready to run.
+    """One wired client/server experiment, ready to run.
 
-    The runtime layer (network, application, workload) is built here; the
+    Accepts a :class:`RunConfig` (with :class:`ClientServerParams`) or a
+    legacy :class:`ScenarioConfig`, which is converted on entry.  The
+    runtime layer (network, application, workload) is built here; the
     adaptation stack is delegated to :class:`AdaptationRuntime` when the
     config asks for it.  ``manager``/``model``/``probe_bus``/... remain
     available as properties for harness compatibility.
     """
 
-    def __init__(self, config: ScenarioConfig):
+    def __init__(self, config: Union[RunConfig, ScenarioConfig]):
+        config = as_run_config(config)
         self.config = config
+        self.params: ClientServerParams = config.params
+        params = self.params
         self.sim = Simulator()
         self.trace = Trace()
         self.seeds = SeedSequenceFactory(config.seed)
@@ -170,16 +147,16 @@ class Experiment:
         self.network = FlowNetwork(self.sim, self.testbed.topology)
         self.remos = RemosService(
             self.sim, self.network,
-            cold_delay=config.remos_cold_delay,
-            warm_delay=config.remos_warm_delay,
+            cold_delay=params.remos_cold_delay,
+            warm_delay=params.remos_warm_delay,
         )
         self.workload: Workload = build_workload(
             horizon=config.horizon,
-            baseline_rate=config.baseline_rate,
-            stress_rate=config.stress_rate,
-            quiescent_end=config.quiescent_end,
-            stress_start=config.stress_start,
-            stress_end=config.stress_end,
+            baseline_rate=params.baseline_rate,
+            stress_rate=params.stress_rate,
+            quiescent_end=params.quiescent_end,
+            stress_start=params.stress_start,
+            stress_end=params.stress_end,
         )
         self._build_application()
         self._build_competition()
@@ -188,15 +165,19 @@ class Experiment:
         if config.adaptation:
             self.runtime = AdaptationRuntime(
                 self.sim,
-                ClientServerApplication(self.env, self.testbed, config),
+                ClientServerApplication(self.env, self.testbed, params),
                 self._adaptation_spec(),
                 trace=self.trace,
             )
-            if config.remos_prewarm:
+            if params.remos_prewarm:
                 self.remos.prewarm_all_hosts()
         self.metrics = MetricsSampler(self)
 
     # -- control-plane views (None on control runs) ------------------------
+    def build(self) -> Optional[AdaptationRuntime]:
+        """The control plane bound to this config (Scenario protocol)."""
+        return self.runtime
+
     @property
     def manager(self):
         return self.runtime.manager if self.runtime is not None else None
@@ -225,7 +206,7 @@ class Experiment:
     # Runtime layer
     # ------------------------------------------------------------------
     def _build_application(self) -> None:
-        cfg = self.config
+        params = self.params
         tb = self.testbed
         self.app = GridApplication(
             self.sim, self.network,
@@ -243,7 +224,7 @@ class Experiment:
                     size_fn=size_fn,
                     rng=self.seeds.rng(f"client.{name}"),
                     request_size=self.workload.request_size,
-                    latency_horizon=cfg.latency_horizon,
+                    latency_horizon=params.latency_horizon,
                 )
             )
         for name in tb.servers:
@@ -253,8 +234,8 @@ class Experiment:
                     name,
                     machine=tb.machine_of[name],
                     network=self.network,
-                    service_base=cfg.service_base,
-                    service_per_byte=cfg.service_per_byte,
+                    service_base=params.service_base,
+                    service_per_byte=params.service_per_byte,
                 )
             )
         for group, servers in tb.initial_groups.items():
@@ -291,9 +272,9 @@ class Experiment:
         competition links saturate; the A2 ablation turns on QoS
         prioritization (fixed small delay).
         """
-        if self.config.monitoring_qos:
+        if self.params.monitoring_qos:
             return FixedDelay(0.05)
-        penalty = self.config.congestion_penalty
+        penalty = self.params.congestion_penalty
         net = self.network
 
         def delay(_message) -> float:
@@ -316,19 +297,19 @@ class Experiment:
         and the two matching gauges; per group a queue-length probe and
         load gauge, plus the utilization pair when the shrink repair is on.
         """
-        cfg = self.config
+        params = self.params
         app, remos = self.app, self.remos
 
         dsl_source = FIGURE5_DSL
-        if cfg.underutilization_repair:
+        if params.underutilization_repair:
             dsl_source = dsl_source + "\n" + UNDERUTILIZATION_DSL
         profile = PerformanceProfile(
-            max_latency=cfg.max_latency,
-            max_server_load=cfg.max_server_load,
-            min_bandwidth=cfg.min_bandwidth,
+            max_latency=params.max_latency,
+            max_server_load=params.max_server_load,
+            min_bandwidth=params.min_bandwidth,
             extras={
-                "minServers": cfg.min_servers,
-                "minUtilization": cfg.min_utilization,
+                "minServers": params.min_servers,
+                "minUtilization": params.min_utilization,
             },
         )
 
@@ -342,21 +323,21 @@ class Experiment:
             instruments.append(ProbeBinding(
                 lambda rt, c=client: BandwidthProbe(
                     rt.sim, rt.probe_bus, app, remos,
-                    c, period=cfg.bandwidth_probe_period,
+                    c, period=params.bandwidth_probe_period,
                 ),
                 periodic=True,
             ))
             instruments.append(GaugeBinding(
                 lambda rt, c=client: AverageLatencyGauge(
                     rt.sim, rt.probe_bus, rt.gauge_bus, c,
-                    period=cfg.gauge_period, horizon=cfg.latency_horizon,
+                    period=params.gauge_period, horizon=params.latency_horizon,
                 ),
                 entities=[client],
             ))
             instruments.append(GaugeBinding(
                 lambda rt, c=client: BandwidthGauge(
                     rt.sim, rt.probe_bus, rt.gauge_bus, c,
-                    period=cfg.gauge_period,
+                    period=params.gauge_period,
                 ),
                 entities=[client],
             ))
@@ -364,29 +345,29 @@ class Experiment:
             instruments.append(ProbeBinding(
                 lambda rt, g=group: QueueLengthProbe(
                     rt.sim, rt.probe_bus, app, g,
-                    period=cfg.load_probe_period,
+                    period=params.load_probe_period,
                 ),
                 periodic=True,
             ))
             instruments.append(GaugeBinding(
                 lambda rt, g=group: LoadGauge(
                     rt.sim, rt.probe_bus, rt.gauge_bus, g,
-                    period=cfg.gauge_period, horizon=cfg.load_horizon,
+                    period=params.gauge_period, horizon=params.load_horizon,
                 ),
                 entities=[group],
             ))
-            if cfg.underutilization_repair:
+            if params.underutilization_repair:
                 instruments.append(ProbeBinding(
                     lambda rt, g=group: UtilizationProbe(
                         rt.sim, rt.probe_bus, app, g,
-                        period=cfg.gauge_period,
+                        period=params.gauge_period,
                     ),
                     periodic=True,
                 ))
                 instruments.append(GaugeBinding(
                     lambda rt, g=group: UtilizationGauge(
                         rt.sim, rt.probe_bus, rt.gauge_bus, g,
-                        period=cfg.gauge_period,
+                        period=params.gauge_period,
                     ),
                     entities=[group],
                 ))
@@ -401,16 +382,16 @@ class Experiment:
             updater=lambda rt: ModelUpdater(rt.model, rt.gauge_bus, rt.manager),
             delivery=self._monitoring_delay(),
             gauge_create_delay=14.0,
-            gauge_caching=cfg.gauge_caching,
-            settle_time=cfg.settle_time,
-            failed_repair_cost=cfg.failed_repair_cost,
-            violation_policy=cfg.violation_policy,
+            gauge_caching=params.gauge_caching,
+            settle_time=params.settle_time,
+            failed_repair_cost=params.failed_repair_cost,
+            violation_policy=params.violation_policy,
         )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self) -> ExperimentResult:
+    def run(self) -> ClientServerResult:
         cfg = self.config
         for generator in self.generators:
             generator.start()
@@ -421,10 +402,11 @@ class Experiment:
         self.sim.run(until=cfg.horizon)
         return self._result()
 
-    def _result(self) -> ExperimentResult:
+    def _result(self) -> ClientServerResult:
         dropped = sum(s.dropped for s in self.app.servers.values())
         rt = self.runtime
-        return ExperimentResult(
+        stats = rt.stats() if rt is not None else {}
+        return ClientServerResult(
             config=self.config,
             series=self.metrics.series,
             trace=self.trace,
@@ -433,8 +415,9 @@ class Experiment:
             completed=self.app.total_completed,
             dropped=dropped,
             remos_stats=self.remos.stats,
-            bus_stats=rt.bus_stats() if rt is not None else {},
-            gauge_stats=rt.gauge_stats() if rt is not None else {},
+            bus_stats=stats.get("bus", {}),
+            gauge_stats=stats.get("gauges", {}),
+            constraint_stats=stats.get("constraints", {}),
         )
 
 
@@ -443,16 +426,16 @@ class Experiment:
 # ---------------------------------------------------------------------------
 
 class _ResultCache:
-    """Bounded LRU keyed by :meth:`ScenarioConfig.cache_key`.
+    """Bounded LRU keyed by :meth:`RunConfig.cache_key`.
 
     Long parameter sweeps touch many configs; an unbounded dict of full
-    :class:`ExperimentResult` objects (series + traces) grows without
-    limit.  The default cap of 32 comfortably covers the headline runs
-    plus every ablation the benches share.
+    :class:`RunResult` objects (series + traces) grows without limit.
+    The default cap of 32 comfortably covers the headline runs plus
+    every ablation the benches share.
     """
 
     def __init__(self, capacity: int = 32):
-        self._data: "OrderedDict[Tuple, ExperimentResult]" = OrderedDict()
+        self._data: "OrderedDict[Tuple, RunResult]" = OrderedDict()
         self.capacity = int(capacity)
         self.hits = 0
         self.misses = 0
@@ -460,7 +443,7 @@ class _ResultCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, key: Tuple) -> Optional[ExperimentResult]:
+    def get(self, key: Tuple) -> Optional[RunResult]:
         result = self._data.get(key)
         if result is None:
             self.misses += 1
@@ -469,7 +452,7 @@ class _ResultCache:
         self.hits += 1
         return result
 
-    def put(self, key: Tuple, result: ExperimentResult) -> None:
+    def put(self, key: Tuple, result: RunResult) -> None:
         self._data[key] = result
         self._data.move_to_end(key)
         while len(self._data) > self.capacity:
@@ -489,22 +472,28 @@ class _ResultCache:
 _CACHE = _ResultCache()
 
 
-def run_scenario(config: ScenarioConfig, fresh: bool = False) -> ExperimentResult:
+def run_scenario(
+    config: Union[RunConfig, ScenarioConfig], fresh: bool = False
+) -> RunResult:
     """Run (or fetch the cached result of) one scenario.
 
-    Dispatches through the scenario registry
+    Accepts the scenario-neutral :class:`RunConfig` or a legacy
+    :class:`ScenarioConfig` (converted bit-for-bit on entry; both map to
+    the same cache key).  Dispatches through the scenario registry
     (:mod:`repro.experiment.scenarios`) on ``config.scenario``, so any
-    registered scenario — ``client_server``, ``pipeline``, or a
-    user-registered one — runs through the same caching front door.
+    registered scenario — built-in or user-registered — runs through the
+    same caching front door.  ``fresh=True`` forces a re-run; the fresh
+    result still replaces the cached entry for subsequent calls.
     """
+    config = as_run_config(config)
     key = config.cache_key()
     if not fresh:
         cached = _CACHE.get(key)
         if cached is not None:
             return cached
-    from repro.experiment.scenarios import scenario_builder
+    from repro.experiment.scenarios import scenario_entry
 
-    result = scenario_builder(config.scenario)(config).run()
+    result = scenario_entry(config.scenario).builder(config).run()
     _CACHE.put(key, result)
     return result
 

@@ -1,19 +1,40 @@
-"""Run configurations: control, adapted, and ablation variants."""
+"""The legacy run configuration — now a thin deprecation shim.
+
+:class:`ScenarioConfig` predates the scenario-neutral experiment API: a
+single frozen god-config whose fields were ~80% client/server knobs.
+The typed replacement is :class:`~repro.experiment.config.RunConfig`
+plus a per-scenario :class:`~repro.experiment.params.ScenarioParams`
+block (see ``docs/migration.md``).
+
+The shim keeps every field and named variant working:
+``run_scenario(ScenarioConfig(...))`` converts through
+:meth:`to_run_config` before anything is built, producing bit-for-bit
+the same simulation (and sharing the same result-cache entry) as the
+equivalent ``RunConfig`` — conversion copies the neutral fields
+verbatim and fills the target scenario's params block from the fields
+it declares in ``ScenarioParams.legacy_fields()``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiment.config import RunConfig
 
 __all__ = ["ScenarioConfig"]
 
 
 @dataclass(frozen=True)
 class ScenarioConfig:
-    """Everything that defines one experiment run.
+    """Everything that defines one experiment run (legacy shape).
 
     Frozen + hashable so the runner can cache results per configuration
     (full runs simulate 30 minutes and are shared by several benches).
+
+    .. deprecated:: use :class:`~repro.experiment.config.RunConfig` with
+       a typed params block; this shim converts on entry.
     """
 
     name: str = "adapted"
@@ -71,14 +92,20 @@ class ScenarioConfig:
 
     # -- named variants -------------------------------------------------------
     @staticmethod
-    def control(seed: int = 2002) -> "ScenarioConfig":
+    def control(seed: int = 2002,
+                scenario: str = "client_server") -> "ScenarioConfig":
         """The paper's control run: no adaptation at all."""
-        return ScenarioConfig(name="control", seed=seed, adaptation=False)
+        return ScenarioConfig(
+            name="control", seed=seed, scenario=scenario, adaptation=False
+        )
 
     @staticmethod
-    def adapted(seed: int = 2002) -> "ScenarioConfig":
+    def adapted(seed: int = 2002,
+                scenario: str = "client_server") -> "ScenarioConfig":
         """The paper's repair run: full adaptation framework."""
-        return ScenarioConfig(name="adapted", seed=seed, adaptation=True)
+        return ScenarioConfig(
+            name="adapted", seed=seed, scenario=scenario, adaptation=True
+        )
 
     def but(self, **changes) -> "ScenarioConfig":
         """A modified copy (ablations)."""
@@ -87,4 +114,31 @@ class ScenarioConfig:
     def cache_key(self) -> Tuple:
         return tuple(
             getattr(self, f.name) for f in self.__dataclass_fields__.values()
+        )
+
+    # -- conversion to the scenario-neutral API -------------------------------
+    def to_run_config(self) -> "RunConfig":
+        """The equivalent :class:`RunConfig` + typed params block.
+
+        The target scenario's params type picks which of this config's
+        fields it adopts (``legacy_fields()``); everything else is a
+        client/server-only knob the scenario never read anyway.
+        """
+        from repro.experiment.config import RunConfig
+        from repro.experiment.scenarios import scenario_entry
+
+        params_type = scenario_entry(self.scenario).params_type
+        params = params_type(**{
+            name: getattr(self, name)
+            for name in params_type.legacy_fields()
+            if hasattr(self, name)
+        })
+        return RunConfig(
+            scenario=self.scenario,
+            name=self.name,
+            seed=self.seed,
+            horizon=self.horizon,
+            adaptation=self.adaptation,
+            sample_period=self.sample_period,
+            params=params,
         )

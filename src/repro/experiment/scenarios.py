@@ -1,65 +1,148 @@
-"""The scenario registry: named experiment builders.
+"""The scenario registry: named experiment builders with typed params.
 
 A *scenario* pairs an application (runtime layer) with the control plane
-that adapts it.  Builders take a :class:`ScenarioConfig` and return an
-experiment object exposing ``run() -> ExperimentResult``;
-:func:`repro.experiment.runner.run_scenario` dispatches through this
-registry on ``config.scenario``, so every scenario shares the same
-caching front door and result shape.
+that adapts it.  Registering one names three things together::
 
-Built-ins:
+    @register_scenario("pipeline", params=PipelineParams,
+                       description="batch pipeline, widen/narrow repairs")
+    def build(config: RunConfig) -> Scenario:
+        return PipelineExperiment(config)
 
-* ``client_server`` — the paper's Figure 6/7 grid experiment
-  (:class:`~repro.experiment.runner.Experiment`);
-* ``pipeline`` — a batch pipeline driven through the same
-  :class:`~repro.runtime.core.AdaptationRuntime` with the
-  :mod:`repro.styles.pipeline` style
-  (:class:`~repro.experiment.pipeline_scenario.PipelineExperiment`).
+* the **builder** — takes a resolved
+  :class:`~repro.experiment.config.RunConfig` and returns something
+  satisfying the :class:`Scenario` protocol;
+* the **params type** — the frozen
+  :class:`~repro.experiment.params.ScenarioParams` subclass holding the
+  scenario's knobs; ``RunConfig(params=None)`` resolves to its defaults,
+  and a block of the wrong type is rejected before anything is built;
+* a **description** for ``python -m repro list``.
 
-Downstream code can register more::
+:func:`repro.experiment.runner.run_scenario` (and the
+:mod:`repro.api` facade / ``python -m repro`` CLI on top of it)
+dispatches through this registry on ``config.scenario``, so every
+scenario shares the same caching front door and the scenario-neutral
+:class:`~repro.experiment.result.RunResult` shape.
 
-    from repro.experiment.scenarios import register_scenario
-
-    @register_scenario("my_scenario")
-    def build(config):
-        return MyExperiment(config)
-
-    run_scenario(ScenarioConfig(scenario="my_scenario"))
+Built-ins: ``client_server`` (the paper's Figure 6/7 grid experiment),
+``pipeline`` (batch pipeline, same control plane), and ``master_worker``
+(task farm with straggler re-dispatch and pool grow/shrink — registered
+from its own module purely through this public API).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Type,
+    runtime_checkable,
+)
 
 from repro.errors import ReproError
-from repro.experiment.pipeline_scenario import PipelineExperiment
-from repro.experiment.runner import Experiment
-from repro.experiment.scenario import ScenarioConfig
+from repro.experiment.config import RunConfig
+from repro.experiment.params import (
+    ClientServerParams,
+    PipelineParams,
+    ScenarioParams,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiment.result import RunResult
+    from repro.runtime.core import AdaptationRuntime
 
 __all__ = [
+    "Scenario",
+    "ScenarioEntry",
     "register_scenario",
+    "unregister_scenario",
+    "scenario_entry",
+    "scenario_entries",
     "scenario_builder",
     "scenario_names",
 ]
 
-#: scenario name -> builder(config) -> experiment with .run()
-_REGISTRY: Dict[str, Callable[[ScenarioConfig], object]] = {}
+
+@runtime_checkable
+class Scenario(Protocol):
+    """What a registered builder must return: a wired, runnable experiment.
+
+    ``build()`` exposes the scenario's control plane — the
+    :class:`~repro.runtime.core.AdaptationRuntime` assembled for the
+    bound config, or ``None`` on control runs — without running anything;
+    ``run()`` executes the bound config to completion and returns a
+    :class:`~repro.experiment.result.RunResult` (or subclass).
+    """
+
+    config: RunConfig
+
+    def build(self) -> Optional["AdaptationRuntime"]:
+        ...  # pragma: no cover - protocol
+
+    def run(self) -> "RunResult":
+        ...  # pragma: no cover - protocol
 
 
-def register_scenario(name: str):
-    """Decorator registering a scenario builder under ``name``."""
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario: builder + params type + description."""
 
-    def decorate(builder: Callable[[ScenarioConfig], object]):
+    name: str
+    builder: Callable[[RunConfig], Scenario]
+    params_type: Type[ScenarioParams] = ScenarioParams
+    description: str = ""
+
+
+#: scenario name -> entry
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(
+    name: str,
+    params: Type[ScenarioParams] = ScenarioParams,
+    description: str = "",
+):
+    """Decorator registering a scenario builder under ``name``.
+
+    ``params`` is the typed knob block the scenario takes (a frozen
+    :class:`ScenarioParams` subclass); configs resolve ``params=None``
+    to ``params()`` and reject blocks of any other type.
+    """
+    if not (isinstance(params, type) and issubclass(params, ScenarioParams)):
+        raise ReproError(
+            f"scenario {name!r}: params must be a ScenarioParams subclass, "
+            f"got {params!r}"
+        )
+
+    def decorate(builder: Callable[[RunConfig], Scenario]):
         if name in _REGISTRY:
             raise ReproError(f"scenario {name!r} already registered")
-        _REGISTRY[name] = builder
+        _REGISTRY[name] = ScenarioEntry(
+            name=name,
+            builder=builder,
+            params_type=params,
+            description=description,
+        )
         return builder
 
     return decorate
 
 
-def scenario_builder(name: str) -> Callable[[ScenarioConfig], object]:
-    """The builder registered under ``name`` (raises on unknown names)."""
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario (plugin teardown / tests)."""
+    if name not in _REGISTRY:
+        raise ReproError(
+            f"no scenario {name!r}; registered: {scenario_names()}"
+        )
+    del _REGISTRY[name]
+
+
+def scenario_entry(name: str) -> ScenarioEntry:
+    """The entry registered under ``name`` (raises on unknown names)."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -68,17 +151,48 @@ def scenario_builder(name: str) -> Callable[[ScenarioConfig], object]:
         ) from None
 
 
+def scenario_entries() -> List[ScenarioEntry]:
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def scenario_builder(name: str) -> Callable[[RunConfig], Scenario]:
+    """The builder registered under ``name`` (raises on unknown names)."""
+    return scenario_entry(name).builder
+
+
 def scenario_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
-@register_scenario("client_server")
-def _build_client_server(config: ScenarioConfig) -> Experiment:
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+
+# Imported here (not at top) so the registry API above is fully defined
+# by the time scenario modules — which import it back — are loaded.
+from repro.experiment.pipeline_scenario import PipelineExperiment  # noqa: E402
+from repro.experiment.runner import Experiment  # noqa: E402
+
+
+@register_scenario(
+    "client_server",
+    params=ClientServerParams,
+    description="the paper's Figure 6/7 grid experiment",
+)
+def _build_client_server(config: RunConfig) -> Experiment:
     """The paper's client/server grid experiment."""
     return Experiment(config)
 
 
-@register_scenario("pipeline")
-def _build_pipeline(config: ScenarioConfig) -> PipelineExperiment:
+@register_scenario(
+    "pipeline",
+    params=PipelineParams,
+    description="batch pipeline: widen on backlog, narrow when idle",
+)
+def _build_pipeline(config: RunConfig) -> PipelineExperiment:
     """The batch-pipeline scenario (style generality, end to end)."""
     return PipelineExperiment(config)
+
+
+# Registers itself through the public API above (the redesign's proof).
+from repro.experiment import master_worker_scenario as _master_worker  # noqa: E402,F401

@@ -37,7 +37,55 @@ import numpy as np
 
 from repro.util.windows import StepFunction
 
-__all__ = ["Workload", "build_workload"]
+__all__ = ["Workload", "build_workload", "BurstArrivals"]
+
+
+class BurstArrivals:
+    """Poisson arrivals whose rate bursts mid-run (the stress-phase shape).
+
+    The shared workload scaffold for the non-client/server scenarios
+    (``pipeline``, ``master_worker``): a baseline arrival rate, a burst
+    occupying the same fractions of the horizon as the paper's stress
+    phase occupies the 30-minute run (1/6 .. 1/2), then baseline again.
+    ``submit`` is called once per arrival; the rate is sampled *before*
+    each exponential gap is drawn, so the schedule is reproducible for a
+    given rng regardless of what ``submit`` does.
+    """
+
+    def __init__(
+        self,
+        sim,
+        horizon: float,
+        baseline_rate: float,
+        burst_rate: float,
+        rng,
+        submit: Callable[[], object],
+        name: str = "burst-arrivals",
+    ):
+        self.sim = sim
+        self.burst_start = horizon / 6.0
+        self.burst_end = horizon / 2.0
+        self.rate = StepFunction(
+            [
+                (0.0, baseline_rate),
+                (self.burst_start, burst_rate),
+                (self.burst_end, baseline_rate),
+            ]
+        )
+        self._rng = rng
+        self._submit = submit
+        self.name = name
+
+    def start(self):
+        from repro.sim.process import Process
+
+        return Process(self.sim, self._run(), name=self.name)
+
+    def _run(self):
+        while True:
+            rate = self.rate(self.sim.now)
+            yield self.sim.timeout(float(self._rng.exponential(1.0 / rate)))
+            self._submit()
 
 STARVE = 9.992e6  # leaves ~8 Kbps  (below the 10 Kbps threshold)
 MODERATE = 7.0e6  # leaves ~3 Mbps  (the paper's "moderate bandwidth")

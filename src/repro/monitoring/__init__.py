@@ -23,6 +23,7 @@ from repro.monitoring.probes import (
     BandwidthProbe,
     UtilizationProbe,
     StageBacklogProbe,
+    CallbackProbe,
 )
 from repro.monitoring.gauges import (
     Gauge,
@@ -31,6 +32,9 @@ from repro.monitoring.gauges import (
     BandwidthGauge,
     UtilizationGauge,
     BacklogGauge,
+    WindowedMeanGauge,
+    EwmaGauge,
+    LatestValueGauge,
 )
 from repro.monitoring.manager import GaugeManager
 from repro.monitoring.consumers import ModelUpdater
@@ -47,6 +51,10 @@ __all__ = [
     "BandwidthGauge",
     "UtilizationGauge",
     "BacklogGauge",
+    "CallbackProbe",
+    "WindowedMeanGauge",
+    "EwmaGauge",
+    "LatestValueGauge",
     "GaugeManager",
     "ModelUpdater",
 ]

@@ -25,6 +25,9 @@ __all__ = [
     "BandwidthGauge",
     "UtilizationGauge",
     "BacklogGauge",
+    "WindowedMeanGauge",
+    "EwmaGauge",
+    "LatestValueGauge",
 ]
 
 
@@ -209,6 +212,79 @@ class BandwidthGauge(Gauge):
 
     def _consume(self, message: Message) -> None:
         self._last = float(message["bandwidth"])
+
+    def _value(self) -> Optional[float]:
+        return self._last
+
+    def _clear(self) -> None:
+        self._last = None
+
+
+class _ValueGauge(Gauge):
+    """Base for the generic gauges: per-instance kind, consumes ``value``.
+
+    The application-specific gauges above each bind a probe subject and
+    attribute name; these generic ones pair with
+    :class:`~repro.monitoring.probes.CallbackProbe`, which always
+    publishes a ``value`` attribute on ``probe.<kind>.<target>``.
+    """
+
+    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
+                 period: float = 5.0):
+        super().__init__(
+            sim, probe_bus, gauge_bus, target,
+            probe_subject=f"probe.{kind}.{target}", period=period,
+        )
+        self.kind = kind  # instance attribute shadows the class default
+
+
+class WindowedMeanGauge(_ValueGauge):
+    """Sliding-window mean of a CallbackProbe's reported values."""
+
+    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
+                 period: float = 5.0, horizon: float = 30.0):
+        super().__init__(sim, probe_bus, gauge_bus, kind, target, period=period)
+        self.window = SlidingWindow(horizon)
+
+    def _consume(self, message: Message) -> None:
+        self.window.add(self.sim.now, float(message["value"]))
+
+    def _value(self) -> Optional[float]:
+        return self.window.mean(self.sim.now)
+
+    def _clear(self) -> None:
+        self.window.clear()
+
+
+class EwmaGauge(_ValueGauge):
+    """Exponentially-weighted mean of a CallbackProbe's reported values."""
+
+    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
+                 period: float = 5.0, tau: float = 60.0):
+        super().__init__(sim, probe_bus, gauge_bus, kind, target, period=period)
+        self.tau = tau
+        self._ewma = EWMA(tau)
+
+    def _consume(self, message: Message) -> None:
+        self._ewma.add(self.sim.now, float(message["value"]))
+
+    def _value(self) -> Optional[float]:
+        return self._ewma.value
+
+    def _clear(self) -> None:
+        self._ewma = EWMA(self.tau)
+
+
+class LatestValueGauge(_ValueGauge):
+    """Most recent value reported by a CallbackProbe (no smoothing)."""
+
+    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
+                 period: float = 5.0):
+        super().__init__(sim, probe_bus, gauge_bus, kind, target, period=period)
+        self._last: Optional[float] = None
+
+    def _consume(self, message: Message) -> None:
+        self._last = float(message["value"])
 
     def _value(self) -> Optional[float]:
         return self._last

@@ -33,6 +33,7 @@ __all__ = [
     "UtilizationProbe",
     "StageBacklogProbe",
     "StageUtilizationProbe",
+    "CallbackProbe",
 ]
 
 
@@ -208,6 +209,33 @@ class StageUtilizationProbe(_PeriodicProbe):
             f"probe.utilization.{self.stage}",
             stage=self.stage,
             utilization=stage.busy / max(1, stage.width),
+        )
+
+
+class CallbackProbe(_PeriodicProbe):
+    """Generic periodic probe: publishes ``float(fn())`` as ``value``.
+
+    The zero-boilerplate way to instrument a new application: pair it
+    with one of the generic value gauges (:class:`WindowedMeanGauge`,
+    :class:`EwmaGauge`, :class:`LatestValueGauge`), which consume the
+    ``value`` attribute from ``probe.<kind>.<target>`` subjects.  The
+    master/worker scenario is built entirely from these.
+    """
+
+    def __init__(
+        self, sim: Simulator, bus: EventBus, kind: str, target: str,
+        fn: Callable[[], float], period: float = 1.0,
+    ):
+        super().__init__(sim, bus, f"probe.{kind}.{target}", period)
+        self.kind = kind
+        self.target = target
+        self.fn = fn
+
+    def sample(self) -> None:
+        self.publish(
+            f"probe.{self.kind}.{self.target}",
+            target=self.target,
+            value=float(self.fn()),
         )
 
 

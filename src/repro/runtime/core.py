@@ -156,3 +156,13 @@ class AdaptationRuntime:
         passes, and per-scope evaluate/reuse totals."""
         return {"evaluations": self.manager.evaluations,
                 **self.manager.constraint_stats}
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Every counter section at once — the shape
+        :class:`~repro.experiment.result.RunResult` carries as its
+        ``bus_stats`` / ``gauge_stats`` / ``constraint_stats`` sections."""
+        return {
+            "bus": self.bus_stats(),
+            "gauges": self.gauge_stats(),
+            "constraints": self.constraint_stats(),
+        }

@@ -4,7 +4,9 @@
   style: types, the Figure 5 repair strategies (verbatim DSL text), and the
   ``addServer`` / ``move`` / ``remove`` / ``findGoodSGroup`` operators;
 * :mod:`repro.styles.pipeline` — a second, smaller style used by the
-  custom-style example to demonstrate that the framework is style-generic.
+  custom-style example to demonstrate that the framework is style-generic;
+* :mod:`repro.styles.master_worker` — the grid task-farm style (worker
+  pool growth/shrink plus straggler re-dispatch repairs).
 """
 
 from repro.styles.client_server import (
@@ -14,6 +16,12 @@ from repro.styles.client_server import (
     build_client_server_model,
     style_operators,
 )
+from repro.styles.master_worker import (
+    MASTER_WORKER_DSL,
+    build_master_worker_family,
+    build_master_worker_model,
+    master_worker_operators,
+)
 
 __all__ = [
     "FIGURE5_DSL",
@@ -21,4 +29,8 @@ __all__ = [
     "build_client_server_family",
     "build_client_server_model",
     "style_operators",
+    "MASTER_WORKER_DSL",
+    "build_master_worker_family",
+    "build_master_worker_model",
+    "master_worker_operators",
 ]

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.experiment import ScenarioConfig
-from repro.experiment.runner import Experiment, clear_cache, run_scenario
+from repro.experiment.runner import (
+    Experiment,
+    clear_cache,
+    run_scenario,
+    set_cache_capacity,
+)
 
 
 class TestScenarioConfig:
@@ -98,3 +103,52 @@ class TestRunCache:
         r1 = run_scenario(cfg)
         clear_cache()
         assert run_scenario(cfg) is not r1
+
+    def test_legacy_and_run_config_share_one_entry(self):
+        from repro.experiment import RunConfig
+
+        legacy = ScenarioConfig.control().but(horizon=50.0)
+        modern = RunConfig.control(horizon=50.0)
+        assert run_scenario(legacy) is run_scenario(modern)
+
+
+class TestFreshLruInterplay:
+    """Satellite: fresh=True re-runs but still participates in the LRU."""
+
+    def setup_method(self):
+        clear_cache()
+        set_cache_capacity(2)
+
+    def teardown_method(self):
+        set_cache_capacity(32)
+        clear_cache()
+
+    def test_fresh_result_replaces_cached_entry(self):
+        cfg = ScenarioConfig.control().but(horizon=50.0)
+        stale = run_scenario(cfg)
+        fresh = run_scenario(cfg, fresh=True)
+        assert fresh is not stale
+        # subsequent cached reads see the fresh object, not the stale one
+        assert run_scenario(cfg) is fresh
+
+    def test_fresh_run_counts_toward_capacity(self):
+        cfg_a = ScenarioConfig.control().but(horizon=50.0)
+        cfg_b = ScenarioConfig.control().but(horizon=51.0)
+        cfg_c = ScenarioConfig.control().but(horizon=52.0)
+        r_a = run_scenario(cfg_a)
+        run_scenario(cfg_b)
+        # a fresh third run must evict the least-recently-used entry (a)
+        r_c = run_scenario(cfg_c, fresh=True)
+        assert run_scenario(cfg_c) is r_c
+        assert run_scenario(cfg_a) is not r_a  # evicted, re-ran
+
+    def test_fresh_refreshes_recency(self):
+        cfg_a = ScenarioConfig.control().but(horizon=50.0)
+        cfg_b = ScenarioConfig.control().but(horizon=51.0)
+        run_scenario(cfg_a)
+        r_b = run_scenario(cfg_b)
+        # fresh re-run of a makes it most recent; inserting c evicts b
+        r_a = run_scenario(cfg_a, fresh=True)
+        run_scenario(ScenarioConfig.control().but(horizon=52.0))
+        assert run_scenario(cfg_a) is r_a
+        assert run_scenario(cfg_b) is not r_b  # evicted

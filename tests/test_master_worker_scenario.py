@@ -1,0 +1,167 @@
+"""End-to-end tests for the registered ``master_worker`` scenario.
+
+The redesign's acceptance proof: a task farm registered purely through
+the public experiment API (``register_scenario`` + typed params +
+generic probes/gauges), where the adapted run beats control under the
+identical seeded task set — stragglers are re-dispatched instead of
+pinning workers for their inflated demand, the pool grows through the
+burst, and shrinks back to its designed size once the burst passes.
+"""
+
+import pytest
+
+from repro import api
+from repro.app.master_worker_app import MasterWorkerApplication
+from repro.errors import EnvironmentError_
+from repro.experiment import MasterWorkerParams, RunConfig
+from repro.experiment.master_worker_scenario import MasterWorkerExperiment
+from repro.sim import Simulator
+
+
+def _adapted():
+    return api.run(RunConfig.adapted("master_worker"))
+
+
+def _control():
+    return api.run(RunConfig.control("master_worker"))
+
+
+PARAMS = MasterWorkerParams()
+
+
+class TestMasterWorkerEndToEnd:
+    def test_same_seeded_workload_both_runs(self):
+        adapted, control = _adapted(), _control()
+        assert adapted.issued == control.issued > 0
+        assert adapted.straggler_tasks == control.straggler_tasks > 0
+
+    def test_adapted_beats_control(self):
+        adapted, control = _adapted(), _control()
+        assert adapted.completed > control.completed
+        # not marginally: the farm finishes essentially everything while
+        # control ends the horizon drowning in burst backlog
+        assert adapted.completed >= 0.95 * adapted.issued
+        assert control.s("queue.length").values[-1] > PARAMS.max_backlog
+
+    def test_stragglers_redispatched(self):
+        adapted, control = _adapted(), _control()
+        assert control.rescues == 0
+        assert adapted.rescues >= 5
+        rescues = [
+            r for r in adapted.history.committed
+            if r.strategy == "rescueStraggler"
+        ]
+        assert rescues
+        assert all(
+            i.op == "redispatchOldest" for r in rescues for i in r.intents
+        )
+        # control leaves stragglers pinned far beyond the age threshold
+        assert (
+            control.s("oldest.age").values.max() > 3 * PARAMS.max_task_age
+        )
+
+    def test_pool_grows_through_burst_within_budget(self):
+        adapted = _adapted()
+        grows = [
+            r for r in adapted.history.committed if r.strategy == "growPool"
+        ]
+        assert grows
+        assert adapted.peak_pool > PARAMS.workers
+        assert adapted.peak_pool <= PARAMS.max_workers
+        burst_start = adapted.config.horizon / 6.0
+        assert all(r.started > burst_start for r in grows)
+
+    def test_pool_shrinks_back_after_burst(self):
+        adapted = _adapted()
+        shrinks = [
+            r for r in adapted.history.committed if r.strategy == "shrinkPool"
+        ]
+        assert shrinks, "no shrinkPool repair committed"
+        burst_end = adapted.config.horizon / 2.0
+        assert all(r.started > burst_end for r in shrinks)
+        assert adapted.final_pool <= PARAMS.min_workers + 1
+
+    def test_control_has_no_control_plane(self):
+        exp = MasterWorkerExperiment(RunConfig.control("master_worker",
+                                                       horizon=10.0))
+        assert exp.runtime is None
+        assert exp.build() is None
+
+    def test_results_reproducible_for_same_seed(self):
+        first = api.run(RunConfig.adapted("master_worker"), fresh=True)
+        second = api.run(RunConfig.adapted("master_worker"), fresh=True)
+        assert first.issued == second.issued
+        assert first.completed == second.completed
+        assert first.rescues == second.rescues
+        assert list(first.s("pool.size").values) == (
+            list(second.s("pool.size").values)
+        )
+
+    def test_summary_carries_farm_details(self):
+        summary = _adapted().summary()
+        assert summary["details"]["rescues"] == _adapted().rescues
+        assert summary["details"]["final_pool"] <= PARAMS.min_workers + 1
+
+
+class TestMasterWorkerApplication:
+    def _app(self, workers=2, straggler_prob=0.0):
+        import numpy as np
+
+        sim = Simulator()
+        rng = np.random.default_rng(1)
+        return sim, MasterWorkerApplication(
+            sim, workers=workers, service_mean=1.0,
+            straggler_prob=straggler_prob, straggler_factor=10.0,
+            task_rng=rng, rescue_rng=np.random.default_rng(2),
+        )
+
+    def test_tasks_flow_through(self):
+        sim, app = self._app()
+        for _ in range(5):
+            app.submit()
+        assert app.busy == 2 and app.queue_length == 3
+        sim.run()
+        assert (app.issued, app.completed, app.in_flight) == (5, 5, 0)
+
+    def test_growing_pumps_queue_immediately(self):
+        sim, app = self._app()
+        for _ in range(6):
+            app.submit()
+        app.set_pool_size(5)
+        assert app.busy == 5 and app.queue_length == 1
+
+    def test_shrink_retires_lazily(self):
+        sim, app = self._app()
+        for _ in range(4):
+            app.submit()
+        app.set_pool_size(1)
+        assert app.busy == 2  # running tasks finish; no new dispatch
+        sim.run()
+        assert app.completed == 4
+
+    def test_redispatch_cancels_stale_completion(self):
+        sim, app = self._app(workers=1, straggler_prob=0.0)
+        app.submit()
+        sim.run(until=0.01)
+        assert app.busy == 1
+        assert app.redispatch_oldest() is not None
+        sim.run()
+        assert app.completed == 1  # the cancelled draw never double-counts
+        assert app.rescues == 1
+
+    def test_redispatch_on_idle_farm_is_a_noop(self):
+        _, app = self._app()
+        assert app.redispatch_oldest() is None
+
+    def test_rejects_degenerate_shapes(self):
+        import numpy as np
+
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        with pytest.raises(EnvironmentError_):
+            MasterWorkerApplication(
+                sim, 0, 1.0, 0.0, 1.0, rng, rng
+            )
+        _, app = self._app()
+        with pytest.raises(EnvironmentError_):
+            app.set_pool_size(0)
