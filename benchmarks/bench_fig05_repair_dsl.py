@@ -6,8 +6,6 @@ bandwidth path applies ``fixBandwidth`` (move), and the no-op path aborts
 with ``ModelError`` — exactly the control flow of the paper's listing.
 """
 
-import pytest
-
 from repro.errors import RepairAborted
 from repro.repair import ModelTransaction, RepairContext
 from repro.repair.context import RuntimeView

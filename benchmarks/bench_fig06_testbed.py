@@ -48,8 +48,8 @@ def test_figure6_testbed(benchmark, artifact):
                 [
                     f"{a} -> {b}",
                     routes.hop_count(a, b),
-                    ("R2", "R3") in {l.key for l in routes.links_on_path(a, b)},
-                    ("R2", "R4") in {l.key for l in routes.links_on_path(a, b)},
+                    ("R2", "R3") in {link.key for link in routes.links_on_path(a, b)},
+                    ("R2", "R4") in {link.key for link in routes.links_on_path(a, b)},
                 ]
                 for a, b in [
                     ("M_S1", "M_C3"), ("M_S5RQ", "M_C3"), ("M_S1", "M_C12"),
@@ -64,8 +64,8 @@ def test_figure6_testbed(benchmark, artifact):
     artifact("fig06", text)
 
     # The competition isolates exactly one server-group path per client pair.
-    a_links = {l.key for l in routes.links_on_path(*tb.competition_a)}
-    b_links = {l.key for l in routes.links_on_path(*tb.competition_b)}
+    a_links = {link.key for link in routes.links_on_path(*tb.competition_a)}
+    b_links = {link.key for link in routes.links_on_path(*tb.competition_b)}
     assert ("R2", "R3") in a_links and ("R2", "R4") not in a_links
     assert ("R2", "R4") in b_links and ("R2", "R3") not in b_links
 

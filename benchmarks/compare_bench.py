@@ -1,0 +1,211 @@
+"""Bench-regression gate: compare emitted ``BENCH_*.json`` vs baselines.
+
+CI's ``bench-smoke`` job runs the X3/X4/X5 benches in fast mode, then
+runs this script to compare each emitted ``benchmarks/out/BENCH_*.json``
+against the committed baseline in ``benchmarks/baselines/``.  The build
+fails when any **gated metric** regresses beyond its margin.
+
+Margins are per metric, not global: metrics measured in *simulated* time
+(X5's time-to-quiesce) or deterministic counters are reproducible to the
+bit, so they gate tightly; wall-clock-derived speedups (X3/X4) wobble
+with runner load, so they get the wide fast-mode noise margin.  Either
+way the headline tolerance is "fail if worse than baseline by more than
+the margin" — improvements never fail, and a per-metric delta table is
+always printed for the job log.
+
+Usage::
+
+    python benchmarks/compare_bench.py            # compare, exit 1 on fail
+    python benchmarks/compare_bench.py --write    # rebaseline from out/
+
+Baselines must be regenerated with ``BENCH_FAST=1`` (the mode CI runs);
+a mode mismatch between baseline and current output is reported and
+fails the gate rather than comparing apples to oranges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+HERE = pathlib.Path(__file__).parent
+OUT_DIR = HERE / "out"
+BASELINE_DIR = HERE / "baselines"
+
+#: wall-clock-derived metrics wobble with runner load (fast-mode noise)
+TIMING_MARGIN = 0.50
+#: simulated-time and counter metrics are deterministic; keep these tight
+EXACT_MARGIN = 0.10
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gated metric: where to find it and which direction is worse."""
+
+    name: str
+    extract: Callable[[Dict[str, Any]], Optional[float]]
+    higher_is_better: bool = True
+    margin: float = TIMING_MARGIN
+
+
+def _largest_size_speedup(report: Dict[str, Any]) -> Optional[float]:
+    """X4: compiled-incremental speedup at the largest size present."""
+    results = report.get("results", {})
+    if not results:
+        return None
+    size = max(results, key=int)
+    return results[size]["compiled-incremental"]["speedup"]
+
+
+GATES: Dict[str, List[Gate]] = {
+    "BENCH_bus_throughput.json": [
+        Gate(
+            "trie_publish_speedup",
+            lambda r: r.get("speedup"),
+            higher_is_better=True,
+            margin=TIMING_MARGIN,
+        ),
+    ],
+    "BENCH_control_loop.json": [
+        Gate(
+            "incremental_speedup_at_max_size",
+            _largest_size_speedup,
+            higher_is_better=True,
+            margin=TIMING_MARGIN,
+        ),
+    ],
+    "BENCH_concurrent_repairs.json": [
+        Gate(
+            "engine_speedup",
+            lambda r: r["engine"]["speedup"],
+            higher_is_better=True,
+            margin=EXACT_MARGIN,
+        ),
+        Gate(
+            "engine_disjoint_quiesce_s",
+            lambda r: r["engine"]["disjoint_quiesce_s"],
+            higher_is_better=False,
+            margin=EXACT_MARGIN,
+        ),
+        Gate(
+            "scenario_speedup",
+            lambda r: r["scenario"]["speedup"],
+            higher_is_better=True,
+            margin=EXACT_MARGIN,
+        ),
+        Gate(
+            "scenario_disjoint_quiesce_s",
+            lambda r: r["scenario"]["disjoint_quiesce_s"],
+            higher_is_better=False,
+            margin=EXACT_MARGIN,
+        ),
+    ],
+}
+
+
+def _load(path: pathlib.Path) -> Optional[Dict[str, Any]]:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _regressed(gate: Gate, baseline: float, current: float) -> bool:
+    if gate.higher_is_better:
+        return current < baseline * (1.0 - gate.margin)
+    return current > baseline * (1.0 + gate.margin)
+
+
+def compare(out_dir: pathlib.Path, baseline_dir: pathlib.Path) -> int:
+    rows: List[List[str]] = []
+    failures = 0
+    for filename, gates in sorted(GATES.items()):
+        current = _load(out_dir / filename)
+        baseline = _load(baseline_dir / filename)
+        if current is None:
+            rows.append([filename, "-", "-", "-", "-", "MISSING OUTPUT"])
+            failures += 1
+            continue
+        if baseline is None:
+            rows.append([filename, "-", "-", "-", "-", "no baseline (skip)"])
+            continue
+        if bool(current.get("fast")) != bool(baseline.get("fast")):
+            rows.append([filename, "-", "-", "-", "-", "MODE MISMATCH"])
+            failures += 1
+            continue
+        for gate in gates:
+            base_value = gate.extract(baseline)
+            cur_value = gate.extract(current)
+            if base_value is None or cur_value is None:
+                rows.append([filename, gate.name, "-", "-", "-", "metric missing"])
+                continue
+            delta = (cur_value - base_value) / base_value if base_value else 0.0
+            bad = _regressed(gate, base_value, cur_value)
+            if bad:
+                failures += 1
+            rows.append(
+                [
+                    filename,
+                    gate.name,
+                    f"{base_value:.3f}",
+                    f"{cur_value:.3f}",
+                    f"{delta:+.1%}",
+                    "FAIL" if bad else "ok",
+                ]
+            )
+
+    widths = [
+        max(len(str(row[i])) for row in rows + [_HEADER])
+        for i in range(len(_HEADER))
+    ]
+    for row in [_HEADER, ["-" * w for w in widths]] + rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    if failures:
+        print(f"\n{failures} gated metric(s) regressed beyond margin")
+        return 1
+    print("\nall gated metrics within margin")
+    return 0
+
+
+_HEADER = ["bench", "metric", "baseline", "current", "delta", "status"]
+
+
+def write_baselines(out_dir: pathlib.Path, baseline_dir: pathlib.Path) -> int:
+    baseline_dir.mkdir(exist_ok=True)
+    copied = 0
+    for filename in GATES:
+        src = out_dir / filename
+        if not src.exists():
+            print(f"skip {filename}: not present in {out_dir}")
+            continue
+        report = json.loads(src.read_text())
+        if not report.get("fast"):
+            print(f"refusing {filename}: baselines must be BENCH_FAST=1 runs")
+            return 1
+        shutil.copy(src, baseline_dir / filename)
+        print(f"baselined {filename}")
+        copied += 1
+    return 0 if copied else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(OUT_DIR), type=pathlib.Path)
+    parser.add_argument("--baselines", default=str(BASELINE_DIR), type=pathlib.Path)
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="copy current fast-mode outputs into the baseline directory",
+    )
+    args = parser.parse_args(argv)
+    if args.write:
+        return write_baselines(args.out, args.baselines)
+    return compare(args.out, args.baselines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@ and (b) repair transactions can journal undo information.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List
 
 from repro.errors import PropertyError
 

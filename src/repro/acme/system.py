@@ -92,6 +92,16 @@ class ArchSystem:
         """Hear every structural/property change with its undo closure."""
         self._mutation_listeners.append(listener)
 
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Stop notifying ``listener`` (no-op when already removed).
+
+        Transactions detach themselves on commit/abort so mutation
+        dispatch stays O(active transactions), not O(all repairs ever)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def on_property_change(
         self, listener: Callable[[Element, str, Any, Any], None]
     ) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.acme.elements import Component, Connector, Element
+from repro.acme.elements import Element
 from repro.acme.family import Family
 from repro.acme.system import ArchSystem
 

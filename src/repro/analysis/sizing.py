@@ -14,7 +14,6 @@ latency meets the bound with engineering headroom on the arrival rate
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.analysis.queueing import MMcQueue
 from repro.errors import AnalysisError

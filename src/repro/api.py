@@ -49,6 +49,7 @@ from repro.experiment.scenarios import (
 
 __all__ = [
     "RunConfig",
+    "as_run_config",
     "RunResult",
     "ClientServerResult",
     "PipelineResult",

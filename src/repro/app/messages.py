@@ -9,7 +9,7 @@ delay, service delay, and transfer delay without extra bookkeeping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["Request"]

@@ -1,0 +1,104 @@
+"""A simulated multi-tenant grid service (runtime layer).
+
+N tenants, each owning a private :class:`~repro.app.master_worker_app.
+MasterWorkerApplication` pool (FIFO queue draining into interchangeable
+workers) fed by its own seeded task stream.  Tenants share nothing at
+runtime — which is precisely why their repairs have disjoint footprints:
+growing tenant A's pool cannot affect tenant B's queue, so the
+architecture manager may run both repairs concurrently.
+
+The adaptation-facing signal is the per-tenant **latency estimate**:
+``backlog x mean service time / pool width`` — the queueing delay a
+newly submitted task can expect, the per-tenant fairness figure the
+``fairLatency`` invariant bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.app.master_worker_app import MasterWorkerApplication
+from repro.errors import EnvironmentError_
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+__all__ = ["MultiTenantApplication"]
+
+
+class MultiTenantApplication:
+    """N isolated tenant pools behind one logical gateway."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tenants: Sequence[str],
+        workers: int,
+        service_mean: float,
+        rng_factory,
+        trace: Optional[Trace] = None,
+    ):
+        if not tenants:
+            raise EnvironmentError_("a multi-tenant service needs tenants")
+        self.sim = sim
+        self.trace = trace if trace is not None else Trace()
+        self.tenants: List[str] = list(tenants)
+        self.service_mean = float(service_mean)
+        self.pools: Dict[str, MasterWorkerApplication] = {
+            tenant: MasterWorkerApplication(
+                sim,
+                workers=workers,
+                service_mean=service_mean,
+                straggler_prob=0.0,
+                straggler_factor=1.0,
+                task_rng=rng_factory(f"multi_tenant.{tenant}.tasks"),
+                rescue_rng=rng_factory(f"multi_tenant.{tenant}.rescue"),
+                trace=self.trace,
+            )
+            for tenant in tenants
+        }
+
+    def pool(self, tenant: str) -> MasterWorkerApplication:
+        try:
+            return self.pools[tenant]
+        except KeyError:
+            raise EnvironmentError_(f"no tenant {tenant!r}") from None
+
+    # -- task flow ---------------------------------------------------------
+    def submit(self, tenant: str) -> None:
+        """Inject one task into a tenant's queue (demand drawn now)."""
+        self.pool(tenant).submit()
+
+    # -- queries -----------------------------------------------------------
+    def latency(self, tenant: str) -> float:
+        """Expected queueing delay for a new task at this tenant."""
+        pool = self.pool(tenant)
+        return pool.queue_length * self.service_mean / pool.pool_size
+
+    def utilization(self, tenant: str) -> float:
+        return self.pool(tenant).utilization()
+
+    def pool_size(self, tenant: str) -> int:
+        return self.pool(tenant).pool_size
+
+    def queue_length(self, tenant: str) -> int:
+        return self.pool(tenant).queue_length
+
+    @property
+    def issued(self) -> int:
+        return sum(pool.issued for pool in self.pools.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(pool.completed for pool in self.pools.values())
+
+    def violating(self, max_latency: float) -> List[str]:
+        """Tenants whose ground-truth latency exceeds the bound now."""
+        return [
+            tenant for tenant in self.tenants
+            if self.latency(tenant) > max_latency
+        ]
+
+    # -- runtime change operators ------------------------------------------
+    def set_pool_size(self, tenant: str, size: int) -> int:
+        """Resize one tenant's pool; returns the old size."""
+        return self.pool(tenant).set_pool_size(size)

@@ -8,7 +8,7 @@ used by ``moveClient``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.app.messages import Request
 from repro.errors import EnvironmentError_

@@ -35,8 +35,8 @@ equivalence suite for both axes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.acme.elements import Element
 from repro.acme.system import ArchSystem
@@ -101,6 +101,22 @@ class Invariant:
         #: True when the expression provably reads only its scope
         #: element + bindings (the incremental checker's fast lane)
         self.scope_local: bool = is_scope_local(self.ast)
+
+    def read_footprint(self, scope: Optional[Element]):
+        """What re-checking this invariant for ``scope`` may read.
+
+        A scope-local, type-scoped invariant reads exactly its scope
+        element; everything else (system-scoped, quantified, graph-reading)
+        conservatively reads the whole model.  Returns a
+        :class:`~repro.repair.footprint.Footprint`; the concurrent repair
+        engine unions this with a candidate repair's write set to decide
+        admission and conflicts.
+        """
+        from repro.repair.footprint import Footprint
+
+        if self.scope_local and self.scope_type is not None and scope is not None:
+            return Footprint.of((scope.qualified_name,))
+        return Footprint.UNIVERSAL
 
     def _scopes(self, system: ArchSystem) -> List[Optional[Element]]:
         if self.scope_type is None:

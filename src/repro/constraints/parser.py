@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.acme.lexer import Token, TokenStream, tokenize
+from repro.acme.lexer import TokenStream, tokenize
 from repro.constraints.ast import (
     Binary,
     Call,

@@ -8,7 +8,7 @@ arguments.  All collection arguments accept any Python sequence.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List
 
 from repro.acme.elements import Component, Connector, Element, Port, Role
 from repro.errors import EvaluationError

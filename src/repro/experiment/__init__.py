@@ -7,14 +7,15 @@
 * :mod:`repro.experiment.config` / :mod:`repro.experiment.params` — the
   scenario-neutral :class:`RunConfig` plus typed per-scenario parameter
   blocks (:class:`ClientServerParams`, :class:`PipelineParams`,
-  :class:`MasterWorkerParams`);
+  :class:`MasterWorkerParams`, :class:`MultiTenantParams`);
 * :mod:`repro.experiment.scenario` — the legacy :class:`ScenarioConfig`
   deprecation shim (converts into RunConfig + params on entry);
 * :mod:`repro.experiment.result` — the scenario-neutral
   :class:`RunResult` and its per-scenario subclasses;
 * :mod:`repro.experiment.scenarios` — the scenario registry
-  (``client_server``, ``pipeline``, ``master_worker``, and
-  user-registered builders with their params types);
+  (``client_server``, ``pipeline``, ``master_worker``,
+  ``multi_tenant``, and user-registered builders with their params
+  types);
 * :mod:`repro.experiment.runner` — wires the client/server experiment
   and owns the caching ``run_scenario`` front door (bounded LRU shared
   by the benchmark harness and the :mod:`repro.api` facade);
@@ -23,6 +24,10 @@
 * :mod:`repro.experiment.master_worker_scenario` — the task-farm
   scenario (straggler re-dispatch + pool grow/shrink), registered purely
   through the public API;
+* :mod:`repro.experiment.multi_tenant_scenario` — N tenant farms with
+  per-tenant fairness invariants, the concurrent-repair showcase
+  (``concurrency="disjoint"`` by default), registered purely through
+  the public API;
 * :mod:`repro.experiment.metrics` — time-series sampling and the §5
   scalar claims;
 * :mod:`repro.experiment.reporting` — text rendering of each figure.
@@ -66,6 +71,11 @@ from repro.experiment.master_worker_scenario import (
     MasterWorkerParams,
     MasterWorkerResult,
 )
+from repro.experiment.multi_tenant_scenario import (
+    MultiTenantExperiment,
+    MultiTenantParams,
+    MultiTenantResult,
+)
 from repro.experiment.metrics import MetricsSampler, ClaimReport, extract_claims
 from repro.experiment import reporting
 
@@ -80,16 +90,19 @@ __all__ = [
     "ClientServerParams",
     "PipelineParams",
     "MasterWorkerParams",
+    "MultiTenantParams",
     "RunResult",
     "ClientServerResult",
     "PipelineResult",
     "MasterWorkerResult",
+    "MultiTenantResult",
     "ScenarioConfig",
     "TimeSeries",
     "Experiment",
     "ExperimentResult",
     "PipelineExperiment",
     "MasterWorkerExperiment",
+    "MultiTenantExperiment",
     "run_scenario",
     "clear_cache",
     "set_cache_capacity",

@@ -194,5 +194,6 @@ def _build_pipeline(config: RunConfig) -> PipelineExperiment:
     return PipelineExperiment(config)
 
 
-# Registers itself through the public API above (the redesign's proof).
+# Register themselves through the public API above (the redesign's proof).
 from repro.experiment import master_worker_scenario as _master_worker  # noqa: E402,F401
+from repro.experiment import multi_tenant_scenario as _multi_tenant  # noqa: E402,F401

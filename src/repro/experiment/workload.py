@@ -30,7 +30,7 @@ Period       C3&C4 <-> SG1 path   C3&C4 <-> SG2 path   Client requests
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 import numpy as np

@@ -8,8 +8,6 @@ constraints — closing the monitoring half of the adaptation loop.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.acme.system import ArchSystem
 from repro.bus.bus import EventBus
 from repro.bus.messages import Message

@@ -20,7 +20,7 @@ bandwidth under competition.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.routing import RoutingTable
@@ -294,11 +294,11 @@ class FlowNetwork:
                 elastic.append(f)
                 continue
             take = min(f.cap if f.cap is not None else math.inf,
-                       min(residual[l.key] for l in f.links))
+                       min(residual[link.key] for link in f.links))
             take = max(0.0, take)
             f.rate = take
-            for l in f.links:
-                residual[l.key] -= take
+            for link in f.links:
+                residual[link.key] -= take
 
         # Tier 2: progressive filling of elastic flows over the residual.
         unfrozen = {f.fid: f for f in elastic}
@@ -363,7 +363,10 @@ class FlowNetwork:
         links = self.routing.links_on_path(src, dst)
         if not links:
             return self.local_bps
-        return max(0.0, min(l.capacity - self.link_load(l.a, l.b) for l in links))
+        return max(
+            0.0,
+            min(link.capacity - self.link_load(link.a, link.b) for link in links),
+        )
 
     def predicted_bandwidth(self, src: str, dst: str) -> float:
         """Rate a *new* elastic flow would receive (hypothetical max-min).

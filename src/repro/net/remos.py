@@ -16,8 +16,8 @@ the flow engine's hypothetical max-min share (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
 
 from repro.net.flows import FlowNetwork
 from repro.sim.kernel import Event, Simulator

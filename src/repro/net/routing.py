@@ -8,7 +8,7 @@ routes are effectively computed once.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import NoRouteError
 from repro.net.topology import Link, Topology

@@ -9,7 +9,7 @@ identical in the control and adapted runs.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.errors import WorkloadError
 from repro.net.flows import FlowNetwork

@@ -10,6 +10,7 @@ system; on ``abort`` (or tactic failure) the model edits roll back.
 """
 
 from repro.repair.context import RepairContext, RuntimeIntent
+from repro.repair.footprint import Footprint
 from repro.repair.transactions import ModelTransaction
 from repro.repair.tactic import Tactic, PythonTactic
 from repro.repair.strategy import (
@@ -24,6 +25,7 @@ from repro.repair.dsl import parse_repair_dsl, DslStrategy, DslTactic
 __all__ = [
     "RepairContext",
     "RuntimeIntent",
+    "Footprint",
     "ModelTransaction",
     "Tactic",
     "PythonTactic",

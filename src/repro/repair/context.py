@@ -14,10 +14,11 @@ A :class:`RepairContext` extends the constraint-language
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.acme.system import ArchSystem
 from repro.constraints.evaluator import EvalContext
+from repro.repair.footprint import Footprint
 
 __all__ = ["RuntimeIntent", "RuntimeView", "RepairContext"]
 
@@ -88,6 +89,10 @@ class RepairContext(EvalContext):
         self.runtime = runtime
         self.transaction = transaction
         self.intents: List[RuntimeIntent] = []
+        #: (tactic name, touched elements) per *applied* tactic, in
+        #: application order — the per-tactic slice of the repair's write
+        #: footprint (recorded by :meth:`repro.repair.tactic.Tactic.run`)
+        self.tactic_footprints: List[Tuple[str, Footprint]] = []
 
     def intend(self, op: str, **args: Any) -> RuntimeIntent:
         """Record a runtime operation to execute after commit."""
@@ -95,13 +100,18 @@ class RepairContext(EvalContext):
         self.intents.append(intent)
         return intent
 
+    def note_tactic_touch(self, tactic: str, footprint: Footprint) -> None:
+        """Record the touched-element set of one applied tactic."""
+        self.tactic_footprints.append((tactic, footprint))
+
     # -- savepoint integration (tactic-level rollback) ----------------------
     def mark(self) -> tuple:
         txn_mark = self.transaction.mark() if self.transaction is not None else 0
-        return (txn_mark, len(self.intents))
+        return (txn_mark, len(self.intents), len(self.tactic_footprints))
 
     def rollback_to(self, mark: tuple) -> None:
-        txn_mark, intents_len = mark
+        txn_mark, intents_len, footprints_len = mark
         if self.transaction is not None:
             self.transaction.rollback_to(txn_mark)
         del self.intents[intents_len:]
+        del self.tactic_footprints[footprints_len:]

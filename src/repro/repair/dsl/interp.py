@@ -10,7 +10,7 @@ table.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.constraints.evaluator import Evaluator
 from repro.errors import EvaluationError, RepairAborted

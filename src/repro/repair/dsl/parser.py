@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.acme.lexer import TokenStream, tokenize
 from repro.constraints.parser import ExpressionParser
-from repro.errors import ParseError
 from repro.repair.dsl.ast import (
     AbortStmt,
     CommitStmt,

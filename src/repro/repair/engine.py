@@ -22,17 +22,36 @@ Operational details mirroring the paper's experiment:
 * when the same scope keeps violating and every repair attempt aborts,
   the engine raises a **human alert** trace event — the paper's §7 "it
   may be necessary to alert a human observer for manual intervention".
+  Alert accounting is keyed *per repair scope* (consecutive-abort counts
+  and ``human_alerts_by_scope``), so one noisy scope cannot mask
+  another's trouble when several repairs interleave.
+
+**Concurrency.**  ``concurrency="serial"`` (the default) is the paper's
+exact scheduling, bit for bit.  ``concurrency="disjoint"`` lets multiple
+repairs run at once when their footprints are provably disjoint (see
+:mod:`repro.repair.footprint`):
+
+* a violation is **admitted** only when its invariant's read scope
+  overlaps no in-flight repair's footprint and no footprint still inside
+  its own settle window (settle timers are per footprint, not global);
+* after the strategy runs, its actual write set (from the transaction's
+  touched elements) is re-checked against the other in-flight
+  footprints; a late overlap **conflict-aborts** the repair at commit
+  (``repair.conflict`` trace event, ``FootprintConflict`` abort reason)
+  and rolls the model back — conflicts are scheduling artifacts, so they
+  do not count toward human alerts.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.acme.system import ArchSystem
 from repro.constraints.invariants import ConstraintChecker, ConstraintResult
 from repro.errors import RepairAborted, RepairError
 from repro.repair.context import RepairContext, RuntimeView
+from repro.repair.footprint import Footprint
 from repro.repair.history import RepairHistory, RepairRecord
 from repro.repair.strategy import RepairStrategy
 from repro.repair.transactions import ModelTransaction
@@ -40,6 +59,16 @@ from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
 
 __all__ = ["ArchitectureManager", "RepairRecord"]
+
+
+class _InflightRepair:
+    """Bookkeeping for one admitted (not yet finished) concurrent repair."""
+
+    __slots__ = ("record", "footprint")
+
+    def __init__(self, record: RepairRecord, footprint: Footprint):
+        self.record = record
+        self.footprint = footprint
 
 
 class ArchitectureManager:
@@ -58,11 +87,23 @@ class ArchitectureManager:
         failed_repair_cost: float = 2.0,
         violation_policy: str = "first",
         alert_after_aborts: int = 5,
+        concurrency: str = "serial",
+        max_concurrent_repairs: int = 8,
     ):
         if violation_policy not in ("first", "worst"):
             raise RepairError(
                 f"violation_policy must be 'first' or 'worst', "
                 f"got {violation_policy!r}"
+            )
+        if concurrency not in ("serial", "disjoint"):
+            raise RepairError(
+                f"concurrency must be 'serial' or 'disjoint', "
+                f"got {concurrency!r}"
+            )
+        if max_concurrent_repairs < 1:
+            raise RepairError(
+                f"max_concurrent_repairs must be >= 1, "
+                f"got {max_concurrent_repairs}"
             )
         self.sim = sim
         self.system = system
@@ -75,14 +116,26 @@ class ArchitectureManager:
         self.failed_repair_cost = float(failed_repair_cost)
         self.violation_policy = violation_policy
         self.alert_after_aborts = int(alert_after_aborts)
+        self.concurrency = concurrency
+        self.max_concurrent_repairs = int(max_concurrent_repairs)
 
         self._strategies: Dict[str, RepairStrategy] = {}
         self._busy = False
         self._cooldown_until = -math.inf
         self._consecutive_aborts: Dict[str, int] = {}
         self.human_alerts = 0
+        #: per-scope alert counts — scope-keyed so one noisy scope's
+        #: aborts cannot mask another's (see module doc)
+        self.human_alerts_by_scope: Dict[str, int] = {}
         self.history = RepairHistory()
         self.evaluations = 0
+
+        # disjoint-mode state: in-flight repairs and settling footprints
+        self._inflight: Dict[int, _InflightRepair] = {}
+        self._settling: List[Tuple[float, Footprint]] = []
+        self._next_token = 0
+        self.conflicts = 0
+        self.peak_inflight = 0
 
     # -- configuration ---------------------------------------------------------
     def register_strategy(self, strategy: RepairStrategy) -> None:
@@ -96,13 +149,27 @@ class ArchitectureManager:
 
     @property
     def busy(self) -> bool:
-        return self._busy
+        """True while any repair is in flight (serial or concurrent)."""
+        return self._busy or bool(self._inflight)
+
+    @property
+    def inflight(self) -> int:
+        """Number of concurrently in-flight repairs (disjoint mode)."""
+        return len(self._inflight)
 
     @property
     def constraint_stats(self) -> Dict[str, int]:
         """Checker counters: full vs incremental passes, scopes evaluated
         vs reused (the control-loop overhead ledger)."""
         return dict(self.checker.stats)
+
+    def repair_stats(self) -> Dict[str, int]:
+        """Scheduling counters for the repair engine itself."""
+        return {
+            "conflicts": self.conflicts,
+            "peak_inflight": self.peak_inflight,
+            "human_alerts": self.human_alerts,
+        }
 
     # -- the adaptation loop entry point ------------------------------------------
     def evaluate(self, full: bool = False) -> Optional[RepairRecord]:
@@ -116,10 +183,36 @@ class ArchitectureManager:
         elements they touch, so the periodic check re-evaluates O(changed)
         scopes, not O(model).  ``full=True`` forces one full re-check
         (the escape hatch for out-of-band model surgery).
+
+        In ``concurrency="disjoint"`` mode one call may admit *several*
+        repairs (every violation whose footprint overlaps nothing in
+        flight); the first record started is returned.
         """
+        if self.concurrency == "disjoint":
+            return self._evaluate_disjoint(full)
         if self._busy or self.sim.now < self._cooldown_until:
             return None
         self.evaluations += 1
+        actionable = self._actionable(
+            full, stop_after_first=self.violation_policy == "first"
+        )
+        if not actionable:
+            return None
+        chosen = actionable[0]
+        if self.violation_policy == "worst":
+            chosen = max(actionable, key=self._severity)
+        invariant = self.checker.invariant(chosen.invariant)
+        return self._start_repair(chosen, self._strategies[invariant.repair])
+
+    def _actionable(
+        self, full: bool, stop_after_first: bool
+    ) -> List[ConstraintResult]:
+        """Violations with a registered strategy, in checker order.
+
+        Errors and unhandled violations are traced and skipped; with
+        ``stop_after_first`` the scan stops at the first actionable one
+        (the serial engine's ``violation_policy="first"`` short-circuit).
+        """
         actionable: List[ConstraintResult] = []
         for result in self.checker.check_all(self.system, full=full):
             if not result.violated:
@@ -139,37 +232,38 @@ class ArchitectureManager:
                 )
                 continue
             actionable.append(result)
-            if self.violation_policy == "first":
+            if stop_after_first:
                 break
-        if not actionable:
-            return None
-        chosen = actionable[0]
-        if self.violation_policy == "worst":
-            chosen = max(actionable, key=self._severity)
-        invariant = self.checker.invariant(chosen.invariant)
-        return self._start_repair(chosen, self._strategies[invariant.repair])
+        return actionable
 
     @staticmethod
     def _severity(result: ConstraintResult) -> float:
-        """How bad a violation is: the scope's averageLatency when known.
+        """How bad a violation is: the scope's latency signal when known.
 
         Implements the paper's §7 proposal of "fixing the client that is
-        experiencing the worst latency first"; violations without a
-        latency property rank at zero (repaired only when nothing worse
-        exists).
+        experiencing the worst latency first".  ``averageLatency`` is the
+        client/server style's signal; styles without it (e.g. the
+        multi-tenant pools) rank by their plain ``latency`` property.
+        Violations with neither rank at zero (repaired only when nothing
+        worse exists).
         """
         element = result.element
-        if element is not None and element.has_property("averageLatency"):
-            value = element.get_property("averageLatency")
-            if isinstance(value, (int, float)):
-                return float(value)
+        if element is not None:
+            for name in ("averageLatency", "latency"):
+                if element.has_property(name):
+                    value = element.get_property(name)
+                    if isinstance(value, (int, float)):
+                        return float(value)
         return 0.0
 
     # -- repair lifecycle ----------------------------------------------------------
-    def _start_repair(
-        self, violation: ConstraintResult, strategy: RepairStrategy
-    ) -> RepairRecord:
-        self._busy = True
+    def _attempt(self, violation: ConstraintResult, strategy: RepairStrategy):
+        """Run one strategy inside a fresh transaction (both schedulers).
+
+        Returns ``(record, txn, ctx, outcome)``; ``outcome`` is None when
+        the strategy aborted (transaction already rolled back, abort
+        traced and counted) — the caller owns mode-specific scheduling.
+        """
         record = RepairRecord(
             started=self.sim.now,
             strategy=strategy.name,
@@ -201,13 +295,17 @@ class ArchitectureManager:
                 strategy=strategy.name, reason=abort.reason,
             )
             self._note_abort(violation)
-            self.sim.schedule(self.failed_repair_cost, self._finish, record)
-            return record
+            return record, txn, ctx, None
         except Exception:
             txn.abort()
             raise
+        return record, txn, ctx, outcome
 
+    def _commit(self, record, txn, ctx, outcome, violation, footprint) -> None:
+        """Commit bookkeeping shared by both schedulers."""
         self._consecutive_aborts.pop(violation.scope or "", None)
+        record.footprint = footprint
+        record.tactic_footprints = list(ctx.tactic_footprints)
         txn.commit()
         record.committed = True
         record.tactic_applied = outcome.tactic_applied
@@ -215,9 +313,19 @@ class ArchitectureManager:
         record.intents = list(ctx.intents)
         self.trace.emit(
             self.sim.now, "repair.committed",
-            strategy=strategy.name, tactic=outcome.tactic_applied,
+            strategy=record.strategy, tactic=outcome.tactic_applied,
             intents=len(ctx.intents),
         )
+
+    def _start_repair(
+        self, violation: ConstraintResult, strategy: RepairStrategy
+    ) -> RepairRecord:
+        self._busy = True
+        record, txn, ctx, outcome = self._attempt(violation, strategy)
+        if outcome is None:
+            self.sim.schedule(self.failed_repair_cost, self._finish, record)
+            return record
+        self._commit(record, txn, ctx, outcome, violation, txn.touched())
         if self.translator is not None and ctx.intents:
             self.translator.execute(
                 ctx.intents, on_done=lambda: self._finish(record)
@@ -226,14 +334,161 @@ class ArchitectureManager:
             self.sim.schedule(0.0, self._finish, record)
         return record
 
+    # -- disjoint-concurrency scheduling ---------------------------------------
+    def _evaluate_disjoint(self, full: bool = False) -> Optional[RepairRecord]:
+        """Admit every actionable violation whose footprint is free.
+
+        The admission rule: a violation may start repairing only when its
+        invariant's read scope overlaps (a) no in-flight repair's
+        footprint and (b) no footprint still inside its per-footprint
+        settle window.  Violations that fail the rule stay pending — the
+        next evaluation reconsiders them — so overlapping work degrades
+        to the serial schedule instead of racing.
+        """
+        self._expire_settles()
+        if len(self._inflight) >= self.max_concurrent_repairs:
+            return None
+        self.evaluations += 1
+        actionable = self._actionable(full, stop_after_first=False)
+        if self.violation_policy == "worst":
+            actionable.sort(key=self._severity, reverse=True)
+        started: Optional[RepairRecord] = None
+        for violation in actionable:
+            if len(self._inflight) >= self.max_concurrent_repairs:
+                break
+            invariant = self.checker.invariant(violation.invariant)
+            read_scope = invariant.read_footprint(violation.element)
+            if self._blocked(read_scope):
+                continue
+            record = self._start_concurrent_repair(
+                violation, self._strategies[invariant.repair], read_scope
+            )
+            if started is None:
+                started = record
+        return started
+
+    def _blocked(self, footprint: Footprint) -> bool:
+        """True when ``footprint`` overlaps in-flight or settling work."""
+        for entry in self._inflight.values():
+            if footprint.overlaps(entry.footprint):
+                return True
+        return any(footprint.overlaps(fp) for _, fp in self._settling)
+
+    def _expire_settles(self) -> None:
+        now = self.sim.now
+        if self._settling:
+            self._settling = [
+                (until, fp) for until, fp in self._settling if until > now
+            ]
+
+    def _start_concurrent_repair(
+        self,
+        violation: ConstraintResult,
+        strategy: RepairStrategy,
+        read_scope: Footprint,
+    ) -> RepairRecord:
+        record, txn, ctx, outcome = self._attempt(violation, strategy)
+        if outcome is None:
+            self._launch(record, read_scope, delay=self.failed_repair_cost)
+            return record
+
+        # The actual write set, read *before* any abort replays undos.
+        footprint = read_scope.union(txn.touched())
+        conflict = self._find_conflict(footprint)
+        if conflict is not None:
+            txn.abort()
+            self.conflicts += 1
+            record.abort_reason = "FootprintConflict"
+            with_strategy, with_scope = conflict
+            self.trace.emit(
+                self.sim.now, "repair.conflict",
+                strategy=strategy.name, scope=violation.scope,
+                with_strategy=with_strategy, with_scope=with_scope,
+            )
+            self.trace.emit(
+                self.sim.now, "repair.abort",
+                strategy=strategy.name, reason="FootprintConflict",
+            )
+            # NOT _note_abort: a conflict is a scheduling artifact, not a
+            # failed repair of this scope — it must not trip human alerts.
+            self._launch(record, read_scope, delay=self.failed_repair_cost)
+            return record
+
+        self._commit(record, txn, ctx, outcome, violation, footprint)
+        token = self._launch(record, footprint)
+        if self.translator is not None and ctx.intents:
+            self.translator.execute(
+                ctx.intents,
+                on_done=lambda: self._finish_concurrent(token),
+            )
+        else:
+            self.sim.schedule(0.0, self._finish_concurrent, token)
+        return record
+
+    def _find_conflict(self, footprint: Footprint):
+        """Who a write set collides with: an in-flight repair, a footprint
+        still settling, or nobody.
+
+        Admission only checked the invariant's *read* scope; a strategy
+        whose writes escaped that scope must not commit into an element
+        another repair is still executing against — or one still inside a
+        settle window, whose gauges are blind/stale by definition.
+        Returns ``(strategy, scope)`` of the collision (``"settling"``
+        marks a settle-window hit) or None.
+        """
+        for entry in self._inflight.values():
+            if footprint.overlaps(entry.footprint):
+                return entry.record.strategy, entry.record.scope
+        for _, settling in self._settling:
+            if footprint.overlaps(settling):
+                return "settling", str(settling)
+        return None
+
+    def _launch(
+        self,
+        record: RepairRecord,
+        footprint: Footprint,
+        delay: Optional[float] = None,
+    ) -> int:
+        """Register an in-flight entry; schedule its finish when given a
+        fixed ``delay`` (abort paths); committed repairs finish when their
+        translator reports done."""
+        self._next_token += 1
+        token = self._next_token
+        self._inflight[token] = _InflightRepair(record, footprint)
+        self.peak_inflight = max(self.peak_inflight, len(self._inflight))
+        if delay is not None:
+            self.sim.schedule(delay, self._finish_concurrent, token)
+        return token
+
+    def _finish_concurrent(self, token: int) -> None:
+        entry = self._inflight.pop(token)
+        record = entry.record
+        record.ended = self.sim.now
+        self.history.append(record)
+        if self.settle_time > 0:
+            self._settling.append(
+                (self.sim.now + self.settle_time, entry.footprint)
+            )
+        self.trace.emit(
+            self.sim.now, "repair.end",
+            strategy=record.strategy, committed=record.committed,
+            duration=record.duration,
+        )
+
     def _note_abort(self, violation: ConstraintResult) -> None:
         """Track repeated failures on one scope; alert a human when no
-        repair improves the situation (paper §7)."""
+        repair improves the situation (paper §7).  Counting is keyed by
+        repair scope so concurrent aborts on one scope never mask
+        another scope's trouble."""
         key = violation.scope or ""
         count = self._consecutive_aborts.get(key, 0) + 1
         self._consecutive_aborts[key] = count
         if count == self.alert_after_aborts:
             self.human_alerts += 1
+            self.human_alerts_by_scope[key] = (
+                self.human_alerts_by_scope.get(key, 0) + 1
+            )
             self.trace.emit(
                 self.sim.now, "repair.human_alert",
                 scope=violation.scope, invariant=violation.invariant,

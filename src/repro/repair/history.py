@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.repair.context import RuntimeIntent
+from repro.repair.footprint import Footprint
 
 __all__ = ["RepairRecord", "RepairHistory"]
 
@@ -29,6 +30,12 @@ class RepairRecord:
     tactics_tried: List[str] = field(default_factory=list)
     abort_reason: Optional[str] = None
     intents: List[RuntimeIntent] = field(default_factory=list)
+    #: elements the repair wrote (serial engine: the transaction's
+    #: touched set; disjoint engine: additionally unioned with the
+    #: triggering invariant's read scope, as used for conflict checks)
+    footprint: Optional[Footprint] = None
+    #: (tactic name, touched elements) per applied tactic
+    tactic_footprints: List[Tuple[str, Footprint]] = field(default_factory=list)
 
     @property
     def duration(self) -> Optional[float]:

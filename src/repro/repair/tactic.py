@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 from repro.errors import RepairAborted, TacticFailure
 from repro.repair.context import RepairContext
+from repro.repair.footprint import touched_since
 
 __all__ = ["Tactic", "PythonTactic"]
 
@@ -31,8 +32,14 @@ class Tactic:
         * raises :class:`RepairAborted` — aborts the whole repair (the
           paper's ``abort NoServerGroupFound``); rollback is handled by the
           strategy/engine above.
+
+        An applied tactic's touched-element set is recorded on the
+        context (``ctx.tactic_footprints``), feeding the concurrent
+        engine's footprint analysis and the repair history.
         """
         mark = ctx.mark()
+        epoch = ctx.system.epoch
+        structure_epoch = ctx.system.structure_epoch
         try:
             applied = self._apply(ctx)
         except TacticFailure:
@@ -43,6 +50,9 @@ class Tactic:
         if not applied:
             ctx.rollback_to(mark)
             return False
+        ctx.note_tactic_touch(
+            self.name, touched_since(ctx.system, epoch, structure_epoch)
+        )
         return True
 
     def _apply(self, ctx: RepairContext) -> bool:  # pragma: no cover - interface

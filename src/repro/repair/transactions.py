@@ -6,14 +6,20 @@ transaction is active it records the undo closure of every model mutation
 the undos in reverse; ``commit`` discards them.  **Savepoints** support
 tactic-level rollback — a failing tactic must not leave half its edits in
 the model while the strategy tries the next tactic.
+
+A transaction also knows **which elements it touched**: :meth:`touched`
+derives the write set from the system's change epochs (captured at
+``begin``), which is what the concurrent repair engine uses as the
+repair's write footprint (see :mod:`repro.repair.footprint`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.acme.system import ArchSystem
 from repro.errors import TransactionError
+from repro.repair.footprint import Footprint, touched_since
 
 __all__ = ["ModelTransaction"]
 
@@ -37,12 +43,13 @@ class ModelTransaction:
         self._undo: List[Callable[[], None]] = []
         self._active = False
         self._closed = False
+        self._begin_epoch = system.epoch
+        self._begin_structure_epoch = system.structure_epoch
         system.on_mutation(self._record)
 
-    # NOTE: ArchSystem keeps the listener forever; a closed transaction just
-    # ignores further events.  Transactions are created per repair, so the
-    # listener list grows with repair count — bounded in practice (hundreds)
-    # and O(1) per event.
+    # The listener is removed again on commit/abort, so mutation dispatch
+    # cost tracks *active* transactions (at most max_concurrent_repairs),
+    # not every repair the run has ever made.
 
     def _record(self, description: str, undo: Callable[[], None]) -> None:
         if self._active:
@@ -69,7 +76,23 @@ class ModelTransaction:
         if self._active:
             raise TransactionError("transaction already active")
         self._active = True
+        self._begin_epoch = self.system.epoch
+        self._begin_structure_epoch = self.system.structure_epoch
         return self
+
+    def touched(self) -> Footprint:
+        """The elements mutated since ``begin`` (the write footprint).
+
+        Property writes name their element exactly; structural mutations
+        (or an overflowed change log) widen the answer to
+        :attr:`~repro.repair.footprint.Footprint.UNIVERSAL`.  Valid while
+        the transaction is active *and* after it closes — an aborted
+        transaction's undos bump the epochs further, so callers needing
+        the pre-abort write set must read it before aborting.
+        """
+        return touched_since(
+            self.system, self._begin_epoch, self._begin_structure_epoch
+        )
 
     def commit(self) -> int:
         """Keep all edits; returns how many mutations were recorded."""
@@ -78,6 +101,7 @@ class ModelTransaction:
         self._undo.clear()
         self._active = False
         self._closed = True
+        self.system.remove_mutation_listener(self._record)
         return count
 
     def abort(self) -> int:
@@ -87,6 +111,7 @@ class ModelTransaction:
         self._rollback(0)
         self._active = False
         self._closed = True
+        self.system.remove_mutation_listener(self._record)
         return count
 
     # -- savepoints ----------------------------------------------------------

@@ -92,6 +92,8 @@ class AdaptationRuntime:
             settle_time=spec.settle_time,
             failed_repair_cost=spec.failed_repair_cost,
             violation_policy=spec.violation_policy,
+            concurrency=spec.concurrency,
+            max_concurrent_repairs=spec.max_concurrent_repairs,
         )
         for strategy in strategies.values():
             self.manager.register_strategy(strategy)
@@ -165,4 +167,5 @@ class AdaptationRuntime:
             "bus": self.bus_stats(),
             "gauges": self.gauge_stats(),
             "constraints": self.constraint_stats(),
+            "repairs": self.manager.repair_stats(),
         }

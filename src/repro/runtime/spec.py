@@ -111,3 +111,8 @@ class AdaptationSpec:
     settle_time: float = 20.0
     failed_repair_cost: float = 2.0
     violation_policy: str = "first"
+
+    # repair scheduling: "serial" (the paper, bit-for-bit) or "disjoint"
+    # (concurrent repairs on provably non-overlapping footprints)
+    concurrency: str = "serial"
+    max_concurrent_repairs: int = 8

@@ -8,7 +8,7 @@ items and the waiting getters are FIFO, so service order is deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, List
 
 from repro.errors import SimulationError
 from repro.sim.kernel import Event, Simulator

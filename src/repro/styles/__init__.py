@@ -6,7 +6,9 @@
 * :mod:`repro.styles.pipeline` — a second, smaller style used by the
   custom-style example to demonstrate that the framework is style-generic;
 * :mod:`repro.styles.master_worker` — the grid task-farm style (worker
-  pool growth/shrink plus straggler re-dispatch repairs).
+  pool growth/shrink plus straggler re-dispatch repairs);
+* :mod:`repro.styles.multi_tenant` — N tenant farms behind a gateway,
+  scope-local per-tenant invariants (the concurrent-repair showcase).
 """
 
 from repro.styles.client_server import (
@@ -22,6 +24,12 @@ from repro.styles.master_worker import (
     build_master_worker_model,
     master_worker_operators,
 )
+from repro.styles.multi_tenant import (
+    MULTI_TENANT_DSL,
+    build_multi_tenant_family,
+    build_multi_tenant_model,
+    multi_tenant_operators,
+)
 
 __all__ = [
     "FIGURE5_DSL",
@@ -33,4 +41,8 @@ __all__ = [
     "build_master_worker_family",
     "build_master_worker_model",
     "master_worker_operators",
+    "MULTI_TENANT_DSL",
+    "build_multi_tenant_family",
+    "build_multi_tenant_model",
+    "multi_tenant_operators",
 ]

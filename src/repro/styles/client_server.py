@@ -23,7 +23,7 @@ the translator map committed intents onto Table 1 calls directly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.acme.elements import Component, Role
 from repro.acme.family import Family

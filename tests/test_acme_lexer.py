@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.acme.lexer import Token, TokenStream, tokenize
+from repro.acme.lexer import TokenStream, tokenize
 from repro.errors import ParseError
 
 

@@ -5,8 +5,6 @@ Acme this is a component *representation*.  These tests cover the textual
 round-trip and the live experiment model's snapshot/export path.
 """
 
-import pytest
-
 from repro.acme import parse_acme, unparse_system
 from repro.styles import build_client_server_model
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.acme import ArchSystem, Component, Connector
+from repro.acme import ArchSystem, Component
 from repro.errors import AttachmentError, DuplicateElementError, UnknownElementError
 
 
@@ -139,7 +139,7 @@ class TestObservation:
         s = ArchSystem("S")
         undos = []
         s.on_mutation(lambda desc, undo: undos.append((desc, undo)))
-        c = s.new_component("c")
+        s.new_component("c")
         assert "add component c" in undos[-1][0]
         undos[-1][1]()  # undo the add
         assert not s.has_component("c")

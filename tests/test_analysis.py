@@ -1,7 +1,5 @@
 """Unit tests for the queueing analysis and sizing (paper §5 inputs)."""
 
-import math
-
 import pytest
 
 from repro.analysis import (

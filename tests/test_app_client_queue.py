@@ -1,6 +1,5 @@
 """Unit tests for clients and the request-queue service."""
 
-import numpy as np
 import pytest
 
 from repro.app import Client, RequestQueueService

@@ -35,7 +35,6 @@ from repro.constraints.evaluator import EvalContext, Evaluator
 from repro.constraints.invariants import ConstraintChecker
 from repro.constraints.parser import parse_expression
 from repro.constraints.stdlib import STDLIB
-from repro.errors import EvaluationError
 from repro.repair.transactions import ModelTransaction
 
 # ---------------------------------------------------------------------------
@@ -424,7 +423,7 @@ class TestIncrementalEquivalence:
         checker = make_checker()
         a = build_system(random.Random(1))
         b = build_system(random.Random(2))
-        ra = checker.check_all(a)
+        checker.check_all(a)
         rb = checker.check_all(b)
         reference = make_checker(compiled=False, incremental=False)
         assert_same_results(rb, reference.check_all(b))

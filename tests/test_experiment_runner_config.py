@@ -1,7 +1,5 @@
 """Runner wiring tests: configuration knobs reach the right components."""
 
-import pytest
-
 from repro.experiment import ScenarioConfig
 from repro.experiment.runner import (
     Experiment,

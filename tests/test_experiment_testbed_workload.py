@@ -36,7 +36,7 @@ class TestTestbed:
         self.tb.topology.validate()
 
     def _links(self, a, b):
-        return {l.key for l in self.routes.links_on_path(a, b)}
+        return {link.key for link in self.routes.links_on_path(a, b)}
 
     def test_c3_to_sg1_crosses_competition_link_a(self):
         assert ("R2", "R3") in self._links("M_S1", "M_C3")

@@ -6,8 +6,6 @@ faults into the runtime and check both the application's behaviour and
 the framework's escalation path (§7's human alert).
 """
 
-import pytest
-
 from repro.app import Client, GridApplication, Server
 from repro.net import FlowNetwork, Topology
 from repro.sim import Simulator

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.acme import ArchSystem
 from repro.bus import EventBus, FixedDelay
 from repro.errors import GaugeError
 from repro.monitoring import GaugeManager, ModelUpdater

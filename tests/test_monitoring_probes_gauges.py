@@ -57,6 +57,7 @@ class TestClientLatencyProbe:
         app.start_clients(20.0)
         sim.run(until=25.0)
         assert len(seen) == app.client("C1").received
+        assert probe.reports == len(seen)
         assert all(lat > 0 for lat in seen)
 
     def test_disabled_probe_is_silent(self):

@@ -113,7 +113,7 @@ class TestRouting:
         t = line_topology()
         r = RoutingTable(t)
         links = r.links_on_path("h1", "h3")
-        assert [l.key for l in links] == [("h1", "r1"), ("h3", "r1")]
+        assert [link.key for link in links] == [("h1", "r1"), ("h3", "r1")]
 
     def test_no_route_raises(self):
         t = line_topology()

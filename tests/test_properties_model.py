@@ -8,7 +8,6 @@
 
 import string
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.acme import ArchSystem, parse_acme, unparse_system
@@ -70,7 +69,6 @@ def edit_scripts(draw):
 def apply_edits(system: ArchSystem, ops) -> None:
     for kind, arg in ops:
         comps = system.components
-        conns = system.connectors
         if kind == "set_prop" and comps:
             comp = comps[arg % len(comps)]
             if comp.has_property("load"):

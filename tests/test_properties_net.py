@@ -11,8 +11,6 @@ Invariants checked on randomized topologies/flow sets:
    bottleneck capacity of its path.
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -85,10 +83,10 @@ def test_every_elastic_flow_gets_positive_rate_when_feasible(scenario):
     for flow in net.active_transfers:
         # Priority traffic may consume a whole link; otherwise rate > 0.
         residual_possible = min(
-            l.capacity - sum(
-                f.rate for f in net.flows if f.priority and l in f.links
+            link.capacity - sum(
+                f.rate for f in net.flows if f.priority and link in f.links
             )
-            for l in flow.links
+            for link in flow.links
         )
         if residual_possible > TOL:
             assert flow.rate > 0.0
@@ -123,15 +121,15 @@ def test_priority_flows_take_min_of_demand_and_path(scenario):
     net = build(scenario)
     # Priority flows are allocated in fid order; verify each one's rate is
     # min(demand, residual at its allocation step) by replaying greedily.
-    residual = {l.key: l.capacity for l in net.topology.links}
+    residual = {link.key: link.capacity for link in net.topology.links}
     for flow in net.flows:
         if not flow.priority:
             continue
-        expected = min(flow.cap, min(residual[l.key] for l in flow.links))
+        expected = min(flow.cap, min(residual[link.key] for link in flow.links))
         expected = max(0.0, expected)
         assert flow.rate == pytest.approx(expected, abs=1.0)
-        for l in flow.links:
-            residual[l.key] -= flow.rate
+        for link in flow.links:
+            residual[link.key] -= flow.rate
 
 
 @settings(max_examples=40, deadline=None)

@@ -6,15 +6,13 @@ synthetic strategies with stub runtime views.
 
 import pytest
 
-from repro.acme import ArchSystem
-from repro.errors import ParseError, RepairAborted, TacticFailure
+from repro.errors import ParseError, RepairAborted
 from repro.repair import ModelTransaction, RepairContext
 from repro.repair.context import RuntimeView
 from repro.repair.dsl import parse_repair_dsl
 from repro.repair.dsl.interp import build_strategies
 from repro.styles import (
     FIGURE5_DSL,
-    build_client_server_family,
     build_client_server_model,
     style_operators,
 )

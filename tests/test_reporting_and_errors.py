@@ -1,7 +1,5 @@
 """Reporting renderers and exception-hierarchy details."""
 
-import pytest
-
 from repro import errors
 from repro.experiment.reporting import render_workload
 from repro.experiment.workload import build_workload

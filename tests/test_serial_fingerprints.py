@@ -1,0 +1,96 @@
+"""Serial-mode compatibility: adapted runs pinned bit for bit.
+
+The concurrent repair engine must leave ``concurrency="serial"`` (the
+default everywhere except the ``multi_tenant`` scenario) untouched.
+These hashes were captured on the commit *before* the concurrency work
+landed: every scalar, every repair record, every trace event, and every
+sample of every series of the three pre-existing scenarios' adapted runs
+feeds the digest, so any scheduling or numeric drift — however small —
+fails loudly.
+
+If one of these ever fails, the question is not "how do I update the
+hash" but "which change re-ordered the simulation"; see the determinism
+notes in ``.claude/skills/verify/SKILL.md`` and docs/performance.md.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import api
+
+PINNED = {
+    "client_server":
+        "78338f64ee45adea1112a119b27027599de98ebb8dc05f45eb4a5a9f769c9caf",
+    "pipeline":
+        "fee570fa60c94bcd089fc38ef51026f65deb435bd675ef0fe9a9b07f9ef02397",
+    "master_worker":
+        "ec3f0da01758c031e9d62291fccc752ae2db8379666f1b8c1c0fa97531df9c6e",
+}
+
+
+def fingerprint(result) -> str:
+    """A platform-stable digest of everything a run produced.
+
+    Floats go through ``repr`` (shortest round-trip, IEEE-stable across
+    CPython and numpy versions); ordering is canonicalized.
+    """
+    payload = {
+        "issued": result.issued,
+        "completed": result.completed,
+        "dropped": result.dropped,
+        "history": [
+            [
+                repr(float(r.started)),
+                r.strategy,
+                r.invariant,
+                r.scope,
+                repr(float(r.ended)) if r.ended is not None else None,
+                r.committed,
+                r.tactic_applied,
+                r.abort_reason,
+                [str(i) for i in r.intents],
+            ]
+            for r in result.history
+        ],
+        "trace": [[repr(float(rec.time)), rec.category] for rec in result.trace],
+        "series": {
+            name: [
+                [repr(float(t)) for t in ts.times],
+                [repr(float(v)) for v in ts.values],
+            ]
+            for name, ts in sorted(result.series.items())
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, allow_nan=False)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("scenario", sorted(PINNED))
+def test_adapted_run_fingerprint_unchanged(scenario):
+    result = api.run(api.RunConfig.adapted(scenario))
+    assert fingerprint(result) == PINNED[scenario], (
+        f"{scenario}: the serial adapted run is no longer bit-for-bit "
+        f"identical to the pre-concurrency engine"
+    )
+
+
+def test_serial_is_the_default_everywhere_but_multi_tenant():
+    """The compatibility guarantee rests on serial staying the default."""
+    from repro.repair.engine import ArchitectureManager
+    from repro.runtime.spec import AdaptationSpec
+
+    assert AdaptationSpec.__dataclass_fields__["concurrency"].default == "serial"
+    assert (
+        ArchitectureManager.__init__.__defaults__[
+            ArchitectureManager.__init__.__code__.co_varnames.index("concurrency")
+            - (ArchitectureManager.__init__.__code__.co_argcount
+               - len(ArchitectureManager.__init__.__defaults__))
+        ]
+        == "serial"
+    )
+    entries = {e["name"]: e for e in api.list_scenarios()}
+    for name, entry in entries.items():
+        expected = "disjoint" if name == "multi_tenant" else None
+        assert entry["params"].get("concurrency") == expected

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AllOf, AnyOf, Event, Simulator
+from repro.sim import AllOf, AnyOf, Simulator
 
 
 class TestScheduling:
