@@ -1,0 +1,170 @@
+"""X6 — batched per-subscriber delivery: publish-to-drain throughput.
+
+The unbatched bus schedules one simulator event per (subscription,
+message) pair, so a gauge-tick burst fanning out to hundreds of
+subscribers pays hundreds of heap operations per message before a
+single handler runs.  The batched path appends one shared message
+reference per subscriber queue and drains each subscriber once per busy
+period, so a whole burst costs one event per *touched subscriber*.
+
+This bench deploys a fan-in population of 500 subscriptions that all
+consume the probe firehose (the gauge-fan-in shape the ``map_reduce``
+scenario multiplies: every subscriber sees every report), drives
+gauge-tick-shaped bursts (many reports at the same instant), and
+measures **publish-to-drain** throughput: messages published *and*
+delivered per wall-clock second, timed from the first publish of a
+round to the drain of its last handler burst.  Both paths must deliver
+the identical per-subscriber message counts; the batched path must be
+>= 3x faster at 500 subscriptions.
+
+Output: the usual text artifact plus ``out/BENCH_bus_batching.json``.
+``BENCH_FAST=1`` trims rounds so the CI smoke job exercises the emitter
+and the speedup gate cheaply.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.bus import EventBus, FixedDelay, QueuePolicy
+from repro.sim import Simulator
+from repro.util.tables import render_table
+
+FAST = os.environ.get("BENCH_FAST", "") == "1"
+SUBSCRIPTIONS = 500
+ENTITIES = 25
+ROUNDS = 6 if FAST else 40
+BURST = 4 if FAST else 40  # reports per entity per round
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def build_bus(batched: bool):
+    """One bus where every subscriber consumes the whole probe firehose.
+
+    Half subscribe ``probe.>`` and half ``probe.*.*`` (two wildcard
+    shapes through the trie), plus a few exact consumers — 500 total,
+    every one matched by every ``probe.latency.E<i>`` report.  Each
+    subscriber counts what it saw so both paths can be compared.
+    """
+    sim = Simulator()
+    bus = EventBus(
+        sim,
+        delivery=FixedDelay(0.001),
+        batched=batched,
+        queue_policy=QueuePolicy(),
+    )
+    counts = {}
+
+    def make_handler(tag):
+        counts[tag] = 0
+
+        def handler(_message):
+            counts[tag] += 1
+
+        return handler
+
+    exact = 4
+    tails = (SUBSCRIPTIONS - exact) // 2
+    for j in range(tails):
+        bus.subscribe("probe.>", make_handler(f"fire{j}"))
+    for j in range(SUBSCRIPTIONS - exact - tails):
+        bus.subscribe("probe.*.*", make_handler(f"star{j}"))
+    for j in range(exact):
+        bus.subscribe("probe.latency.E0", make_handler(f"exact{j}"))
+    assert len(bus.subscriptions) == SUBSCRIPTIONS
+    return sim, bus, counts
+
+
+def burst_loop(sim, bus):
+    """Gauge-tick bursts: every entity reports BURST times per round.
+
+    Each round publishes its burst at one sim instant and then runs the
+    simulator until every queued delivery drained — publish *and* drain
+    are inside the timed window.  Returns (seconds, published).
+    """
+    published = 0
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        for _ in range(BURST):
+            for entity in range(ENTITIES):
+                bus.publish_subject(f"probe.latency.E{entity}", latency=1.0)
+                published += 1
+        sim.run()  # drain the whole burst before the next round
+    return time.perf_counter() - start, published
+
+
+def run_comparison():
+    results = {}
+    for label, batched in (("unbatched", False), ("batched", True)):
+        sim, bus, counts = build_bus(batched)
+        seconds, published = burst_loop(sim, bus)
+        results[label] = {
+            "batched": batched,
+            "seconds": seconds,
+            "published": published,
+            "delivered": bus.delivered,
+            "throughput_msgs_per_s": published / seconds,
+            "delivered_per_s": bus.delivered / seconds,
+            "drain_batches": bus.batches,
+            "per_subscriber": counts,
+        }
+    return results
+
+
+def test_x6_bus_batching(benchmark, artifact):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    unbatched, batched = results["unbatched"], results["batched"]
+    speedup = batched["delivered_per_s"] / unbatched["delivered_per_s"]
+
+    wall = ["publish-to-drain wall time (s)"]
+    wall += [round(unbatched["seconds"], 3), round(batched["seconds"], 3)]
+    thru = ["throughput (delivered/s)"]
+    thru += [int(unbatched["delivered_per_s"]), int(batched["delivered_per_s"])]
+    rows = [
+        wall,
+        ["published", unbatched["published"], batched["published"]],
+        ["delivered", unbatched["delivered"], batched["delivered"]],
+        thru,
+        ["drain batches", unbatched["drain_batches"], batched["drain_batches"]],
+        ["speedup (x)", 1.0, round(speedup, 1)],
+    ]
+    text = render_table(
+        ["metric", "per-message events", "batched queues"],
+        rows,
+        title=(
+            f"X6: burst delivery at {SUBSCRIPTIONS} subscriptions, "
+            f"{ROUNDS} rounds x {BURST * ENTITIES}-message bursts"
+        ),
+    )
+    print(text)
+    artifact("x6_bus_batching", text)
+    OUT_DIR.mkdir(exist_ok=True)
+    per_sub = {
+        label: result.pop("per_subscriber") for label, result in results.items()
+    }
+    (OUT_DIR / "BENCH_bus_batching.json").write_text(
+        json.dumps(
+            {
+                "bench": "x6_bus_batching",
+                "fast": FAST,
+                "subscriptions": SUBSCRIPTIONS,
+                "rounds": ROUNDS,
+                "burst": BURST,
+                "results": results,
+                "speedup": speedup,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Identical delivery: same totals and the same per-subscriber counts.
+    assert batched["published"] == unbatched["published"] > 0
+    assert batched["delivered"] == unbatched["delivered"] > 0
+    assert per_sub["batched"] == per_sub["unbatched"]
+    # The batched path coalesces bursts into far fewer simulator events...
+    assert batched["drain_batches"] < unbatched["delivered"] / 4
+    # ...and is >= 3x faster publish-to-drain at 500 subscriptions.
+    assert speedup >= 3.0, f"batched speedup only {speedup:.1f}x"

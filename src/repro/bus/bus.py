@@ -1,29 +1,48 @@
 """The event bus proper.
 
 Delivery semantics: ``publish`` never invokes handlers synchronously.
-Each matching subscription receives the message after a delay chosen by the
-bus's :class:`DeliveryModel` (default: a small fixed latency).  Because the
-underlying simulator breaks ties in scheduling order, delivery is
-deterministic.
+In the default (unbatched) configuration each matching subscription
+receives the message after a delay chosen by the bus's
+:class:`DeliveryModel` (default: a small fixed latency), one simulator
+event per (subscription, message) pair.  Because the underlying
+simulator breaks ties in scheduling order, delivery is deterministic.
 
-The delivery model is the hook for the paper's in-band-monitoring effect:
-the experiment harness installs a model whose delay grows when the network
-path carrying monitoring traffic is congested, and the A2 ablation swaps in
-a fixed-latency (QoS-prioritized) model.
+The *batched* path (opt-in per bus or per subscription) replaces the
+per-pair events with per-subscriber queues: ``publish`` appends one
+shared message reference to each matching subscriber's
+:class:`~repro.bus.queues.SubscriberQueue`, and a single drain event
+per busy period delivers everything pending in one handler burst.  A
+:class:`~repro.bus.queues.QueuePolicy` bounds each queue (drop-oldest /
+drop-newest / block-publisher backpressure); overflow and depth are
+counted per subscriber and aggregated in :meth:`EventBus.stats`.
+
+The delivery model is the hook for the paper's in-band-monitoring
+effect: the experiment harness installs a model whose delay grows when
+the network path carrying monitoring traffic is congested, and the A2
+ablation swaps in a fixed-latency (QoS-prioritized) model.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.bus.filters import AttributeFilter, subject_matches, validate_pattern
 from repro.bus.index import SubjectTrie
 from repro.bus.messages import Message
+from repro.bus.queues import QueuePolicy, SubscriberQueue
 from repro.sim.kernel import Simulator
 from repro.util.ids import IdGenerator
 
-__all__ = ["DeliveryModel", "FixedDelay", "Subscription", "EventBus"]
+__all__ = [
+    "DeliveryModel",
+    "FixedDelay",
+    "CallableDelay",
+    "Subscription",
+    "EventBus",
+    "QueuePolicy",
+]
 
 
 class DeliveryModel:
@@ -73,7 +92,9 @@ class Subscription:
             return False
         if not subject_matches(self.pattern, message.subject):
             return False
-        if self.attr_filter is not None and not self.attr_filter.matches(message.attributes):
+        if self.attr_filter is not None and not self.attr_filter.matches(
+            message.attributes
+        ):
             return False
         return True
 
@@ -81,8 +102,14 @@ class Subscription:
 class EventBus:
     """Wide-area event bus simulacrum.
 
-    Statistics (published/delivered counts, cumulative transit time) feed
-    the monitoring-overhead reporting in the experiment harness.
+    Statistics (published/delivered counts, cumulative transit time,
+    batching/overflow counters) feed the monitoring-overhead reporting
+    in the experiment harness.
+
+    ``batched=True`` makes queued batch delivery the default for every
+    subscription; individual ``subscribe`` calls may override either
+    way.  ``queue_policy`` is the default policy for batched
+    subscriptions (unbounded when omitted).
     """
 
     def __init__(
@@ -91,17 +118,26 @@ class EventBus:
         delivery: Optional[DeliveryModel] = None,
         name: str = "bus",
         indexed: bool = True,
+        batched: bool = False,
+        queue_policy: Optional[QueuePolicy] = None,
     ):
         self.sim = sim
         self.name = name
         self.delivery = delivery or FixedDelay()
+        self.batched = batched
+        self.queue_policy = queue_policy or QueuePolicy()
         self._subs: Dict[str, Subscription] = {}
+        self._queues: Dict[str, SubscriberQueue] = {}
         self._index: Optional[SubjectTrie] = SubjectTrie() if indexed else None
         self._ids = IdGenerator()
         self._seq = 0
         self.published = 0
         self.delivered = 0
         self.total_transit = 0.0
+        # batched-path aggregates (0 on a fully unbatched bus)
+        self.dropped = 0
+        self.stalled = 0
+        self.batches = 0
 
     # -- subscription management -------------------------------------------
     def subscribe(
@@ -109,23 +145,44 @@ class EventBus:
         pattern: str,
         handler: Callable[[Message], None],
         attr_filter: Optional[AttributeFilter] = None,
+        batched: Optional[bool] = None,
+        queue_policy: Optional[QueuePolicy] = None,
     ) -> Subscription:
-        """Register ``handler`` for messages matching ``pattern`` (+filter)."""
+        """Register ``handler`` for messages matching ``pattern`` (+filter).
+
+        ``batched``/``queue_policy`` override the bus defaults for this
+        subscription; passing a ``queue_policy`` alone implies batching.
+        """
         validate_pattern(pattern)
         self._seq += 1
         sub = Subscription(
             self._ids.next("sub"), pattern, handler, attr_filter, seq=self._seq
         )
         self._subs[sub.sid] = sub
+        if batched is None:
+            batched = self.batched or queue_policy is not None
+        if batched:
+            self._queues[sub.sid] = SubscriberQueue(
+                sub, queue_policy or self.queue_policy
+            )
         if self._index is not None:
             self._index.add(sub)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
-        """Deactivate and forget a subscription (idempotent)."""
+        """Deactivate and forget a subscription (idempotent).
+
+        Batched subscriptions discard whatever is still queued or parked
+        (never delivered, never counted as transit) — the queued
+        analogue of the unbatched unsubscribe-while-in-flight rule.
+        """
         sub.active = False
         if self._subs.pop(sub.sid, None) is not None and self._index is not None:
             self._index.remove(sub)
+        sq = self._queues.pop(sub.sid, None)
+        if sq is not None:
+            sq.queue.clear()
+            sq.parked.clear()
 
     @property
     def subscriptions(self) -> List[Subscription]:
@@ -140,13 +197,18 @@ class EventBus:
         msg = message.with_time(self.sim.now)
         self.published += 1
         matched = 0
+        queues = self._queues
         for sub in self._matches(msg):
             matched += 1
+            if queues:
+                sq = queues.get(sub.sid)
+                if sq is not None:
+                    self._enqueue(sq, msg)
+                    continue
             delay = float(self.delivery.delay(msg))
             if delay < 0:
                 delay = 0.0
-            self.total_transit += delay
-            self.sim.schedule(delay, self._deliver, sub, msg)
+            self.sim.schedule(delay, self._deliver, sub, msg, delay)
         return matched
 
     def publish_subject(self, subject: str, sender: str = "", **attributes) -> int:
@@ -171,13 +233,107 @@ class EventBus:
             ]
         return [sub for sub in list(self._subs.values()) if sub.wants(msg)]
 
-    def _deliver(self, sub: Subscription, msg: Message) -> None:
+    # -- unbatched delivery ----------------------------------------------------
+    def _deliver(self, sub: Subscription, msg: Message, delay: float = 0.0) -> None:
         if not sub.active:
             return  # unsubscribed while in flight
         self.delivered += 1
+        # Transit accrues at delivery, not publish: the running mean is
+        # never skewed by scheduled-but-undelivered messages, and
+        # unsubscribe-cancelled deliveries contribute nothing.
+        self.total_transit += delay
         sub.handler(msg)
+
+    # -- batched delivery ------------------------------------------------------
+    def _enqueue(self, sq: SubscriberQueue, msg: Message) -> None:
+        policy = sq.policy
+        queue = sq.queue
+        sq.enqueued += 1
+        if policy.bounded and len(queue) >= policy.capacity:
+            mode = policy.mode
+            if mode == "drop-oldest":
+                queue.popleft()
+                queue.append(msg)
+                sq.dropped += 1
+                self.dropped += 1
+            elif mode == "drop-newest":
+                sq.dropped += 1
+                self.dropped += 1
+            else:  # block: park publisher-side until the drain frees room
+                sq.parked.append(msg)
+                sq.stalled += 1
+                self.stalled += 1
+        else:
+            queue.append(msg)
+        sq.note_depth()
+        if queue and not sq.drain_scheduled:
+            self._schedule_drain(sq, queue[0])
+
+    def _schedule_drain(self, sq: SubscriberQueue, head: Message) -> None:
+        sq.drain_scheduled = True
+        delay = float(self.delivery.delay(head))
+        if delay < 0:
+            delay = 0.0
+        self.sim.schedule(delay, self._drain, sq)
+
+    def _drain(self, sq: SubscriberQueue) -> None:
+        """Deliver one busy period's batch in a single handler burst."""
+        sq.drain_scheduled = False
+        batch = sq.queue
+        sq.queue = deque()
+        # The burst frees capacity: admit parked (block-mode) overflow
+        # FIFO into the fresh queue and start its own drain period.
+        # Messages the handlers publish during the burst land behind it.
+        capacity = sq.policy.capacity
+        parked = sq.parked
+        while parked and (not capacity or len(sq.queue) < capacity):
+            sq.queue.append(parked.popleft())
+        if sq.queue:
+            self._schedule_drain(sq, sq.queue[0])
+        if not batch:
+            return
+        sq.batches += 1
+        self.batches += 1
+        if len(batch) > sq.max_batch:
+            sq.max_batch = len(batch)
+        sub = sq.sub
+        now = self.sim.now
+        handler = sub.handler
+        for msg in batch:
+            if not sub.active:
+                break  # unsubscribed mid-burst: discard the remainder
+            self.delivered += 1
+            sq.delivered += 1
+            self.total_transit += now - msg.time
+            handler(msg)
 
     # -- reporting -------------------------------------------------------------
     @property
     def mean_transit(self) -> float:
         return self.total_transit / self.delivered if self.delivered else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate counters; batching fields appear once queues exist."""
+        data: Dict[str, float] = {
+            "published": self.published,
+            "delivered": self.delivered,
+            "mean_transit": self.mean_transit,
+        }
+        if self._queues or self.batches or self.dropped or self.stalled:
+            queues = self._queues.values()
+            data.update(
+                {
+                    "batched_subscriptions": len(self._queues),
+                    "batches": self.batches,
+                    "dropped": self.dropped,
+                    "stalled": self.stalled,
+                    "queued_now": sum(sq.depth for sq in queues),
+                    "peak_depth": max((sq.peak_depth for sq in queues), default=0),
+                    "max_batch": max((sq.max_batch for sq in queues), default=0),
+                }
+            )
+        return data
+
+    def queue_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-subscriber depth gauges and counters, keyed by sid."""
+        return {sid: sq.snapshot() for sid, sq in self._queues.items()}

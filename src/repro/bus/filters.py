@@ -82,7 +82,9 @@ class AttributeFilter:
         self.constraints: List[Tuple[str, str, Any]] = []
         for name, op, value in constraints:
             if op not in _OPS:
-                raise ValueError(f"unknown filter operator {op!r}; valid: {sorted(_OPS)}")
+                raise ValueError(
+                    f"unknown filter operator {op!r}; valid: {sorted(_OPS)}"
+                )
             self.constraints.append((name, op, value))
 
     def matches(self, attributes: Mapping[str, Any]) -> bool:

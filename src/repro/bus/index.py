@@ -110,7 +110,9 @@ class SubjectTrie:
             out.sort(key=lambda s: s.seq)
         return out
 
-    def _collect(self, node: _Node, segments: List[str], i: int, out: List[object]) -> None:
+    def _collect(
+        self, node: _Node, segments: List[str], i: int, out: List[object]
+    ) -> None:
         if node.tail and i < len(segments):
             out.extend(node.tail.values())
         if i == len(segments):

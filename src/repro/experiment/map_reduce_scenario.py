@@ -1,0 +1,505 @@
+"""The ``map_reduce`` scenario: shuffle skew, and the batched-bus showcase.
+
+Like :mod:`repro.experiment.master_worker_scenario` (the template), this
+module registers a whole application family **purely through the public
+API** — ``register_scenario(name, params=...)``, a typed frozen
+:class:`MapReduceParams` block, the generic
+:class:`~repro.monitoring.probes.CallbackProbe` / value gauges, the
+generic :class:`~repro.runtime.updater.PropertyUpdater`, and a
+:class:`~repro.experiment.result.RunResult` subclass.
+
+The workload is a mapper pool emitting **Zipf-keyed** records through a
+shuffle into reducer partitions: one key-group dominates, so the
+partition that owns it drags a disproportionate *share* of the shuffle
+while the other reducers idle.  The ``skewedShuffle`` invariant fires on
+the hot partition; its strategy tries ``splitPartition`` (reassign the
+colder half of the keyspace — the structural fix) and falls back to
+``stealWork`` (migrate queued records to the least-loaded reducer) once
+the partition is a single irreducibly hot key-group.
+
+The scenario doubles as the **bus-batching stress showcase**: three
+probe/gauge pairs per reducer (backlog, share, keys) produce the
+heaviest monitoring fan-in of any built-in scenario, so its
+:class:`~repro.runtime.spec.AdaptationSpec` defaults to
+``bus_batching=True`` — publishes append to per-subscriber queues and
+each gauge drains its probe backlog in one burst per delivery period
+(see ``benchmarks/bench_x6_bus_batching.py`` for the isolated numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
+
+from repro.app.map_reduce_app import MapReduceApplication
+from repro.bus.bus import FixedDelay
+from repro.bus.queues import QUEUE_MODES
+from repro.errors import TranslationError
+from repro.experiment.config import RunConfig, as_run_config
+from repro.experiment.params import ScenarioParams
+from repro.experiment.result import RunResult
+from repro.experiment.scenario import ScenarioConfig
+from repro.experiment.scenarios import register_scenario
+from repro.experiment.series import TimeSeries
+from repro.experiment.workload import BurstArrivals
+from repro.monitoring.gauges import LatestValueGauge, WindowedMeanGauge
+from repro.monitoring.probes import CallbackProbe
+from repro.repair.history import RepairHistory
+from repro.runtime import (
+    AdaptationRuntime,
+    AdaptationSpec,
+    GaugeBinding,
+    IntentExecutor,
+    ManagedApplication,
+    ProbeBinding,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+from repro.styles.map_reduce import (
+    MAP_REDUCE_DSL,
+    build_map_reduce_family,
+    build_map_reduce_model,
+    map_reduce_operators,
+)
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = [
+    "MapReduceParams",
+    "MapReduceResult",
+    "MapReduceExperiment",
+    "MapReduceManagedApplication",
+    "MapReduceTranslator",
+]
+
+
+@dataclass(frozen=True)
+class MapReduceParams(ScenarioParams):
+    """The shuffle-skew scenario's typed knob block."""
+
+    LEGACY_FIELDS: ClassVar[Tuple[str, ...]] = (
+        "gauge_period",
+        "gauge_caching",
+        "settle_time",
+        "failed_repair_cost",
+        "violation_policy",
+    )
+
+    # job shape
+    mappers: int = 2          # mapper pool width
+    reducers: int = 8         # shuffle partitions (R0..R{n-1})
+    keys: int = 32            # key-groups, round-robin assigned initially
+    zipf_s: float = 1.1       # key-distribution exponent (heavier = hotter)
+
+    # record service model
+    map_service: float = 0.05     # s per record in a mapper (exponential)
+    reduce_service: float = 0.8   # s per record in a reducer (exponential)
+    reducer_width: int = 2        # workers per reducer partition
+
+    # workload: Poisson record stream bursting mid-run
+    baseline_rate: float = 4.0   # records/s (hot partition stays afloat)
+    burst_rate: float = 12.0     # records/s (hot partition saturates)
+
+    # thresholds
+    max_share: float = 0.25    # skewedShuffle bound on the backlog share
+    low_backlog: float = 10.0  # skew below this backlog is not actionable
+
+    # monitoring
+    probe_period: float = 1.0
+    gauge_period: float = 5.0
+    backlog_horizon: float = 15.0
+
+    # translation costs
+    split_cost: float = 3.0       # s to re-partition the keyspace
+    steal_cost: float = 2.0       # s to migrate half a queue
+    redeploy_window: float = 10.0  # gauge blindness after a split
+
+    # bus delivery (the batching showcase; see repro.bus.queues)
+    bus_batching: bool = True
+    bus_queue_policy: str = "unbounded"
+    bus_queue_capacity: int = 0
+
+    # repair machinery
+    gauge_caching: bool = False
+    settle_time: float = 20.0
+    failed_repair_cost: float = 2.0
+    violation_policy: str = "first"
+
+    def reducer_names(self) -> List[str]:
+        return [f"R{i}" for i in range(self.reducers)]
+
+    def validate(self, config: "RunConfig") -> None:
+        self._require(self.mappers >= 1, "mappers must be >= 1")
+        self._require(self.reducers >= 2, "reducers must be >= 2")
+        self._require(self.keys >= self.reducers, "need at least one key per reducer")
+        self._require(self.zipf_s > 0, "zipf_s must be positive")
+        self._require(self.map_service > 0, "map_service must be positive")
+        self._require(self.reduce_service > 0, "reduce_service must be positive")
+        self._require(self.reducer_width >= 1, "reducer_width must be >= 1")
+        self._require(self.baseline_rate > 0, "baseline_rate must be positive")
+        self._require(self.burst_rate > 0, "burst_rate must be positive")
+        self._require(0.0 < self.max_share <= 1.0, "max_share must be in (0, 1]")
+        self._require(self.low_backlog >= 0, "low_backlog must be >= 0")
+        self._require(self.probe_period > 0, "probe_period must be positive")
+        self._require(self.gauge_period > 0, "gauge_period must be positive")
+        self._require(
+            self.bus_queue_policy in QUEUE_MODES,
+            f"bus_queue_policy must be one of {', '.join(QUEUE_MODES)}",
+        )
+        self._require(
+            self.bus_queue_policy == "unbounded" or self.bus_queue_capacity >= 1,
+            "bounded bus_queue_policy needs bus_queue_capacity >= 1",
+        )
+        self._check_policy(self.violation_policy)
+
+
+@dataclass
+class MapReduceResult(RunResult):
+    """The shuffle-skew run, plus its partition and rebalance views."""
+
+    splits: int = 0
+    steals: int = 0
+    moved_keys: int = 0
+    stolen_records: int = 0
+
+    @property
+    def reducers(self) -> List[str]:
+        """Reducer names, parsed from the ``backlog.R*`` series."""
+        return sorted(
+            (n.split(".", 1)[1] for n in self.series if n.startswith("backlog.R")),
+            key=lambda name: (len(name), name),
+        )
+
+    def peak_backlog(self) -> Dict[str, float]:
+        return {
+            reducer: float(self.s(f"backlog.{reducer}").values.max())
+            for reducer in self.reducers
+        }
+
+    @property
+    def peak_skew(self) -> float:
+        """Highest observed backlog share of any partition."""
+        return float(self.s("share.max").values.max())
+
+    def extras(self) -> Dict[str, Any]:
+        return {
+            "reducers": self.reducers,
+            "splits": self.splits,
+            "steals": self.steals,
+            "moved_keys": self.moved_keys,
+            "stolen_records": self.stolen_records,
+            "peak_skew": self.peak_skew,
+            "peak_backlog": self.peak_backlog(),
+        }
+
+
+class MapReduceTranslator(IntentExecutor):
+    """Replays committed keyspace splits and work steals on the job.
+
+    Both operations pause for a coordination cost (re-partitioning the
+    shuffle, migrating queued records); a split additionally blanks the
+    two affected reducers' gauges for the redeployment window — the
+    shuffle routing changed under them, so their shares are stale.
+    """
+
+    def __init__(
+        self,
+        app: MapReduceApplication,
+        params: MapReduceParams,
+        gauge_manager=None,
+        trace: Optional[Trace] = None,
+    ):
+        self.app = app
+        self.params = params
+        self.sim = app.sim
+        self.gauge_manager = gauge_manager
+        self.trace = trace if trace is not None else app.trace
+        self.executed: List = []
+
+    def execute(self, intents, on_done=None) -> Process:
+        return Process(
+            self.sim,
+            self._run(list(intents), on_done),
+            name="map-reduce-translator",
+        )
+
+    def _run(self, intents, on_done):
+        params = self.params
+        for intent in intents:
+            if intent.op == "splitPartition":
+                cost = params.split_cost
+            elif intent.op == "stealWork":
+                cost = params.steal_cost
+            else:
+                raise TranslationError(
+                    f"no map/reduce mapping for intent {intent.op!r}"
+                )
+            self.trace.emit(
+                self.sim.now,
+                "translate.begin",
+                op=intent.op,
+                cost=cost,
+                **intent.args,
+            )
+            if cost > 0:
+                yield self.sim.timeout(cost)
+            hot, dest = intent.args["reducer"], intent.args["dest"]
+            if intent.op == "splitPartition":
+                self.app.split_keys(hot, dest)
+                if self.gauge_manager is not None:
+                    for entity in (hot, dest):
+                        self.gauge_manager.redeploy_for(entity, params.redeploy_window)
+            else:
+                self.app.steal_queued(hot, dest)
+            self.executed.append(intent)
+        if on_done is not None:
+            on_done()
+
+
+class MapReduceManagedApplication(ManagedApplication):
+    """The map/reduce job wrapped for the adaptation runtime."""
+
+    name = "map-reduce-job"
+
+    def __init__(self, app: MapReduceApplication, params: MapReduceParams):
+        self.app = app
+        self.params = params
+
+    def architecture(self):
+        reducers = self.app.reducer_names
+        return build_map_reduce_model(
+            "ShuffleModel",
+            reducers=reducers,
+            keys_per_reducer=[self.app.key_count(r) for r in reducers],
+            family=build_map_reduce_family(),
+        )
+
+    def intent_executor(self, runtime: AdaptationRuntime) -> MapReduceTranslator:
+        return MapReduceTranslator(
+            self.app,
+            self.params,
+            gauge_manager=runtime.gauge_manager,
+            trace=runtime.trace,
+        )
+
+
+class MapReduceMetricsSampler:
+    """Ground truth: per-reducer backlog, max share, mapper queue."""
+
+    def __init__(self, experiment: "MapReduceExperiment"):
+        self.experiment = experiment
+        self.period = experiment.config.sample_period
+        self.series: Dict[str, TimeSeries] = {
+            "mapper.backlog": TimeSeries("mapper.backlog", "records"),
+            "share.max": TimeSeries("share.max", ""),
+            "completed.total": TimeSeries("completed.total", "records"),
+            "repair.active": TimeSeries("repair.active", ""),
+        }
+        for reducer in experiment.app.reducer_names:
+            self.series[f"backlog.{reducer}"] = TimeSeries(
+                f"backlog.{reducer}", "records"
+            )
+
+    def start(self) -> Process:
+        return Process(self.experiment.sim, self._run(), name="map-reduce-metrics")
+
+    def _run(self):
+        sim = self.experiment.sim
+        while True:
+            self.sample()
+            yield sim.timeout(self.period)
+
+    def sample(self) -> None:
+        exp = self.experiment
+        app = exp.app
+        now = exp.sim.now
+        for reducer in app.reducer_names:
+            self.series[f"backlog.{reducer}"].append(now, float(app.backlog(reducer)))
+        self.series["mapper.backlog"].append(now, float(app.mapper_backlog()))
+        self.series["share.max"].append(
+            now, max(app.share(r) for r in app.reducer_names)
+        )
+        self.series["completed.total"].append(now, float(app.completed))
+        manager = exp.runtime.manager if exp.runtime is not None else None
+        busy = 1.0 if (manager is not None and manager.busy) else 0.0
+        self.series["repair.active"].append(now, busy)
+
+
+class MapReduceExperiment:
+    """One wired shuffle-skew run (control or adapted), ready to run."""
+
+    def __init__(self, config: Union[RunConfig, ScenarioConfig]):
+        config = as_run_config(config)
+        self.config = config
+        self.params: MapReduceParams = config.params
+        params = self.params
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.seeds = SeedSequenceFactory(config.seed)
+        self.app = MapReduceApplication(
+            self.sim,
+            mappers=params.mappers,
+            reducers=params.reducers,
+            keys=params.keys,
+            zipf_s=params.zipf_s,
+            map_service=params.map_service,
+            reduce_service=params.reduce_service,
+            reducer_width=params.reducer_width,
+            record_rng=self.seeds.rng("map_reduce.records"),
+            trace=self.trace,
+        )
+        self.workload = BurstArrivals(
+            self.sim,
+            horizon=config.horizon,
+            baseline_rate=params.baseline_rate,
+            burst_rate=params.burst_rate,
+            rng=self.seeds.rng("map_reduce.source"),
+            submit=self.app.submit,
+            name="map-reduce-source",
+        )
+        self.burst_start = self.workload.burst_start
+        self.burst_end = self.workload.burst_end
+        self.runtime: Optional[AdaptationRuntime] = None
+        if config.adaptation:
+            self.runtime = AdaptationRuntime(
+                self.sim,
+                MapReduceManagedApplication(self.app, params),
+                self._adaptation_spec(),
+                trace=self.trace,
+            )
+        self.metrics = MapReduceMetricsSampler(self)
+
+    def build(self) -> Optional[AdaptationRuntime]:
+        """The control plane bound to this config (Scenario protocol)."""
+        return self.runtime
+
+    def _adaptation_spec(self) -> AdaptationSpec:
+        params = self.params
+        app = self.app
+        instruments: List = []
+        for reducer in app.reducer_names:
+            instruments.extend(
+                [
+                    ProbeBinding(
+                        lambda rt, r=reducer: CallbackProbe(
+                            rt.sim,
+                            rt.probe_bus,
+                            "backlog",
+                            r,
+                            lambda r=r: app.backlog(r),
+                            period=params.probe_period,
+                        ),
+                        periodic=True,
+                    ),
+                    GaugeBinding(
+                        lambda rt, r=reducer: WindowedMeanGauge(
+                            rt.sim,
+                            rt.probe_bus,
+                            rt.gauge_bus,
+                            "backlog",
+                            r,
+                            period=params.gauge_period,
+                            horizon=params.backlog_horizon,
+                        ),
+                        entities=[reducer],
+                    ),
+                    ProbeBinding(
+                        lambda rt, r=reducer: CallbackProbe(
+                            rt.sim,
+                            rt.probe_bus,
+                            "share",
+                            r,
+                            lambda r=r: app.share(r),
+                            period=params.probe_period,
+                        ),
+                        periodic=True,
+                    ),
+                    GaugeBinding(
+                        lambda rt, r=reducer: LatestValueGauge(
+                            rt.sim,
+                            rt.probe_bus,
+                            rt.gauge_bus,
+                            "share",
+                            r,
+                            period=params.gauge_period,
+                        ),
+                        entities=[reducer],
+                    ),
+                    ProbeBinding(
+                        lambda rt, r=reducer: CallbackProbe(
+                            rt.sim,
+                            rt.probe_bus,
+                            "keys",
+                            r,
+                            lambda r=r: app.key_count(r),
+                            period=params.probe_period,
+                        ),
+                        periodic=True,
+                    ),
+                    GaugeBinding(
+                        lambda rt, r=reducer: LatestValueGauge(
+                            rt.sim,
+                            rt.probe_bus,
+                            rt.gauge_bus,
+                            "keys",
+                            r,
+                            period=params.gauge_period,
+                        ),
+                        entities=[reducer],
+                    ),
+                ]
+            )
+        return AdaptationSpec(
+            style="MapReduceFam",
+            dsl_source=MAP_REDUCE_DSL,
+            invariant_scopes={"k": "ReducerT"},
+            bindings={"maxShare": params.max_share, "lowBacklog": params.low_backlog},
+            operators=lambda rt: map_reduce_operators(),
+            instruments=instruments,
+            gauge_property_map={"backlog": "backlog", "share": "share", "keys": "keys"},
+            delivery=FixedDelay(0.05),
+            bus_batching=params.bus_batching,
+            bus_queue_policy=params.bus_queue_policy,
+            bus_queue_capacity=params.bus_queue_capacity,
+            gauge_caching=params.gauge_caching,
+            settle_time=params.settle_time,
+            failed_repair_cost=params.failed_repair_cost,
+            violation_policy=params.violation_policy,
+        )
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> MapReduceResult:
+        cfg = self.config
+        self.workload.start()
+        if self.runtime is not None:
+            self.runtime.start()
+        self.metrics.start()
+        self.sim.run(until=cfg.horizon)
+        rt = self.runtime
+        stats = rt.stats() if rt is not None else {}
+        return MapReduceResult(
+            config=cfg,
+            series=self.metrics.series,
+            trace=self.trace,
+            history=rt.history if rt is not None else RepairHistory(),
+            issued=self.app.issued,
+            completed=self.app.completed,
+            dropped=0,
+            bus_stats=stats.get("bus", {}),
+            gauge_stats=stats.get("gauges", {}),
+            constraint_stats=stats.get("constraints", {}),
+            splits=self.app.splits,
+            steals=self.app.steals,
+            moved_keys=self.app.moved_keys,
+            stolen_records=self.app.stolen_records,
+        )
+
+
+@register_scenario(
+    "map_reduce",
+    params=MapReduceParams,
+    description="map/reduce shuffle skew: split partitions, steal work",
+)
+def _build_map_reduce(config: RunConfig) -> MapReduceExperiment:
+    """The shuffle-skew scenario (ROADMAP open item)."""
+    return MapReduceExperiment(config)

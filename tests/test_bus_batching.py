@@ -1,0 +1,276 @@
+"""Batched per-subscriber bus delivery: policies, order, backpressure.
+
+The default (unbatched) path is pinned elsewhere (`test_bus.py`,
+`test_serial_fingerprints.py`); this module covers the opt-in queued
+path: coalescing, every ``QueuePolicy`` mode, unsubscribe-while-queued,
+the batched-vs-unbatched order property, and the transit-accounting
+regression (mean accrues at delivery, not publish).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bus import EventBus, FixedDelay, QueuePolicy
+from repro.sim import Simulator
+
+
+def make_bus(delay=0.01, **kwargs):
+    sim = Simulator()
+    return sim, EventBus(sim, delivery=FixedDelay(delay), **kwargs)
+
+
+class TestQueuePolicy:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            QueuePolicy(mode="drop-random")
+
+    @pytest.mark.parametrize("mode", ["drop-oldest", "drop-newest", "block"])
+    def test_bounded_modes_need_capacity(self, mode):
+        with pytest.raises(ValueError):
+            QueuePolicy(mode=mode)
+        assert QueuePolicy(mode=mode, capacity=4).bounded
+
+    def test_unbounded_ignores_capacity(self):
+        assert not QueuePolicy().bounded
+
+
+class TestBatchedDelivery:
+    def test_coalesces_a_burst_into_one_drain(self):
+        sim, bus = make_bus(batched=True)
+        got = []
+        bus.subscribe("probe.>", lambda m: got.append((sim.now, m.subject)))
+        for i in range(5):
+            bus.publish_subject(f"probe.x.E{i}")
+        sim.run()
+        # every message arrives in one burst, one bus delay after publish
+        assert got == [(0.01, f"probe.x.E{i}") for i in range(5)]
+        stats = bus.stats()
+        assert stats["batches"] == 1
+        assert stats["max_batch"] == 5
+        assert bus.delivered == 5
+
+    def test_busy_periods_get_separate_drains(self):
+        sim, bus = make_bus(batched=True)
+        got = []
+        bus.subscribe("a.b", lambda m: got.append(sim.now))
+        bus.publish_subject("a.b")
+        sim.schedule(1.0, bus.publish_subject, "a.b")
+        sim.run()
+        assert got == [0.01, 1.01]
+        assert bus.stats()["batches"] == 2
+
+    def test_publish_never_synchronous(self):
+        sim, bus = make_bus(delay=0.0, batched=True)
+        got = []
+        bus.subscribe("a.b", got.append)
+        bus.publish_subject("a.b")
+        assert got == []
+        sim.run()
+        assert len(got) == 1
+
+    def test_per_subscription_opt_in_on_unbatched_bus(self):
+        sim, bus = make_bus()
+        plain, queued = [], []
+        bus.subscribe("a.>", lambda m: plain.append(m.subject))
+        bus.subscribe("a.>", lambda m: queued.append(m.subject), batched=True)
+        bus.publish_subject("a.b")
+        bus.publish_subject("a.c")
+        sim.run()
+        assert plain == queued == ["a.b", "a.c"]
+        assert bus.stats()["batched_subscriptions"] == 1
+        assert bus.stats()["batches"] == 1
+
+    def test_queue_policy_alone_implies_batching(self):
+        sim, bus = make_bus()
+        sub = bus.subscribe(
+            "a.b",
+            lambda m: None,
+            queue_policy=QueuePolicy(mode="drop-newest", capacity=2),
+        )
+        assert bus.queue_stats()[sub.sid]["mode"] == "drop-newest"
+
+    def test_handler_publish_during_burst_lands_in_next_drain(self):
+        sim, bus = make_bus(batched=True)
+        got = []
+
+        def echo(m):
+            got.append((sim.now, m.subject))
+            if m.subject == "a.ping":
+                bus.publish_subject("a.pong")
+
+        bus.subscribe("a.>", echo)
+        bus.publish_subject("a.ping")
+        sim.run()
+        assert got == [(0.01, "a.ping"), (0.02, "a.pong")]
+
+
+class TestQueuePolicies:
+    def _run_burst(self, policy, n=6):
+        sim, bus = make_bus(batched=True, queue_policy=policy)
+        got = []
+        sub = bus.subscribe("k.*", lambda m: got.append(m["i"]))
+        for i in range(n):
+            bus.publish_subject("k.x", i=i)
+        sim.run()
+        return bus, sub, got
+
+    def test_unbounded_keeps_everything(self):
+        bus, _, got = self._run_burst(QueuePolicy())
+        assert got == [0, 1, 2, 3, 4, 5]
+        assert bus.dropped == bus.stalled == 0
+
+    def test_drop_oldest_keeps_the_newest(self):
+        bus, sub, got = self._run_burst(QueuePolicy(mode="drop-oldest", capacity=2))
+        assert got == [4, 5]
+        assert bus.dropped == 4
+        assert bus.queue_stats()[sub.sid]["dropped"] == 4
+
+    def test_drop_newest_keeps_the_oldest(self):
+        bus, sub, got = self._run_burst(QueuePolicy(mode="drop-newest", capacity=2))
+        assert got == [0, 1]
+        assert bus.dropped == 4
+
+    def test_block_parks_and_delivers_everything(self):
+        bus, sub, got = self._run_burst(QueuePolicy(mode="block", capacity=2))
+        # nothing lost: parked overflow is admitted as drains free capacity
+        assert got == [0, 1, 2, 3, 4, 5]
+        assert bus.dropped == 0
+        assert bus.stalled == 4
+        # depth (queued + parked) was bounded by backpressure accounting
+        assert bus.queue_stats()[sub.sid]["peak_depth"] == 6
+        assert bus.stats()["batches"] == 3  # 2 + 2 + 2
+
+    def test_block_adds_transit_not_loss(self):
+        policy = QueuePolicy(mode="block", capacity=1)
+        sim, bus = make_bus(batched=True, queue_policy=policy)
+        seen = []
+        bus.subscribe("a.b", lambda m: seen.append((sim.now, m["i"])))
+        for i in range(3):
+            bus.publish_subject("a.b", i=i)
+        sim.run()
+        assert seen == [(0.01, 0), (0.02, 1), (0.03, 2)]
+        # transit = delivery - publish: 0.01 + 0.02 + 0.03
+        assert bus.total_transit == pytest.approx(0.06)
+
+
+class TestUnsubscribeWhileQueued:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            QueuePolicy(),
+            QueuePolicy(mode="drop-oldest", capacity=2),
+            QueuePolicy(mode="drop-newest", capacity=2),
+            QueuePolicy(mode="block", capacity=2),
+        ],
+        ids=lambda p: p.mode,
+    )
+    def test_queued_messages_are_discarded(self, policy):
+        sim, bus = make_bus(batched=True, queue_policy=policy)
+        got = []
+        sub = bus.subscribe("a.>", got.append)
+        for _ in range(4):
+            bus.publish_subject("a.b")
+        bus.unsubscribe(sub)  # before any drain fires
+        sim.run()
+        assert got == []
+        assert bus.delivered == 0
+        assert bus.total_transit == 0.0
+
+    def test_unsubscribe_mid_burst_discards_remainder(self):
+        sim, bus = make_bus(batched=True)
+        got = []
+        holder = {}
+
+        def handler(m):
+            got.append(m["i"])
+            if m["i"] == 1:
+                bus.unsubscribe(holder["sub"])
+
+        holder["sub"] = bus.subscribe("a.b", handler)
+        for i in range(4):
+            bus.publish_subject("a.b", i=i)
+        sim.run()
+        assert got == [0, 1]
+        assert bus.delivered == 2
+
+
+class TestOrderProperty:
+    """Batched delivery with unbounded queues observes, per subscriber,
+    the exact handler order the unbatched path produces."""
+
+    def _population(self, bus, log):
+        def recorder(tag):
+            return lambda m: log.append((tag, m["i"]))
+
+        for e in range(6):
+            bus.subscribe(f"probe.latency.E{e}", recorder(f"exact{e}"))
+            bus.subscribe(f"gauge.*.E{e}", recorder(f"star{e}"))
+        bus.subscribe("probe.>", recorder("fire0"))
+        bus.subscribe("probe.>", recorder("fire1"))
+
+    def _schedule(self, rng, bus, n=400):
+        t = 0.0
+        for i in range(n):
+            t += float(rng.exponential(0.004))
+            e = int(rng.integers(0, 6))
+            subject = (
+                f"probe.latency.E{e}" if rng.random() < 0.5 else f"gauge.value.E{e}"
+            )
+            bus.sim.schedule_at(t, lambda s=subject, i=i: bus.publish_subject(s, i=i))
+
+    @pytest.mark.parametrize("seed", [7, 2002, 90210])
+    def test_per_subscriber_order_identical(self, seed):
+        logs = {}
+        for batched in (False, True):
+            sim = Simulator()
+            bus = EventBus(sim, delivery=FixedDelay(0.01), batched=batched)
+            log = []
+            self._population(bus, log)
+            self._schedule(np.random.default_rng(seed), bus)
+            sim.run()
+            logs[batched] = log
+        unbatched, batched = logs[False], logs[True]
+        assert len(unbatched) == len(batched) > 0
+        tags = {tag for tag, _ in unbatched}
+        for tag in tags:
+            assert [i for t, i in unbatched if t == tag] == [
+                i for t, i in batched if t == tag
+            ], f"subscriber {tag} observed a different message order"
+        # same totals through both paths
+        assert sorted(unbatched) == sorted(batched)
+
+
+class TestTransitAccounting:
+    """Regression for the publish-time transit skew (satellite fix)."""
+
+    def test_mean_is_unskewed_mid_run(self):
+        sim, bus = make_bus(delay=0.5)
+        bus.subscribe("a.b", lambda m: None)
+        bus.publish_subject("a.b")
+        # Before delivery nothing has accrued: the old code reported
+        # total_transit=0.5 with delivered=0 here (mean undefined/skewed).
+        assert bus.total_transit == 0.0
+        assert bus.mean_transit == 0.0
+        sim.run()
+        assert bus.delivered == 1
+        assert bus.mean_transit == pytest.approx(0.5)
+
+    def test_unsubscribed_in_flight_never_accrues(self):
+        sim, bus = make_bus(delay=1.0)
+        sub = bus.subscribe("a.>", lambda m: None)
+        bus.publish_subject("a.b")
+        bus.unsubscribe(sub)  # delivery cancelled while in flight
+        sim.run()
+        assert bus.delivered == 0
+        # the old code counted 1.0 s of transit for the dropped delivery
+        assert bus.total_transit == 0.0
+        assert bus.mean_transit == 0.0
+
+    def test_batched_transit_measures_publish_to_drain(self):
+        sim, bus = make_bus(delay=0.01, batched=True)
+        bus.subscribe("a.b", lambda m: None)
+        bus.publish_subject("a.b")
+        sim.schedule(0.005, bus.publish_subject, "a.b")  # same busy period
+        sim.run()
+        assert bus.delivered == 2
+        assert bus.total_transit == pytest.approx(0.01 + 0.005)
