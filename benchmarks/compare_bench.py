@@ -96,6 +96,14 @@ GATES: Dict[str, List[Gate]] = {
             margin=TIMING_MARGIN,
         ),
     ],
+    "BENCH_telemetry.json": [
+        Gate(
+            "columnar_speedup",
+            lambda r: r.get("speedup"),
+            higher_is_better=True,
+            margin=TIMING_MARGIN,
+        ),
+    ],
     "BENCH_concurrent_repairs.json": [
         Gate(
             "engine_speedup",

@@ -24,10 +24,19 @@ heaviest monitoring fan-in of any built-in scenario, so its
 ``bus_batching=True`` — publishes append to per-subscriber queues and
 each gauge drains its probe backlog in one burst per delivery period
 (see ``benchmarks/bench_x6_bus_batching.py`` for the isolated numbers).
+
+It likewise defaults to the **columnar telemetry plane** (X8,
+``telemetry="columnar"``): probes buffer one gauge period's worth of
+samples and flush them as a single array message, the backlog gauges use
+the numpy :class:`~repro.util.windows.ColumnarWindow`, and gauge reports
+only wake the constraint checker when a share/backlog aggregate crosses
+its invariant threshold (hysteresis band ``wake_band``).  Pass
+``telemetry="scalar"`` for the per-sample reference path.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
 
@@ -43,6 +52,7 @@ from repro.experiment.scenarios import register_scenario
 from repro.experiment.series import TimeSeries
 from repro.experiment.workload import BurstArrivals
 from repro.monitoring.gauges import LatestValueGauge, WindowedMeanGauge
+from repro.monitoring.manager import WakeThreshold
 from repro.monitoring.probes import CallbackProbe
 from repro.repair.history import RepairHistory
 from repro.runtime import (
@@ -109,6 +119,12 @@ class MapReduceParams(ScenarioParams):
     gauge_period: float = 5.0
     backlog_horizon: float = 15.0
 
+    # telemetry plane: "columnar" batches probe emission (one array
+    # message per gauge period) and gates checker wakeups on threshold
+    # crossings; "scalar" is the per-sample reference path.
+    telemetry: str = "columnar"
+    wake_band: float = 0.1  # hysteresis, as a fraction of each threshold
+
     # translation costs
     split_cost: float = 3.0       # s to re-partition the keyspace
     steal_cost: float = 2.0       # s to migrate half a queue
@@ -142,6 +158,11 @@ class MapReduceParams(ScenarioParams):
         self._require(self.low_backlog >= 0, "low_backlog must be >= 0")
         self._require(self.probe_period > 0, "probe_period must be positive")
         self._require(self.gauge_period > 0, "gauge_period must be positive")
+        self._require(
+            self.telemetry in ("scalar", "columnar"),
+            "telemetry must be 'scalar' or 'columnar'",
+        )
+        self._require(self.wake_band >= 0, "wake_band must be >= 0")
         self._require(
             self.bus_queue_policy in QUEUE_MODES,
             f"bus_queue_policy must be one of {', '.join(QUEUE_MODES)}",
@@ -376,6 +397,14 @@ class MapReduceExperiment:
     def _adaptation_spec(self) -> AdaptationSpec:
         params = self.params
         app = self.app
+        columnar = params.telemetry == "columnar"
+        # One probe flush per gauge period: the gauge does one vectorized
+        # window update per report interval instead of one per sample.
+        batch = (
+            max(1, int(round(params.gauge_period / params.probe_period)))
+            if columnar
+            else 1
+        )
         instruments: List = []
         for reducer in app.reducer_names:
             instruments.extend(
@@ -388,6 +417,7 @@ class MapReduceExperiment:
                             r,
                             lambda r=r: app.backlog(r),
                             period=params.probe_period,
+                            batch=batch,
                         ),
                         periodic=True,
                     ),
@@ -400,6 +430,7 @@ class MapReduceExperiment:
                             r,
                             period=params.gauge_period,
                             horizon=params.backlog_horizon,
+                            columnar=columnar,
                         ),
                         entities=[reducer],
                     ),
@@ -411,6 +442,7 @@ class MapReduceExperiment:
                             r,
                             lambda r=r: app.share(r),
                             period=params.probe_period,
+                            batch=batch,
                         ),
                         periodic=True,
                     ),
@@ -433,6 +465,7 @@ class MapReduceExperiment:
                             r,
                             lambda r=r: app.key_count(r),
                             period=params.probe_period,
+                            batch=batch,
                         ),
                         periodic=True,
                     ),
@@ -449,6 +482,20 @@ class MapReduceExperiment:
                     ),
                 ]
             )
+        # Wake the checker only on threshold crossings (columnar only).
+        # "keys" reports are informational — a math.inf threshold never
+        # crosses, so they update the model without waking the checker.
+        wake_thresholds = {}
+        if columnar:
+            wake_thresholds = {
+                "share": WakeThreshold(
+                    params.max_share, band=params.wake_band * params.max_share
+                ),
+                "backlog": WakeThreshold(
+                    params.low_backlog, band=params.wake_band * params.low_backlog
+                ),
+                "keys": WakeThreshold(math.inf),
+            }
         return AdaptationSpec(
             style="MapReduceFam",
             dsl_source=MAP_REDUCE_DSL,
@@ -465,6 +512,8 @@ class MapReduceExperiment:
             settle_time=params.settle_time,
             failed_repair_cost=params.failed_repair_cost,
             violation_policy=params.violation_policy,
+            telemetry=params.telemetry,
+            wake_thresholds=wake_thresholds,
         )
 
     # -- execution ---------------------------------------------------------
@@ -488,6 +537,7 @@ class MapReduceExperiment:
             bus_stats=stats.get("bus", {}),
             gauge_stats=stats.get("gauges", {}),
             constraint_stats=stats.get("constraints", {}),
+            telemetry_stats=stats.get("telemetry", {}),
             splits=self.app.splits,
             steals=self.app.steals,
             moved_keys=self.app.moved_keys,

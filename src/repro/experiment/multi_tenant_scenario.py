@@ -35,6 +35,7 @@ from repro.experiment.scenario import ScenarioConfig
 from repro.experiment.scenarios import register_scenario
 from repro.experiment.series import TimeSeries
 from repro.monitoring.gauges import EwmaGauge, LatestValueGauge
+from repro.monitoring.manager import WakeThreshold
 from repro.monitoring.probes import CallbackProbe
 from repro.repair.history import RepairHistory
 from repro.runtime import (
@@ -107,6 +108,12 @@ class MultiTenantParams(ScenarioParams):
     gauge_period: float = 5.0
     utilization_tau: float = 60.0
 
+    # telemetry plane: "columnar" batches probe emission (one array
+    # message per gauge period) and gates checker wakeups on threshold
+    # crossings; "scalar" is the per-sample reference path.
+    telemetry: str = "columnar"
+    wake_band: float = 0.1  # hysteresis, as a fraction of each threshold
+
     # translation costs
     spin_up_cost: float = 6.0      # s to provision a pool resize
     redeploy_window: float = 10.0  # gauge blindness after a resize
@@ -147,6 +154,11 @@ class MultiTenantParams(ScenarioParams):
         self._require(self.grow_step >= 1, "grow_step must be >= 1")
         self._require(self.probe_period > 0, "probe_period must be positive")
         self._require(self.gauge_period > 0, "gauge_period must be positive")
+        self._require(
+            self.telemetry in ("scalar", "columnar"),
+            "telemetry must be 'scalar' or 'columnar'",
+        )
+        self._require(self.wake_band >= 0, "wake_band must be >= 0")
         self._require(
             self.max_concurrent_repairs >= 1,
             "max_concurrent_repairs must be >= 1",
@@ -439,6 +451,13 @@ class MultiTenantExperiment:
     def _adaptation_spec(self) -> AdaptationSpec:
         params = self.params
         app = self.app
+        columnar = params.telemetry == "columnar"
+        # One probe flush per gauge period (see map_reduce_scenario).
+        batch = (
+            max(1, int(round(params.gauge_period / params.probe_period)))
+            if columnar
+            else 1
+        )
         instruments: List = []
         for tenant in app.tenants:
             instruments.extend(
@@ -448,6 +467,7 @@ class MultiTenantExperiment:
                             rt.sim, rt.probe_bus, "latency", t,
                             lambda t=t: app.latency(t),
                             period=params.probe_period,
+                            batch=batch,
                         ),
                         periodic=True,
                     ),
@@ -463,6 +483,7 @@ class MultiTenantExperiment:
                             rt.sim, rt.probe_bus, "utilization", t,
                             lambda t=t: app.utilization(t),
                             period=params.probe_period,
+                            batch=batch,
                         ),
                         periodic=True,
                     ),
@@ -477,6 +498,22 @@ class MultiTenantExperiment:
                     ),
                 ]
             )
+        # Wake the checker only on threshold crossings (columnar only):
+        # latency threatens fairLatency from above, utilization threatens
+        # idlePool from below.
+        wake_thresholds = {}
+        if columnar:
+            wake_thresholds = {
+                "latency": WakeThreshold(
+                    params.max_latency,
+                    band=params.wake_band * params.max_latency,
+                ),
+                "utilization": WakeThreshold(
+                    params.min_utilization,
+                    band=params.wake_band * params.min_utilization,
+                    direction="below",
+                ),
+            }
         return AdaptationSpec(
             style="MultiTenantFam",
             dsl_source=MULTI_TENANT_DSL,
@@ -502,6 +539,8 @@ class MultiTenantExperiment:
             violation_policy=params.violation_policy,
             concurrency=params.concurrency,
             max_concurrent_repairs=params.max_concurrent_repairs,
+            telemetry=params.telemetry,
+            wake_thresholds=wake_thresholds,
         )
 
     # -- execution ---------------------------------------------------------
@@ -527,6 +566,7 @@ class MultiTenantExperiment:
             bus_stats=stats.get("bus", {}),
             gauge_stats=stats.get("gauges", {}),
             constraint_stats=stats.get("constraints", {}),
+            telemetry_stats=stats.get("telemetry", {}),
             conflicts=repair_stats.get("conflicts", 0),
             peak_inflight=repair_stats.get("peak_inflight", 0),
         )

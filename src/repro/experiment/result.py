@@ -59,6 +59,7 @@ class RunResult:
     bus_stats: Dict[str, float] = field(default_factory=dict)
     gauge_stats: Dict[str, int] = field(default_factory=dict)
     constraint_stats: Dict[str, int] = field(default_factory=dict)
+    telemetry_stats: Dict[str, int] = field(default_factory=dict)
 
     # -- structured access ---------------------------------------------------
     def s(self, name: str) -> TimeSeries:
@@ -123,6 +124,7 @@ class RunResult:
                 "bus": dict(self.bus_stats),
                 "gauges": dict(self.gauge_stats),
                 "constraints": dict(self.constraint_stats),
+                "telemetry": dict(self.telemetry_stats),
             },
         }
         extras = self.extras()

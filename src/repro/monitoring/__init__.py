@@ -36,7 +36,7 @@ from repro.monitoring.gauges import (
     EwmaGauge,
     LatestValueGauge,
 )
-from repro.monitoring.manager import GaugeManager
+from repro.monitoring.manager import GaugeManager, ThresholdGate, WakeThreshold
 from repro.monitoring.consumers import ModelUpdater
 
 __all__ = [
@@ -56,5 +56,7 @@ __all__ = [
     "EwmaGauge",
     "LatestValueGauge",
     "GaugeManager",
+    "ThresholdGate",
+    "WakeThreshold",
     "ModelUpdater",
 ]

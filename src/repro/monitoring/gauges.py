@@ -6,6 +6,14 @@ periodically on the gauge bus.  The windows are what give the adaptation
 loop its detection lag (a latency spike must persist long enough to drag
 the window mean over the threshold), matching the paper's observed delay
 between cause and repair.
+
+Probe messages arrive in two shapes.  Per-sample messages carry one
+scalar attribute and are fed to ``_consume`` (the pinned scalar path);
+columnar messages carry parallel ``times``/``values`` float64 arrays
+(one per :class:`~repro.monitoring.probes.CallbackProbe` flush) and are
+routed to ``_consume_batch``, which the generic value gauges implement
+as a single vectorized update — one gauge tick of work per burst instead
+of per sample (X8).
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from repro.bus.bus import EventBus, Subscription
 from repro.bus.messages import Message
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
-from repro.util.windows import EWMA, SlidingWindow
+from repro.util.windows import EWMA, ColumnarWindow, SlidingWindow
 
 __all__ = [
     "Gauge",
@@ -37,7 +45,10 @@ class Gauge:
     Subclasses define ``_consume(message)`` and ``_value()``; the base
     runs the report loop and handles activation state.  A gauge reports
     ``gauge.<kind>.<target>`` messages with a ``value`` attribute plus
-    ``mapping`` hints for the model updater.
+    ``mapping`` hints for the model updater.  Subclasses that pair with
+    batching probes additionally implement ``_consume_batch(times,
+    values)``; the base routes any message carrying a ``values`` array
+    there.
     """
 
     kind: str = "gauge"
@@ -114,12 +125,22 @@ class Gauge:
             )
 
     def _on_probe(self, message: Message) -> None:
-        if self.active:
+        if not self.active:
+            return
+        values = message.get("values")
+        if values is None:
             self._consume(message)
+        else:
+            self._consume_batch(message.get("times"), values)
 
     # -- subclass API ----------------------------------------------------------
     def _consume(self, message: Message) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    def _consume_batch(self, times, values) -> None:  # pragma: no cover
+        raise NotImplementedError(
+            f"{type(self).__name__} does not consume batched probe messages"
+        )
 
     def _value(self) -> Optional[float]:  # pragma: no cover
         raise NotImplementedError
@@ -133,11 +154,22 @@ class AverageLatencyGauge(Gauge):
 
     kind = "latency"
 
-    def __init__(self, sim, probe_bus, gauge_bus, client: str,
-                 period: float = 5.0, horizon: float = 30.0):
+    def __init__(
+        self,
+        sim,
+        probe_bus,
+        gauge_bus,
+        client: str,
+        period: float = 5.0,
+        horizon: float = 30.0,
+    ):
         super().__init__(
-            sim, probe_bus, gauge_bus, client,
-            probe_subject=f"probe.latency.{client}", period=period,
+            sim,
+            probe_bus,
+            gauge_bus,
+            client,
+            probe_subject=f"probe.latency.{client}",
+            period=period,
         )
         self.window = SlidingWindow(horizon)
 
@@ -156,11 +188,22 @@ class LoadGauge(Gauge):
 
     kind = "load"
 
-    def __init__(self, sim, probe_bus, gauge_bus, group: str,
-                 period: float = 5.0, horizon: float = 30.0):
+    def __init__(
+        self,
+        sim,
+        probe_bus,
+        gauge_bus,
+        group: str,
+        period: float = 5.0,
+        horizon: float = 30.0,
+    ):
         super().__init__(
-            sim, probe_bus, gauge_bus, group,
-            probe_subject=f"probe.load.{group}", period=period,
+            sim,
+            probe_bus,
+            gauge_bus,
+            group,
+            probe_subject=f"probe.load.{group}",
+            period=period,
         )
         self.window = SlidingWindow(horizon)
 
@@ -179,11 +222,22 @@ class BacklogGauge(Gauge):
 
     kind = "backlog"
 
-    def __init__(self, sim, probe_bus, gauge_bus, stage: str,
-                 period: float = 5.0, horizon: float = 30.0):
+    def __init__(
+        self,
+        sim,
+        probe_bus,
+        gauge_bus,
+        stage: str,
+        period: float = 5.0,
+        horizon: float = 30.0,
+    ):
         super().__init__(
-            sim, probe_bus, gauge_bus, stage,
-            probe_subject=f"probe.backlog.{stage}", period=period,
+            sim,
+            probe_bus,
+            gauge_bus,
+            stage,
+            probe_subject=f"probe.backlog.{stage}",
+            period=period,
         )
         self.window = SlidingWindow(horizon)
 
@@ -202,11 +256,14 @@ class BandwidthGauge(Gauge):
 
     kind = "bandwidth"
 
-    def __init__(self, sim, probe_bus, gauge_bus, client: str,
-                 period: float = 5.0):
+    def __init__(self, sim, probe_bus, gauge_bus, client: str, period: float = 5.0):
         super().__init__(
-            sim, probe_bus, gauge_bus, client,
-            probe_subject=f"probe.bandwidth.{client}", period=period,
+            sim,
+            probe_bus,
+            gauge_bus,
+            client,
+            probe_subject=f"probe.bandwidth.{client}",
+            period=period,
         )
         self._last: Optional[float] = None
 
@@ -226,28 +283,55 @@ class _ValueGauge(Gauge):
     The application-specific gauges above each bind a probe subject and
     attribute name; these generic ones pair with
     :class:`~repro.monitoring.probes.CallbackProbe`, which always
-    publishes a ``value`` attribute on ``probe.<kind>.<target>``.
+    publishes a ``value`` attribute on ``probe.<kind>.<target>`` (or
+    ``times``/``values`` arrays when batching).
     """
 
-    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
-                 period: float = 5.0):
+    def __init__(
+        self, sim, probe_bus, gauge_bus, kind: str, target: str, period: float = 5.0
+    ):
         super().__init__(
-            sim, probe_bus, gauge_bus, target,
-            probe_subject=f"probe.{kind}.{target}", period=period,
+            sim,
+            probe_bus,
+            gauge_bus,
+            target,
+            probe_subject=f"probe.{kind}.{target}",
+            period=period,
         )
         self.kind = kind  # instance attribute shadows the class default
 
 
 class WindowedMeanGauge(_ValueGauge):
-    """Sliding-window mean of a CallbackProbe's reported values."""
+    """Sliding-window mean of a CallbackProbe's reported values.
 
-    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
-                 period: float = 5.0, horizon: float = 30.0):
+    ``columnar=True`` swaps the python :class:`SlidingWindow` for the
+    numpy :class:`ColumnarWindow` — identical aggregates bit for bit,
+    but a batched probe flush becomes one vectorized ``add_many`` call.
+    Note the two paths timestamp differently: per-sample messages use
+    delivery time (the scalar reference), batched messages carry their
+    capture times.
+    """
+
+    def __init__(
+        self,
+        sim,
+        probe_bus,
+        gauge_bus,
+        kind: str,
+        target: str,
+        period: float = 5.0,
+        horizon: float = 30.0,
+        columnar: bool = False,
+    ):
         super().__init__(sim, probe_bus, gauge_bus, kind, target, period=period)
-        self.window = SlidingWindow(horizon)
+        self.columnar = bool(columnar)
+        self.window = ColumnarWindow(horizon) if columnar else SlidingWindow(horizon)
 
     def _consume(self, message: Message) -> None:
         self.window.add(self.sim.now, float(message["value"]))
+
+    def _consume_batch(self, times, values) -> None:
+        self.window.add_many(times, values)
 
     def _value(self) -> Optional[float]:
         return self.window.mean(self.sim.now)
@@ -259,14 +343,29 @@ class WindowedMeanGauge(_ValueGauge):
 class EwmaGauge(_ValueGauge):
     """Exponentially-weighted mean of a CallbackProbe's reported values."""
 
-    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
-                 period: float = 5.0, tau: float = 60.0):
+    def __init__(
+        self,
+        sim,
+        probe_bus,
+        gauge_bus,
+        kind: str,
+        target: str,
+        period: float = 5.0,
+        tau: float = 60.0,
+    ):
         super().__init__(sim, probe_bus, gauge_bus, kind, target, period=period)
         self.tau = tau
         self._ewma = EWMA(tau)
 
     def _consume(self, message: Message) -> None:
         self._ewma.add(self.sim.now, float(message["value"]))
+
+    def _consume_batch(self, times, values) -> None:
+        # The EWMA fold is inherently sequential; batching still saves
+        # the per-sample bus/message overhead upstream.
+        add = self._ewma.add
+        for time, value in zip(times, values):
+            add(float(time), float(value))
 
     def _value(self) -> Optional[float]:
         return self._ewma.value
@@ -278,13 +377,17 @@ class EwmaGauge(_ValueGauge):
 class LatestValueGauge(_ValueGauge):
     """Most recent value reported by a CallbackProbe (no smoothing)."""
 
-    def __init__(self, sim, probe_bus, gauge_bus, kind: str, target: str,
-                 period: float = 5.0):
+    def __init__(
+        self, sim, probe_bus, gauge_bus, kind: str, target: str, period: float = 5.0
+    ):
         super().__init__(sim, probe_bus, gauge_bus, kind, target, period=period)
         self._last: Optional[float] = None
 
     def _consume(self, message: Message) -> None:
         self._last = float(message["value"])
+
+    def _consume_batch(self, times, values) -> None:
+        self._last = float(values[-1])
 
     def _value(self) -> Optional[float]:
         return self._last
@@ -298,11 +401,22 @@ class UtilizationGauge(Gauge):
 
     kind = "utilization"
 
-    def __init__(self, sim, probe_bus, gauge_bus, group: str,
-                 period: float = 5.0, tau: float = 60.0):
+    def __init__(
+        self,
+        sim,
+        probe_bus,
+        gauge_bus,
+        group: str,
+        period: float = 5.0,
+        tau: float = 60.0,
+    ):
         super().__init__(
-            sim, probe_bus, gauge_bus, group,
-            probe_subject=f"probe.utilization.{group}", period=period,
+            sim,
+            probe_bus,
+            gauge_bus,
+            group,
+            probe_subject=f"probe.utilization.{group}",
+            period=period,
         )
         self.tau = tau
         self._ewma = EWMA(tau)

@@ -12,12 +12,19 @@ application code (method-call events) plus Remos; our equivalents:
   bandwidth between a client and its *current* server group;
 * :class:`UtilizationProbe` — samples a group's mean compute utilization.
 
-All probes publish ``probe.<kind>.<target>`` messages.
+All probes publish ``probe.<kind>.<target>`` messages.  A probe normally
+publishes one message per observation; :class:`CallbackProbe` can instead
+buffer ``batch`` observations and publish them as **one** message carrying
+parallel ``times``/``values`` float64 arrays — the columnar telemetry
+plane's emission mode (X8), which the generic gauges consume through
+``_consume_batch`` in a single vectorized update.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
+
+import numpy as np
 
 from repro.app.client import Client
 from repro.app.system import GridApplication
@@ -38,7 +45,13 @@ __all__ = [
 
 
 class _Probe:
-    """Shared probe plumbing: identity, bus, enable/disable."""
+    """Shared probe plumbing: identity, bus, enable/disable, counters.
+
+    ``reports`` counts published messages, ``samples`` the observations
+    they carried (equal unless the probe batches), and ``batches`` the
+    array-carrying messages among them — the inputs to
+    :meth:`~repro.runtime.core.AdaptationRuntime.telemetry_stats`.
+    """
 
     def __init__(self, sim: Simulator, bus: EventBus, name: str):
         self.sim = sim
@@ -46,12 +59,33 @@ class _Probe:
         self.name = name
         self.enabled = True
         self.reports = 0
+        self.samples = 0
+        self.batches = 0
 
     def publish(self, subject: str, **attributes) -> None:
         if not self.enabled:
             return
         self.reports += 1
+        self.samples += 1
         self.bus.publish_subject(subject, sender=self.name, **attributes)
+
+    def publish_batch(self, subject: str, times, values, **attributes) -> None:
+        """Publish one message carrying parallel times/values arrays."""
+        if not self.enabled:
+            return
+        values = np.asarray(values, dtype=np.float64)
+        if not values.size:
+            return
+        self.reports += 1
+        self.samples += int(values.size)
+        self.batches += 1
+        self.bus.publish_subject(
+            subject,
+            sender=self.name,
+            times=np.asarray(times, dtype=np.float64),
+            values=values,
+            **attributes,
+        )
 
 
 class ClientLatencyProbe(_Probe):
@@ -105,8 +139,12 @@ class QueueLengthProbe(_PeriodicProbe):
     """Samples a group's waiting-request count (the paper's server load)."""
 
     def __init__(
-        self, sim: Simulator, bus: EventBus, app: GridApplication,
-        group: str, period: float = 1.0,
+        self,
+        sim: Simulator,
+        bus: EventBus,
+        app: GridApplication,
+        group: str,
+        period: float = 1.0,
     ):
         super().__init__(sim, bus, f"probe.load.{group}", period)
         self.app = app
@@ -132,8 +170,13 @@ class BandwidthProbe(_PeriodicProbe):
     """
 
     def __init__(
-        self, sim: Simulator, bus: EventBus, app: GridApplication,
-        remos: RemosService, client: str, period: float = 5.0,
+        self,
+        sim: Simulator,
+        bus: EventBus,
+        app: GridApplication,
+        remos: RemosService,
+        client: str,
+        period: float = 5.0,
     ):
         super().__init__(sim, bus, f"probe.bandwidth.{client}", period)
         self.app = app
@@ -150,9 +193,7 @@ class BandwidthProbe(_PeriodicProbe):
         pending = {"n": len(members), "min": float("inf")}
         for member in members:
             ev = self.remos.get_flow(member.machine, client_machine)
-            ev.add_callback(
-                lambda e, p=pending, g=group: self._collect(e.value, p, g)
-            )
+            ev.add_callback(lambda e, p=pending, g=group: self._collect(e.value, p, g))
 
     def _collect(self, bw: float, pending: dict, group: str) -> None:
         pending["min"] = min(pending["min"], bw)
@@ -174,7 +215,12 @@ class StageBacklogProbe(_PeriodicProbe):
     """
 
     def __init__(
-        self, sim: Simulator, bus: EventBus, app, stage: str, period: float = 1.0,
+        self,
+        sim: Simulator,
+        bus: EventBus,
+        app,
+        stage: str,
+        period: float = 1.0,
     ):
         super().__init__(sim, bus, f"probe.backlog.{stage}", period)
         self.app = app
@@ -197,7 +243,12 @@ class StageUtilizationProbe(_PeriodicProbe):
     """
 
     def __init__(
-        self, sim: Simulator, bus: EventBus, app, stage: str, period: float = 1.0,
+        self,
+        sim: Simulator,
+        bus: EventBus,
+        app,
+        stage: str,
+        period: float = 1.0,
     ):
         super().__init__(sim, bus, f"probe.utilization.{stage}", period)
         self.app = app
@@ -220,31 +271,77 @@ class CallbackProbe(_PeriodicProbe):
     :class:`EwmaGauge`, :class:`LatestValueGauge`), which consume the
     ``value`` attribute from ``probe.<kind>.<target>`` subjects.  The
     master/worker scenario is built entirely from these.
+
+    With ``batch > 1`` the probe runs in columnar emission mode: each
+    observation is buffered with its capture time and every ``batch``-th
+    sample flushes the buffer as one ``times``/``values`` array message
+    (see :meth:`_Probe.publish_batch`).  The paired gauge then performs a
+    single vectorized window update per flush instead of one python-level
+    update per sample; capture times ride in the message, so windowed
+    aggregates see the observation times, not the delivery time.
     """
 
     def __init__(
-        self, sim: Simulator, bus: EventBus, kind: str, target: str,
-        fn: Callable[[], float], period: float = 1.0,
+        self,
+        sim: Simulator,
+        bus: EventBus,
+        kind: str,
+        target: str,
+        fn: Callable[[], float],
+        period: float = 1.0,
+        batch: int = 1,
     ):
         super().__init__(sim, bus, f"probe.{kind}.{target}", period)
+        if batch < 1:
+            raise ValueError(f"probe batch must be >= 1, got {batch}")
         self.kind = kind
         self.target = target
         self.fn = fn
+        self.batch = int(batch)
+        self._pending_times: List[float] = []
+        self._pending_values: List[float] = []
 
     def sample(self) -> None:
-        self.publish(
+        if self.batch == 1:
+            self.publish(
+                f"probe.{self.kind}.{self.target}",
+                target=self.target,
+                value=float(self.fn()),
+            )
+            return
+        self._pending_times.append(self.sim.now)
+        self._pending_values.append(float(self.fn()))
+        if len(self._pending_values) >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        """Publish any buffered observations as one array message."""
+        if not self._pending_values:
+            return
+        times, self._pending_times = self._pending_times, []
+        values, self._pending_values = self._pending_values, []
+        self.publish_batch(
             f"probe.{self.kind}.{self.target}",
+            times,
+            values,
             target=self.target,
-            value=float(self.fn()),
         )
+
+    def stop(self) -> None:
+        self.flush()
+        super().stop()
 
 
 class UtilizationProbe(_PeriodicProbe):
     """Samples a group's mean compute utilization (for the shrink repair)."""
 
     def __init__(
-        self, sim: Simulator, bus: EventBus, app: GridApplication,
-        group: str, period: float = 5.0,
+        self,
+        sim: Simulator,
+        bus: EventBus,
+        app: GridApplication,
+        group: str,
+        period: float = 5.0,
     ):
         super().__init__(sim, bus, f"probe.utilization.{group}", period)
         self.app = app

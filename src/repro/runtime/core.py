@@ -34,7 +34,7 @@ from typing import Any, Dict, List, Optional
 from repro.bus.bus import EventBus, QueuePolicy
 from repro.constraints.invariants import ConstraintChecker
 from repro.monitoring.gauges import Gauge
-from repro.monitoring.manager import GaugeManager
+from repro.monitoring.manager import GaugeManager, ThresholdGate
 from repro.repair.dsl import parse_repair_dsl
 from repro.repair.dsl.interp import build_strategies
 from repro.repair.engine import ArchitectureManager
@@ -61,6 +61,10 @@ class AdaptationRuntime:
         self.app = app
         self.spec = spec
         self.trace = trace if trace is not None else Trace()
+        if spec.telemetry not in ("scalar", "columnar"):
+            raise ValueError(
+                f"telemetry must be 'scalar' or 'columnar', got {spec.telemetry!r}"
+            )
 
         # 1-3: model layer
         self.model = app.architecture()
@@ -128,13 +132,19 @@ class AdaptationRuntime:
             else:  # pragma: no cover - spec typo guard
                 raise TypeError(f"unknown instrument binding {binding!r}")
 
-        # 9: close the monitoring half of the loop
+        # 9: close the monitoring half of the loop.  The wake gate only
+        # exists on the columnar plane — scalar runs keep every report
+        # waking the checker, which the serial fingerprints pin.
+        self.wake_gate: Optional[ThresholdGate] = None
+        if spec.telemetry == "columnar" and spec.wake_thresholds:
+            self.wake_gate = ThresholdGate(spec.wake_thresholds)
         if spec.updater is not None:
             self.updater = spec.updater(self)
         else:
             self.updater = PropertyUpdater(
                 self.model, self.gauge_bus, self.manager,
                 property_map=spec.gauge_property_map,
+                gate=self.wake_gate,
             )
 
     # -- lifecycle ---------------------------------------------------------
@@ -188,6 +198,27 @@ class AdaptationRuntime:
         return {"evaluations": self.manager.evaluations,
                 **self.manager.constraint_stats}
 
+    def telemetry_stats(self) -> Dict[str, int]:
+        """Columnar-plane counters (X8): volume and wakeup suppression.
+
+        ``samples`` counts probe observations, ``batches`` the
+        array-carrying messages among the probe reports.  ``wakeups`` /
+        ``suppressed_reports`` come from the wake gate when one is
+        installed; ungated runs report every applied gauge report as a
+        wakeup and zero suppressions, so the sum is comparable across
+        telemetry modes.
+        """
+        stats = {
+            "samples": sum(int(getattr(p, "samples", 0)) for p in self.probes),
+            "batches": sum(int(getattr(p, "batches", 0)) for p in self.probes),
+        }
+        if self.wake_gate is not None:
+            stats.update(self.wake_gate.stats())
+        else:
+            stats["wakeups"] = int(getattr(self.updater, "applied", 0))
+            stats["suppressed_reports"] = 0
+        return stats
+
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Every counter section at once — the shape
         :class:`~repro.experiment.result.RunResult` carries as its
@@ -197,4 +228,5 @@ class AdaptationRuntime:
             "gauges": self.gauge_stats(),
             "constraints": self.constraint_stats(),
             "repairs": self.manager.repair_stats(),
+            "telemetry": self.telemetry_stats(),
         }

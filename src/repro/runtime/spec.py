@@ -34,6 +34,7 @@ from repro.bus.bus import DeliveryModel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.monitoring.gauges import Gauge
+    from repro.monitoring.manager import WakeThreshold
     from repro.runtime.core import AdaptationRuntime
 
 __all__ = ["ProbeBinding", "GaugeBinding", "InstrumentBinding", "AdaptationSpec"]
@@ -123,3 +124,11 @@ class AdaptationSpec:
     # (concurrent repairs on provably non-overlapping footprints)
     concurrency: str = "serial"
     max_concurrent_repairs: int = 8
+
+    # telemetry plane: "scalar" (per-sample messages into python windows —
+    # the pinned-fingerprint default) or "columnar" (batched array
+    # messages into numpy ring buffers, X8).  ``wake_thresholds`` maps
+    # gauge kind -> WakeThreshold; with a columnar plane the generic
+    # updater only wakes the constraint checker on threshold crossings.
+    telemetry: str = "scalar"
+    wake_thresholds: Mapping[str, "WakeThreshold"] = field(default_factory=dict)

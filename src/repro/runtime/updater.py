@@ -25,6 +25,12 @@ class PropertyUpdater:
     Reports whose kind is unmapped or whose target is missing from the
     model (e.g. a gauge firing mid-repair for a just-removed element) are
     counted and skipped, like the client/server updater.
+
+    With a ``gate`` (a :class:`~repro.monitoring.manager.ThresholdGate`),
+    every report still updates the model property, but the architecture
+    manager is only woken when the gate says the value crossed (or
+    un-crossed) an invariant threshold — steady-state gauge ticks cost no
+    constraint-evaluation work.
     """
 
     def __init__(
@@ -33,10 +39,12 @@ class PropertyUpdater:
         gauge_bus: EventBus,
         arch_manager=None,
         property_map: Optional[Mapping[str, str]] = None,
+        gate=None,
     ):
         self.system = system
         self.arch_manager = arch_manager
         self.property_map = dict(property_map or {})
+        self.gate = gate
         self.applied = 0
         self.skipped = 0
         gauge_bus.subscribe("gauge.>", self._on_report)
@@ -51,7 +59,10 @@ class PropertyUpdater:
         if prop is None or not self.system.has_component(target):
             self.skipped += 1
             return
-        self.system.component(target).set_property(prop, float(message["value"]))
+        value = float(message["value"])
+        self.system.component(target).set_property(prop, value)
         self.applied += 1
-        if self.arch_manager is not None:
+        if self.arch_manager is None:
+            return
+        if self.gate is None or self.gate.should_wake(kind, target, value):
             self.arch_manager.evaluate()

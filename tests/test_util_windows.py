@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.util.windows import EWMA, SlidingWindow, StepFunction
+from repro.util.windows import EWMA, ColumnarWindow, SlidingWindow, StepFunction
 
 
 class TestSlidingWindow:
@@ -122,6 +122,100 @@ class TestSlidingWindowMonotonicMax:
         assert w.maximum(0.0) is None
         w.add(0.0, 2.0)
         assert w.maximum(0.0) == 2.0
+
+
+class TestFiniteValidation:
+    """Regression: NaN/inf samples used to poison sums and maxima forever."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_sliding_window_rejects_non_finite(self, bad):
+        w = SlidingWindow(10.0)
+        w.add(0.0, 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            w.add(1.0, bad)
+        # the rejected sample left no trace in the aggregates
+        assert w.mean(1.0) == 1.0
+        assert w.maximum(1.0) == 1.0
+        assert w.count(1.0) == 1
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_ewma_rejects_non_finite(self, bad):
+        e = EWMA(tau=10.0)
+        e.add(0.0, 3.0)
+        with pytest.raises(ValueError, match="finite"):
+            e.add(1.0, bad)
+        assert e.value == 3.0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_columnar_window_rejects_non_finite(self, bad):
+        w = ColumnarWindow(10.0)
+        w.add(0.0, 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            w.add(1.0, bad)
+        with pytest.raises(ValueError, match="finite"):
+            w.add_many([1.0, 2.0], [5.0, bad])
+        assert w.mean(1.0) == 1.0
+        assert w.count(1.0) == 1
+
+
+class TestColumnarWindow:
+    """Basic contract; the randomized bit-for-bit equivalence with
+    SlidingWindow lives in tests/test_columnar_telemetry.py."""
+
+    def test_empty_mean_is_none(self):
+        w = ColumnarWindow(10.0)
+        assert w.mean(0.0) is None
+        assert w.maximum(0.0) is None
+        assert w.count(0.0) == 0
+        assert w.rate(0.0) == 0.0
+
+    def test_scalar_adds_and_expiry(self):
+        w = ColumnarWindow(10.0)
+        w.add(0.0, 100.0)
+        w.add(9.0, 1.0)
+        assert w.mean(9.0) == pytest.approx(50.5)
+        assert w.mean(15.0) == pytest.approx(1.0)  # t=0 expired
+        assert w.maximum(15.0) == 1.0
+
+    def test_add_many_matches_loop(self):
+        w = ColumnarWindow(5.0)
+        w.add_many([0.0, 1.0, 2.0], [1.0, 9.0, 3.0])
+        assert w.maximum(2.0) == 9.0
+        assert w.count(2.0) == 3
+        assert w.rate(2.0) == pytest.approx(0.6)
+
+    def test_add_many_validates_shape_and_order(self):
+        w = ColumnarWindow(5.0)
+        with pytest.raises(ValueError, match="equally long"):
+            w.add_many([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError, match="time-ordered"):
+            w.add_many([1.0, 0.5], [1.0, 2.0])
+        w.add(2.0, 1.0)
+        with pytest.raises(ValueError, match="time-ordered"):
+            w.add_many([1.0, 3.0], [1.0, 2.0])
+        w.add_many([], [])  # empty batch is a no-op
+        assert w.count(2.0) == 1
+
+    def test_ring_compaction_under_growth(self):
+        w = ColumnarWindow(4.0, capacity=8)
+        for t in range(200):
+            w.add(float(t), float(t % 13))
+        # live window is [196, 200]; the ring compacted many times
+        # values for t in 196..199: 196%13=1, 197%13=2, 198%13=3, 199%13=4
+        assert w.count(200.0) == 4
+        assert w.maximum(200.0) == 4.0
+
+    def test_clear(self):
+        w = ColumnarWindow(10.0)
+        w.add_many([0.0, 1.0], [5.0, 6.0])
+        w.clear()
+        assert w.mean(1.0) is None
+        w.add(0.0, 2.0)  # earlier times fine again after clear
+        assert w.mean(0.0) == 2.0
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            ColumnarWindow(0.0)
 
 
 class TestEWMA:
