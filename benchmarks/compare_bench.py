@@ -104,6 +104,32 @@ GATES: Dict[str, List[Gate]] = {
             margin=TIMING_MARGIN,
         ),
     ],
+    "BENCH_fault_resilience.json": [
+        Gate(
+            "completed_ratio",
+            lambda r: r.get("completed_ratio"),
+            higher_is_better=True,
+            margin=EXACT_MARGIN,
+        ),
+        Gate(
+            "adapted_completed",
+            lambda r: r.get("adapted_completed"),
+            higher_is_better=True,
+            margin=EXACT_MARGIN,
+        ),
+        Gate(
+            "futile_aborts_with_quarantine",
+            lambda r: r["quarantine"]["futile_aborts_with"],
+            higher_is_better=False,
+            margin=EXACT_MARGIN,
+        ),
+        Gate(
+            "quarantine_aborts_avoided",
+            lambda r: r["quarantine"]["aborts_avoided"],
+            higher_is_better=True,
+            margin=EXACT_MARGIN,
+        ),
+    ],
     "BENCH_concurrent_repairs.json": [
         Gate(
             "engine_speedup",

@@ -9,7 +9,7 @@ operators.  A textual parser/unparser round-trips an Acme-ish surface
 syntax so models can be written as design-time artifacts (paper §2).
 """
 
-from repro.acme.properties import Property, PropertyBag
+from repro.acme.properties import PROPERTY_ABSENT, Property, PropertyBag
 from repro.acme.elements import Element, Port, Role, Component, Connector, Attachment
 from repro.acme.system import ArchSystem
 from repro.acme.family import ElementType, Family
@@ -18,6 +18,7 @@ from repro.acme.parser import parse_acme
 from repro.acme.unparser import unparse_system, unparse_family
 
 __all__ = [
+    "PROPERTY_ABSENT",
     "Property",
     "PropertyBag",
     "Element",

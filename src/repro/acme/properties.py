@@ -13,9 +13,25 @@ from typing import Any, Callable, Dict, Iterator, List
 
 from repro.errors import PropertyError
 
-__all__ = ["Property", "PropertyBag"]
+__all__ = ["Property", "PropertyBag", "PROPERTY_ABSENT"]
 
 _MISSING = object()
+
+
+class _Absent:
+    """Sentinel for "the property did not exist" in change notifications.
+
+    Distinguishes a newly created property (``old is PROPERTY_ABSENT``)
+    from one whose previous value happened to be ``None`` — the repair
+    transaction needs the difference to undo a creation by *removing*
+    the property rather than leaving it behind with value ``None``.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<absent>"
+
+
+PROPERTY_ABSENT = _Absent()
 
 
 @dataclass
@@ -60,8 +76,9 @@ class PropertyBag:
 
     Subclasses may set ``_prop_listeners`` consumers via
     :meth:`on_property_change`; listeners receive
-    ``(owner, name, old_value, new_value)`` where ``old_value`` is the
-    sentinel-free previous value or ``None`` for newly declared properties.
+    ``(owner, name, old_value, new_value)`` where ``old_value`` is
+    :data:`PROPERTY_ABSENT` for newly declared properties and
+    ``new_value`` is :data:`PROPERTY_ABSENT` for removals.
     """
 
     def __init__(self) -> None:
@@ -75,7 +92,7 @@ class PropertyBag:
             raise PropertyError(f"property {name!r} already declared")
         prop = Property(name, value, ptype)
         self._props[name] = prop
-        self._notify(name, None, value)
+        self._notify(name, PROPERTY_ABSENT, value)
         return prop
 
     def has_property(self, name: str) -> bool:
@@ -96,10 +113,18 @@ class PropertyBag:
             old = prop.value
             prop.value = value
         else:
-            old = None
+            old = PROPERTY_ABSENT
             self._props[name] = Property(name, value, "any")
         self._notify(name, old, value)
-        return old
+        return None if old is PROPERTY_ABSENT else old
+
+    def remove_property(self, name: str) -> Any:
+        """Remove a property entirely; returns its last value."""
+        if name not in self._props:
+            raise PropertyError(f"no property {name!r} on {self!r}")
+        prop = self._props.pop(name)
+        self._notify(name, prop.value, PROPERTY_ABSENT)
+        return prop.value
 
     def property_names(self) -> List[str]:
         return sorted(self._props)

@@ -12,6 +12,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.acme.elements import Attachment, Component, Connector, Element, Port, Role
+from repro.acme.properties import PROPERTY_ABSENT
 from repro.errors import (
     AttachmentError,
     DuplicateElementError,
@@ -120,10 +121,15 @@ class ArchSystem:
             self._touch(_elem if owner is _elem else owner)
             for listener in self._property_listeners:
                 listener(_elem if owner is _elem else owner, name, old, new)
-            # Property change undo: restore the previous value.
+            # Property change undo: restore the previous value; a created
+            # property is removed again (not left behind as None), and a
+            # removed one is re-declared with its last value.
+            if old is PROPERTY_ABSENT:
+                undo = lambda o=owner, n=name: o.remove_property(n)  # noqa: E731
+            else:
+                undo = lambda o=owner, n=name, v=old: o.set_property(n, v)  # noqa: E731
             self._mutated(
-                f"set {getattr(owner, 'qualified_name', '?')}.{name}",
-                lambda o=owner, n=name, v=old: o.set_property(n, v),
+                f"set {getattr(owner, 'qualified_name', '?')}.{name}", undo
             )
 
         element.on_property_change(forward)

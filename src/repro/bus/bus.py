@@ -138,6 +138,13 @@ class EventBus:
         self.dropped = 0
         self.stalled = 0
         self.batches = 0
+        #: fault-plane hook: ``(sub, msg) -> bool``; True drops the
+        #: delivery before scheduling/enqueueing and counts a dead letter
+        self.fault_injector: Optional[
+            Callable[[Subscription, Message], bool]
+        ] = None
+        self.dead_letters = 0
+        self.dead_letters_by_sid: Dict[str, int] = {}
 
     # -- subscription management -------------------------------------------
     def subscribe(
@@ -198,8 +205,15 @@ class EventBus:
         self.published += 1
         matched = 0
         queues = self._queues
+        inject = self.fault_injector
         for sub in self._matches(msg):
             matched += 1
+            if inject is not None and inject(sub, msg):
+                self.dead_letters += 1
+                self.dead_letters_by_sid[sub.sid] = (
+                    self.dead_letters_by_sid.get(sub.sid, 0) + 1
+                )
+                continue
             if queues:
                 sq = queues.get(sub.sid)
                 if sq is not None:
@@ -319,6 +333,8 @@ class EventBus:
             "delivered": self.delivered,
             "mean_transit": self.mean_transit,
         }
+        if self.fault_injector is not None or self.dead_letters:
+            data["dead_letters"] = self.dead_letters
         if self._queues or self.batches or self.dropped or self.stalled:
             queues = self._queues.values()
             data.update(

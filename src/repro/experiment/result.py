@@ -60,6 +60,8 @@ class RunResult:
     gauge_stats: Dict[str, int] = field(default_factory=dict)
     constraint_stats: Dict[str, int] = field(default_factory=dict)
     telemetry_stats: Dict[str, int] = field(default_factory=dict)
+    #: fault-plane injection counters; {} on runs without a fault plane
+    fault_stats: Dict[str, Any] = field(default_factory=dict)
 
     # -- structured access ---------------------------------------------------
     def s(self, name: str) -> TimeSeries:
@@ -127,6 +129,8 @@ class RunResult:
                 "telemetry": dict(self.telemetry_stats),
             },
         }
+        if self.fault_stats:
+            data["counters"]["faults"] = dict(self.fault_stats)
         extras = self.extras()
         if extras:
             data["details"] = extras

@@ -493,7 +493,18 @@ def run_scenario(
             return cached
     from repro.experiment.scenarios import scenario_entry
 
-    result = scenario_entry(config.scenario).builder(config).run()
+    experiment = scenario_entry(config.scenario).builder(config)
+    try:
+        result = experiment.run()
+    finally:
+        # Stop the control plane on success *and* error/abort paths:
+        # batched probes flush their buffered tail instead of silently
+        # dropping it when a run dies mid-burst.
+        runtime = getattr(experiment, "runtime", None)
+        if runtime is not None:
+            stop = getattr(runtime, "stop", None)
+            if stop is not None:
+                stop()
     _CACHE.put(key, result)
     return result
 

@@ -195,6 +195,7 @@ def _build_pipeline(config: RunConfig) -> PipelineExperiment:
 
 
 # Register themselves through the public API above (the redesign's proof).
+from repro.experiment import grid_site_scenario as _grid_site  # noqa: E402,F401
 from repro.experiment import map_reduce_scenario as _map_reduce  # noqa: E402,F401
 from repro.experiment import master_worker_scenario as _master_worker  # noqa: E402,F401
 from repro.experiment import multi_tenant_scenario as _multi_tenant  # noqa: E402,F401

@@ -1,0 +1,20 @@
+"""Deterministic fault injection: frozen specs + the runtime plane."""
+
+from repro.faults.plane import FaultPlane, FaultyTranslator
+from repro.faults.spec import (
+    BusFaultSpec,
+    EffectorFaultSpec,
+    FaultSpec,
+    OutageSpec,
+    ProbeDropoutSpec,
+)
+
+__all__ = [
+    "BusFaultSpec",
+    "EffectorFaultSpec",
+    "FaultPlane",
+    "FaultSpec",
+    "FaultyTranslator",
+    "OutageSpec",
+    "ProbeDropoutSpec",
+]

@@ -1,0 +1,201 @@
+"""Frozen, hashable fault-injection configuration.
+
+A :class:`FaultSpec` says *what can break* during a run — components
+crashing and recovering, effectors raising / silently no-opping /
+hanging, probes going dark, the bus dropping deliveries — without wiring
+any of it.  The :class:`~repro.faults.plane.FaultPlane` consumes the
+spec and injects the failures as ordinary simulation processes, so a
+fault schedule is exactly as deterministic as the rest of the run: the
+spec's ``seed`` derives one independent named RNG stream per injection
+site (``faults.outage.<component>``, ``faults.probe.<name>``, ...),
+which means a control run and an adapted run built from the same seed
+see the *same* outage schedule regardless of which other injections are
+enabled.
+
+Everything here is a frozen dataclass built from scalars and tuples:
+specs are hashable (safe inside cached run configurations) and
+immutable once a plane is built from them.  ``FaultSpec()`` with no
+fault sections is inert; ``AdaptationSpec.faults`` defaults to ``None``
+— the no-fault event schedule is pinned bit-for-bit by the serial
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "OutageSpec",
+    "EffectorFaultSpec",
+    "ProbeDropoutSpec",
+    "BusFaultSpec",
+    "FaultSpec",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid fault spec: {message}")
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """Crash/recovery cycling for a set of named components.
+
+    Each target runs its own up/down process: up-times are exponential
+    with mean ``mtbf``, outages exponential with mean ``outage_mean``,
+    both drawn from the target's private ``faults.outage.<name>`` stream.
+    ``start``/``end`` bound the injection window (no new crashes outside
+    it; an outage in progress still recovers).  ``max_outages`` caps the
+    number of crash/recover cycles per target (0 = unlimited).
+    """
+
+    targets: Tuple[str, ...]
+    mtbf: float
+    outage_mean: float
+    start: float = 0.0
+    end: float = math.inf
+    max_outages: int = 0
+
+    def validate(self) -> None:
+        _require(len(self.targets) > 0, "outage targets must not be empty")
+        _require(self.mtbf > 0, "outage mtbf must be positive")
+        _require(self.outage_mean > 0, "outage_mean must be positive")
+        _require(
+            0.0 <= self.start < self.end,
+            "outage window must satisfy 0 <= start < end",
+        )
+        _require(self.max_outages >= 0, "max_outages must be >= 0")
+
+
+@dataclass(frozen=True)
+class EffectorFaultSpec:
+    """Runtime-intent execution faults (the translator's failure modes).
+
+    Per matching intent one uniform draw selects among: **raise** (the
+    effector fails loudly; nothing is applied and the repair engine's
+    completion callback receives an error), **no-op** (the intent is
+    silently discarded — the model/runtime divergence the paper's gauges
+    must eventually re-detect), **hang** (the intent never completes, so
+    only a repair ``timeout`` recovers the transaction), or normal
+    execution.  ``ops`` restricts injection to the named intent ops
+    (empty = all).
+    """
+
+    fail_prob: float = 0.0
+    noop_prob: float = 0.0
+    hang_prob: float = 0.0
+    ops: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        for name in ("fail_prob", "noop_prob", "hang_prob"):
+            value = getattr(self, name)
+            _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
+        _require(
+            self.fail_prob + self.noop_prob + self.hang_prob <= 1.0,
+            "fail_prob + noop_prob + hang_prob must be <= 1",
+        )
+
+    def applies_to(self, op: str) -> bool:
+        return not self.ops or op in self.ops
+
+
+@dataclass(frozen=True)
+class ProbeDropoutSpec:
+    """Probes going dark: disabled for a sampled window, then back.
+
+    Each bound probe whose name contains one of ``targets`` (empty = all
+    bound probes) runs a private dropout process: exponential time
+    between dropouts with mean ``mtbd``, dark windows exponential with
+    mean ``dropout_mean``.  A dark probe publishes nothing — batched
+    observations captured before the window still flush afterwards.
+    """
+
+    mtbd: float = 300.0
+    dropout_mean: float = 30.0
+    targets: Tuple[str, ...] = ()
+    start: float = 0.0
+    end: float = math.inf
+
+    def validate(self) -> None:
+        _require(self.mtbd > 0, "probe mtbd must be positive")
+        _require(self.dropout_mean > 0, "probe dropout_mean must be positive")
+        _require(
+            0.0 <= self.start < self.end,
+            "dropout window must satisfy 0 <= start < end",
+        )
+
+
+@dataclass(frozen=True)
+class BusFaultSpec:
+    """Per-(subscriber, message) delivery drops on bound buses.
+
+    Every matching delivery is dropped independently with probability
+    ``drop_prob`` (one draw per candidate delivery, in the bus's
+    deterministic subscriber order).  Dropped deliveries count into the
+    bus's ``dead_letters`` total and its per-subscriber breakdown.
+    ``buses`` restricts injection to the named buses and ``subjects`` to
+    messages whose subject starts with one of the given prefixes
+    (empty = all).
+    """
+
+    drop_prob: float = 0.0
+    buses: Tuple[str, ...] = ()
+    subjects: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        _require(0.0 <= self.drop_prob <= 1.0, "drop_prob must be in [0, 1]")
+
+    def applies_to_bus(self, name: str) -> bool:
+        return not self.buses or name in self.buses
+
+    def applies_to_subject(self, subject: str) -> bool:
+        return not self.subjects or any(
+            subject.startswith(prefix) for prefix in self.subjects
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The full fault configuration for one run.
+
+    ``seed`` roots every injection stream (see module doc).  ``enabled``
+    is an explicit kill switch: a spec can stay attached to a config
+    while its faults are off, which must reproduce the no-fault schedule
+    exactly (the plane is simply not built).
+    """
+
+    seed: int = 0
+    enabled: bool = True
+    outages: Tuple[OutageSpec, ...] = ()
+    effector: Optional[EffectorFaultSpec] = None
+    probe_dropouts: Optional[ProbeDropoutSpec] = None
+    bus: Optional[BusFaultSpec] = None
+
+    def validate(self) -> None:
+        seen = set()
+        for outage in self.outages:
+            outage.validate()
+            for target in outage.targets:
+                _require(
+                    target not in seen,
+                    f"component {target!r} appears in more than one OutageSpec",
+                )
+                seen.add(target)
+        if self.effector is not None:
+            self.effector.validate()
+        if self.probe_dropouts is not None:
+            self.probe_dropouts.validate()
+        if self.bus is not None:
+            self.bus.validate()
+
+    def active(self) -> bool:
+        """True when the spec can actually inject something."""
+        return self.enabled and bool(
+            self.outages
+            or self.effector is not None
+            or self.probe_dropouts is not None
+            or self.bus is not None
+        )

@@ -20,6 +20,13 @@ from repro.repair.strategy import (
     FirstSuccessStrategy,
 )
 from repro.repair.engine import ArchitectureManager, RepairRecord
+from repro.repair.history import RepairHistory
+from repro.repair.resilience import (
+    BreakerPolicy,
+    CircuitBreakerBank,
+    QuarantinePolicy,
+    RetryPolicy,
+)
 from repro.repair.dsl import parse_repair_dsl, DslStrategy, DslTactic
 
 __all__ = [
@@ -35,6 +42,11 @@ __all__ = [
     "FirstSuccessStrategy",
     "ArchitectureManager",
     "RepairRecord",
+    "RepairHistory",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "QuarantinePolicy",
+    "CircuitBreakerBank",
     "parse_repair_dsl",
     "DslStrategy",
     "DslTactic",

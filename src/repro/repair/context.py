@@ -88,6 +88,11 @@ class RepairContext(EvalContext):
         super().__init__(system, scope=None, bindings=bindings, functions=functions)
         self.runtime = runtime
         self.transaction = transaction
+        #: engine-installed CircuitBreakerBank (None when breakers are off);
+        #: consulted by Tactic.run so an open breaker reads as "not applicable"
+        self.breakers = None
+        #: scope of the violation this repair is serving (breaker key part)
+        self.repair_scope: str = ""
         self.intents: List[RuntimeIntent] = []
         #: (tactic name, touched elements) per *applied* tactic, in
         #: application order — the per-tactic slice of the repair's write

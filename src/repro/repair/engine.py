@@ -40,6 +40,31 @@ repairs run at once when their footprints are provably disjoint (see
   (``repair.conflict`` trace event, ``FootprintConflict`` abort reason)
   and rolls the model back — conflicts are scheduling artifacts, so they
   do not count toward human alerts.
+
+**Resilient execution.**  With the fault plane able to make effectors
+raise, no-op, or hang, the engine optionally runs repairs *two-phase*:
+the model transaction stays open while the translator executes the
+runtime intents, and only a successful completion commits it.  Any of
+``repair_timeout``, ``retry_policy``, ``breaker_policy``, or
+``quarantine_policy`` switches this on; with all four at their ``None``
+defaults the original schedule is preserved bit for bit (commit before
+translation, same trace events, same event times):
+
+* ``repair_timeout`` — a sim-time deadline per attempt; expiry aborts
+  the open transaction (undo log restores the model) and frees the
+  repair slot, the only escape from a hung effector;
+* ``retry_policy`` — a failed attempt (effector error or timeout) is
+  re-tried after seeded exponential backoff, re-checking first that the
+  violation still holds; each attempt is its own history record with
+  ``attempt``/``retry_backoff`` recorded;
+* ``breaker_policy`` — per-(tactic, scope) circuit breakers: K
+  consecutive runtime failures open the breaker, making the tactic
+  non-applicable on that scope so strategies fall through to their next
+  tactic or abort into the human-alert escalation; a half-open probe
+  after the reset timeout closes it again on success;
+* ``quarantine_policy`` — a scope whose repairs keep failing is skipped
+  by evaluation for a growing period (graceful degradation instead of
+  hot-looping) and re-admitted when the period lapses.
 """
 
 from __future__ import annotations
@@ -53,10 +78,17 @@ from repro.errors import RepairAborted, RepairError
 from repro.repair.context import RepairContext, RuntimeView
 from repro.repair.footprint import Footprint
 from repro.repair.history import RepairHistory, RepairRecord
+from repro.repair.resilience import (
+    BreakerPolicy,
+    CircuitBreakerBank,
+    QuarantinePolicy,
+    RetryPolicy,
+)
 from repro.repair.strategy import RepairStrategy
 from repro.repair.transactions import ModelTransaction
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
+from repro.util.rng import derive_rng
 
 __all__ = ["ArchitectureManager", "RepairRecord"]
 
@@ -89,6 +121,11 @@ class ArchitectureManager:
         alert_after_aborts: int = 5,
         concurrency: str = "serial",
         max_concurrent_repairs: int = 8,
+        repair_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        quarantine_policy: Optional[QuarantinePolicy] = None,
+        history_capacity: Optional[int] = None,
     ):
         if violation_policy not in ("first", "worst"):
             raise RepairError(
@@ -118,6 +155,34 @@ class ArchitectureManager:
         self.alert_after_aborts = int(alert_after_aborts)
         self.concurrency = concurrency
         self.max_concurrent_repairs = int(max_concurrent_repairs)
+        if repair_timeout is not None and repair_timeout <= 0:
+            raise RepairError(
+                f"repair_timeout must be positive, got {repair_timeout}"
+            )
+        if retry_policy is not None:
+            retry_policy.validate()
+        if quarantine_policy is not None:
+            quarantine_policy.validate()
+        self.repair_timeout = repair_timeout
+        self.retry_policy = retry_policy
+        self.quarantine_policy = quarantine_policy
+        self.breakers: Optional[CircuitBreakerBank] = (
+            CircuitBreakerBank(breaker_policy, sim, trace=self.trace)
+            if breaker_policy is not None else None
+        )
+        #: any resilience option switches commit to two-phase (commit
+        #: only after the translator completes); all-None keeps the
+        #: original commit-then-translate schedule bit for bit
+        self._two_phase = (
+            repair_timeout is not None
+            or retry_policy is not None
+            or breaker_policy is not None
+            or quarantine_policy is not None
+        )
+        self._retry_rng = (
+            derive_rng(retry_policy.seed, "repair.retry")
+            if retry_policy is not None else None
+        )
 
         self._strategies: Dict[str, RepairStrategy] = {}
         self._busy = False
@@ -127,8 +192,16 @@ class ArchitectureManager:
         #: per-scope alert counts — scope-keyed so one noisy scope's
         #: aborts cannot mask another's (see module doc)
         self.human_alerts_by_scope: Dict[str, int] = {}
-        self.history = RepairHistory()
+        self.history = RepairHistory(capacity=history_capacity)
         self.evaluations = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.effector_failures = 0
+        self.quarantines = 0
+        self.quarantine_skips = 0
+        self._scope_failures: Dict[str, int] = {}
+        self._quarantined: Dict[str, float] = {}
+        self._quarantine_rounds: Dict[str, int] = {}
 
         # disjoint-mode state: in-flight repairs and settling footprints
         self._inflight: Dict[int, _InflightRepair] = {}
@@ -165,11 +238,26 @@ class ArchitectureManager:
 
     def repair_stats(self) -> Dict[str, int]:
         """Scheduling counters for the repair engine itself."""
-        return {
+        stats = {
+            "evaluations": self.evaluations,
             "conflicts": self.conflicts,
             "peak_inflight": self.peak_inflight,
             "human_alerts": self.human_alerts,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "effector_failures": self.effector_failures,
+            "quarantines": self.quarantines,
+            "quarantine_skips": self.quarantine_skips,
+            "quarantined_now": len(self._quarantined),
+            "history_evicted": self.history.evicted,
         }
+        if self.breakers is not None:
+            stats.update(self.breakers.stats())
+        return stats
+
+    def quarantined_scopes(self) -> Dict[str, float]:
+        """Scopes currently quarantined → sim time their period lapses."""
+        return dict(self._quarantined)
 
     # -- the adaptation loop entry point ------------------------------------------
     def evaluate(self, full: bool = False) -> Optional[RepairRecord]:
@@ -224,6 +312,14 @@ class ArchitectureManager:
                     error=result.error,
                 )
                 continue
+            if self._quarantined:
+                scope_key = result.scope or ""
+                until = self._quarantined.get(scope_key)
+                if until is not None:
+                    if self.sim.now < until:
+                        self.quarantine_skips += 1
+                        continue
+                    del self._quarantined[scope_key]
             invariant = self.checker.invariant(result.invariant)
             if invariant.repair is None or invariant.repair not in self._strategies:
                 self.trace.emit(
@@ -257,7 +353,12 @@ class ArchitectureManager:
         return 0.0
 
     # -- repair lifecycle ----------------------------------------------------------
-    def _attempt(self, violation: ConstraintResult, strategy: RepairStrategy):
+    def _attempt(
+        self,
+        violation: ConstraintResult,
+        strategy: RepairStrategy,
+        attempt: int = 1,
+    ):
         """Run one strategy inside a fresh transaction (both schedulers).
 
         Returns ``(record, txn, ctx, outcome)``; ``outcome`` is None when
@@ -269,6 +370,7 @@ class ArchitectureManager:
             strategy=strategy.name,
             invariant=violation.invariant,
             scope=violation.scope,
+            attempt=attempt,
         )
         self.trace.emit(
             self.sim.now, "repair.start",
@@ -285,6 +387,8 @@ class ArchitectureManager:
             functions={**self.checker.functions, **self.operators},
             transaction=txn,
         )
+        ctx.breakers = self.breakers
+        ctx.repair_scope = violation.scope or ""
         try:
             outcome = strategy.run(ctx)
         except RepairAborted as abort:
@@ -318,21 +422,230 @@ class ArchitectureManager:
         )
 
     def _start_repair(
-        self, violation: ConstraintResult, strategy: RepairStrategy
+        self,
+        violation: ConstraintResult,
+        strategy: RepairStrategy,
+        attempt: int = 1,
     ) -> RepairRecord:
         self._busy = True
-        record, txn, ctx, outcome = self._attempt(violation, strategy)
+        record, txn, ctx, outcome = self._attempt(
+            violation, strategy, attempt=attempt
+        )
         if outcome is None:
+            # Strategy-stage abort: no tactic ran, so there is nothing to
+            # retry — only the quarantine ledger advances (no-op when off).
+            self._scope_failure(violation)
             self.sim.schedule(self.failed_repair_cost, self._finish, record)
             return record
-        self._commit(record, txn, ctx, outcome, violation, txn.touched())
+        if not self._two_phase:
+            self._commit(record, txn, ctx, outcome, violation, txn.touched())
+            if self.translator is not None and ctx.intents:
+
+                def done(error=None):
+                    if error is not None:
+                        self._translation_error(record, str(error))
+                    self._finish(record)
+
+                self.translator.execute(ctx.intents, on_done=done)
+            else:
+                self.sim.schedule(0.0, self._finish, record)
+            return record
+
+        # Two-phase: translate first, commit only on completion.  The
+        # touched set must be read while the transaction is still open.
+        footprint = txn.touched()
+        state = {"settled": False}
+
+        def translated(error=None):
+            if state["settled"]:
+                return
+            state["settled"] = True
+            if error is None:
+                self._commit(record, txn, ctx, outcome, violation, footprint)
+                self._repair_succeeded(violation, outcome)
+                self._finish(record)
+            else:
+                self._runtime_failure(
+                    record, txn, ctx, outcome, violation, strategy,
+                    str(error), attempt,
+                )
+
+        self._arm_deadline(
+            state, record, txn, ctx, outcome, violation, strategy, attempt
+        )
         if self.translator is not None and ctx.intents:
-            self.translator.execute(
-                ctx.intents, on_done=lambda: self._finish(record)
-            )
+            self.translator.execute(ctx.intents, on_done=translated)
         else:
-            self.sim.schedule(0.0, self._finish, record)
+            self.sim.schedule(0.0, translated)
         return record
+
+    def _arm_deadline(
+        self, state, record, txn, ctx, outcome, violation, strategy,
+        attempt, token=None,
+    ) -> None:
+        """Schedule the per-attempt timeout (two-phase modes only)."""
+        if self.repair_timeout is None:
+            return
+
+        def deadline():
+            if state["settled"]:
+                return
+            state["settled"] = True
+            record.timed_out = True
+            self.timeouts += 1
+            self.trace.emit(
+                self.sim.now, "repair.timeout",
+                strategy=strategy.name, scope=violation.scope,
+                attempt=attempt,
+            )
+            self._runtime_failure(
+                record, txn, ctx, outcome, violation, strategy,
+                "Timeout", attempt, token=token,
+            )
+
+        self.sim.schedule(self.repair_timeout, deadline)
+
+    def _translation_error(self, record: RepairRecord, reason: str) -> None:
+        """A fault-wrapped translator failed after a one-phase commit.
+
+        The model change is already committed, so the run continues with
+        a model/runtime divergence the gauges must re-detect; the event
+        is traced and counted so results show it happened.
+        """
+        self.effector_failures += 1
+        self.trace.emit(
+            self.sim.now, "repair.effector_failure",
+            strategy=record.strategy, reason=reason,
+        )
+
+    def _repair_succeeded(self, violation: ConstraintResult, outcome) -> None:
+        """Clear resilience ledgers after a fully-translated commit."""
+        scope = violation.scope or ""
+        self._scope_failures.pop(scope, None)
+        self._quarantine_rounds.pop(scope, None)
+        if self.breakers is not None and outcome.tactic_applied:
+            self.breakers.record_success(outcome.tactic_applied, scope)
+
+    def _runtime_failure(
+        self, record, txn, ctx, outcome, violation, strategy, reason,
+        attempt, token=None,
+    ) -> None:
+        """An applied repair failed at runtime (effector error or timeout).
+
+        Aborts the open transaction (undo log restores the model), feeds
+        the breaker and alert ledgers, then either schedules a retry
+        (holding the serial slot / the concurrent footprint across the
+        backoff) or concludes the repair with quarantine accounting.
+        """
+        txn.abort()
+        record.abort_reason = reason
+        record.tactic_applied = outcome.tactic_applied
+        record.tactics_tried = list(outcome.tactics_tried)
+        record.intents = list(ctx.intents)
+        self.trace.emit(
+            self.sim.now, "repair.abort",
+            strategy=strategy.name, reason=reason,
+        )
+        self._note_abort(violation)
+        scope = violation.scope or ""
+        if self.breakers is not None and outcome.tactic_applied:
+            self.breakers.record_failure(outcome.tactic_applied, scope)
+        policy = self.retry_policy
+        if policy is not None and attempt < policy.max_attempts:
+            backoff = policy.backoff_for(attempt + 1, self._retry_rng)
+            record.retry_backoff = backoff
+            record.ended = self.sim.now
+            self.retries += 1
+            self.trace.emit(
+                self.sim.now, "repair.retry",
+                strategy=strategy.name, scope=violation.scope,
+                attempt=attempt + 1, backoff=backoff,
+            )
+            self.history.append(record)
+            if token is None:
+                self.sim.schedule(
+                    backoff, self._retry_serial, violation, strategy,
+                    attempt + 1,
+                )
+            else:
+                self.sim.schedule(
+                    backoff, self._retry_concurrent, token, violation,
+                    strategy, attempt + 1,
+                )
+            return
+        self._scope_failure(violation)
+        if token is None:
+            self._finish(record)
+        else:
+            self._finish_concurrent(token)
+
+    def _violation_still_active(
+        self, violation: ConstraintResult
+    ) -> Optional[ConstraintResult]:
+        """Re-check one (invariant, scope) before a retry attempt runs."""
+        for result in self.checker.check_all(self.system, full=True):
+            if (
+                result.violated
+                and result.error is None
+                and result.invariant == violation.invariant
+                and result.scope == violation.scope
+            ):
+                return result
+        return None
+
+    def _retry_serial(
+        self, violation: ConstraintResult, strategy: RepairStrategy,
+        attempt: int,
+    ) -> None:
+        fresh = self._violation_still_active(violation)
+        if fresh is None:
+            self.trace.emit(
+                self.sim.now, "repair.retry_skip",
+                invariant=violation.invariant, scope=violation.scope,
+            )
+            self._busy = False
+            return
+        self._start_repair(fresh, strategy, attempt=attempt)
+
+    def _retry_concurrent(
+        self, token: int, violation: ConstraintResult,
+        strategy: RepairStrategy, attempt: int,
+    ) -> None:
+        # Release the reserved footprint first; re-admission conflict
+        # checks run against whatever is in flight *now*.
+        self._inflight.pop(token, None)
+        fresh = self._violation_still_active(violation)
+        if fresh is None:
+            self.trace.emit(
+                self.sim.now, "repair.retry_skip",
+                invariant=violation.invariant, scope=violation.scope,
+            )
+            return
+        invariant = self.checker.invariant(fresh.invariant)
+        read_scope = invariant.read_footprint(fresh.element)
+        self._start_concurrent_repair(
+            fresh, strategy, read_scope, attempt=attempt
+        )
+
+    def _scope_failure(self, violation: ConstraintResult) -> None:
+        """Quarantine accounting for one concluded-failed repair."""
+        policy = self.quarantine_policy
+        if policy is None:
+            return
+        scope = violation.scope or ""
+        count = self._scope_failures.get(scope, 0) + 1
+        self._scope_failures[scope] = count
+        if count >= policy.after_failures:
+            rounds = self._quarantine_rounds.get(scope, 0)
+            period = policy.period_for(rounds)
+            self._quarantined[scope] = self.sim.now + period
+            self._quarantine_rounds[scope] = rounds + 1
+            self._scope_failures[scope] = 0
+            self.quarantines += 1
+            self.trace.emit(
+                self.sim.now, "repair.quarantine",
+                scope=scope, until=self.sim.now + period, round=rounds + 1,
+            )
 
     # -- disjoint-concurrency scheduling ---------------------------------------
     def _evaluate_disjoint(self, full: bool = False) -> Optional[RepairRecord]:
@@ -386,9 +699,13 @@ class ArchitectureManager:
         violation: ConstraintResult,
         strategy: RepairStrategy,
         read_scope: Footprint,
+        attempt: int = 1,
     ) -> RepairRecord:
-        record, txn, ctx, outcome = self._attempt(violation, strategy)
+        record, txn, ctx, outcome = self._attempt(
+            violation, strategy, attempt=attempt
+        )
         if outcome is None:
+            self._scope_failure(violation)
             self._launch(record, read_scope, delay=self.failed_repair_cost)
             return record
 
@@ -414,15 +731,48 @@ class ArchitectureManager:
             self._launch(record, read_scope, delay=self.failed_repair_cost)
             return record
 
-        self._commit(record, txn, ctx, outcome, violation, footprint)
+        if not self._two_phase:
+            self._commit(record, txn, ctx, outcome, violation, footprint)
+            token = self._launch(record, footprint)
+            if self.translator is not None and ctx.intents:
+
+                def done(error=None):
+                    if error is not None:
+                        self._translation_error(record, str(error))
+                    self._finish_concurrent(token)
+
+                self.translator.execute(ctx.intents, on_done=done)
+            else:
+                self.sim.schedule(0.0, self._finish_concurrent, token)
+            return record
+
+        # Two-phase: the footprint is reserved while the transaction
+        # stays open; commit happens only when translation completes.
         token = self._launch(record, footprint)
+        state = {"settled": False}
+
+        def translated(error=None):
+            if state["settled"]:
+                return
+            state["settled"] = True
+            if error is None:
+                self._commit(record, txn, ctx, outcome, violation, footprint)
+                self._repair_succeeded(violation, outcome)
+                self._finish_concurrent(token)
+            else:
+                self._runtime_failure(
+                    record, txn, ctx, outcome, violation, strategy,
+                    str(error), attempt, token=token,
+                )
+
+        self._arm_deadline(
+            state, record, txn, ctx, outcome, violation, strategy, attempt,
+            token=token,
+        )
         if self.translator is not None and ctx.intents:
-            self.translator.execute(
-                ctx.intents,
-                on_done=lambda: self._finish_concurrent(token),
-            )
+            self.translator.execute(ctx.intents, on_done=translated)
         else:
-            self.sim.schedule(0.0, self._finish_concurrent, token)
+            self.sim.schedule(0.0, translated)
         return record
 
     def _find_conflict(self, footprint: Footprint):

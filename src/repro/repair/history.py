@@ -36,6 +36,12 @@ class RepairRecord:
     footprint: Optional[Footprint] = None
     #: (tactic name, touched elements) per applied tactic
     tactic_footprints: List[Tuple[str, Footprint]] = field(default_factory=list)
+    #: 1-based attempt number under the engine's RetryPolicy (1 = first try)
+    attempt: int = 1
+    #: backoff delay scheduled after this attempt failed (None = no retry)
+    retry_backoff: Optional[float] = None
+    #: True when the attempt was aborted by the repair timeout deadline
+    timed_out: bool = False
 
     @property
     def duration(self) -> Optional[float]:
@@ -53,13 +59,26 @@ class RepairRecord:
 
 
 class RepairHistory:
-    """Append-only record list with summary statistics."""
+    """Append-only record list with summary statistics.
 
-    def __init__(self) -> None:
+    ``capacity`` bounds memory for long-running/online runs: once full,
+    appending evicts the oldest record (FIFO) and bumps ``evicted``.
+    Default is unbounded, which keeps existing fingerprints untouched.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("history capacity must be >= 1 (or None)")
         self._records: List[RepairRecord] = []
+        self.capacity = capacity
+        self.evicted = 0
 
     def append(self, record: RepairRecord) -> None:
         self._records.append(record)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            overflow = len(self._records) - self.capacity
+            del self._records[:overflow]
+            self.evicted += overflow
 
     def __len__(self) -> int:
         return len(self._records)

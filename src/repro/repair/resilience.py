@@ -1,0 +1,249 @@
+"""Resilient repair-execution policies: retry, circuit breaker, quarantine.
+
+The repair engine's original contract assumed effectors are instant and
+infallible; the fault plane breaks that assumption on purpose.  This
+module holds the three policy objects the hardened engine consumes —
+all frozen dataclasses, so they are hashable and safe inside cached run
+configurations — plus the stateful :class:`CircuitBreakerBank` that
+tracks per-(tactic, scope) health at run time:
+
+* :class:`RetryPolicy` — bounded re-attempts of a failed repair with
+  exponential backoff and seeded jitter (recorded per
+  :class:`~repro.repair.history.RepairRecord`, so histories stay
+  reproducible).
+* :class:`BreakerPolicy` / :class:`CircuitBreakerBank` — a breaker per
+  (tactic, scope) opens after K consecutive failures; while open the
+  tactic reports "not applicable" for that scope, so the strategy falls
+  through to its next tactic or aborts into the existing human-alert
+  escalation.  After ``reset_timeout`` sim-seconds the breaker goes
+  half-open: the next attempt is allowed through, success closes it,
+  failure re-opens it.
+* :class:`QuarantinePolicy` — a scope whose repairs keep failing is
+  quarantined: the manager skips it for a growing period instead of
+  hot-looping, and flags it in ``repair_stats``.
+
+No scope is silently abandoned: an open breaker either recovers via its
+half-open probe or the strategy's abort path escalates through
+``alert_after_aborts`` to a human alert, and quarantine merely reduces
+cadence — the scope is re-evaluated when the period expires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+__all__ = [
+    "RetryPolicy",
+    "BreakerPolicy",
+    "QuarantinePolicy",
+    "CircuitBreakerBank",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Attempt ``k`` (1-based; the first retry is attempt 2) waits
+    ``backoff * multiplier**(k-2) * (1 + jitter * u)`` sim-seconds,
+    with ``u`` uniform in [0, 1) from the engine's private retry
+    stream.  ``max_attempts`` counts the initial attempt, so the
+    default allows two retries.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("retry max_attempts must be >= 1")
+        if self.backoff <= 0:
+            raise ValueError("retry backoff must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("retry multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("retry jitter must be in [0, 1]")
+
+    def backoff_for(self, attempt: int, rng) -> float:
+        """Backoff before `attempt` (>= 2) runs, jittered from `rng`."""
+        base = self.backoff * self.multiplier ** max(0, attempt - 2)
+        return float(base * (1.0 + self.jitter * float(rng.random())))
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Open a (tactic, scope) breaker after K consecutive failures."""
+
+    failure_threshold: int = 3
+    reset_timeout: float = 60.0
+
+    def validate(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("breaker failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("breaker reset_timeout must be positive")
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """Reduced-cadence evaluation for scopes whose repairs keep failing.
+
+    After ``after_failures`` consecutive failed repairs on a scope the
+    manager stops evaluating it for ``period`` sim-seconds; every
+    further quarantine round multiplies the period by ``multiplier`` up
+    to ``max_period``.  A successful repair clears the scope's count.
+    """
+
+    after_failures: int = 3
+    period: float = 120.0
+    multiplier: float = 2.0
+    max_period: float = 900.0
+
+    def validate(self) -> None:
+        if self.after_failures < 1:
+            raise ValueError("quarantine after_failures must be >= 1")
+        if self.period <= 0:
+            raise ValueError("quarantine period must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("quarantine multiplier must be >= 1")
+        if self.max_period < self.period:
+            raise ValueError("quarantine max_period must be >= period")
+
+    def period_for(self, rounds: int) -> float:
+        """Quarantine length for the given prior round count."""
+        return min(self.period * self.multiplier ** max(0, rounds), self.max_period)
+
+
+class _BreakerState:
+    __slots__ = ("state", "failures", "open_until", "opened_count")
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+        self.open_until = 0.0
+        self.opened_count = 0
+
+
+class CircuitBreakerBank:
+    """Per-(tactic, scope) circuit breakers over simulation time.
+
+    The engine exposes the bank to tactics through the repair context;
+    :meth:`~repro.repair.tactic.Tactic.run` consults :meth:`allow`
+    before evaluating its guard, so an open breaker looks exactly like
+    a non-applicable tactic and the strategy's normal fall-through /
+    abort logic takes over.
+    """
+
+    def __init__(
+        self,
+        policy: BreakerPolicy,
+        sim: Simulator,
+        trace: Optional[Trace] = None,
+    ):
+        policy.validate()
+        self.policy = policy
+        self.sim = sim
+        self.trace = trace
+        self._states: Dict[Tuple[str, str], _BreakerState] = {}
+        self.opened = 0
+        self.recoveries = 0
+        self.rejections = 0
+
+    def _state(self, tactic: str, scope: str) -> _BreakerState:
+        key = (tactic, scope)
+        state = self._states.get(key)
+        if state is None:
+            state = _BreakerState()
+            self._states[key] = state
+        return state
+
+    def allow(self, tactic: str, scope: str) -> bool:
+        """May this tactic run on this scope right now?"""
+        state = self._states.get((tactic, scope))
+        if state is None or state.state == "closed":
+            return True
+        if state.state == "open":
+            if self.sim.now >= state.open_until:
+                state.state = "half-open"
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now,
+                        "repair.breaker_half_open",
+                        tactic=tactic,
+                        scope=scope,
+                    )
+                return True
+            self.rejections += 1
+            return False
+        # half-open: one probe attempt is already in flight this round;
+        # further callers wait for its outcome.
+        return True
+
+    def record_failure(self, tactic: str, scope: str) -> None:
+        state = self._state(tactic, scope)
+        if state.state == "half-open":
+            self._open(state, tactic, scope)
+            return
+        if state.state == "open":
+            return
+        state.failures += 1
+        if state.failures >= self.policy.failure_threshold:
+            self._open(state, tactic, scope)
+
+    def record_success(self, tactic: str, scope: str) -> None:
+        state = self._states.get((tactic, scope))
+        if state is None:
+            return
+        if state.state == "half-open":
+            state.state = "closed"
+            state.failures = 0
+            self.recoveries += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now,
+                    "repair.breaker_closed",
+                    tactic=tactic,
+                    scope=scope,
+                )
+        else:
+            state.failures = 0
+
+    def _open(self, state: _BreakerState, tactic: str, scope: str) -> None:
+        state.state = "open"
+        state.failures = 0
+        state.open_until = self.sim.now + self.policy.reset_timeout
+        state.opened_count += 1
+        self.opened += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "repair.breaker_open",
+                tactic=tactic,
+                scope=scope,
+            )
+
+    def states(self) -> Dict[str, str]:
+        """Current state per ``tactic@scope`` key (for results/tests)."""
+        return {
+            f"{tactic}@{scope}": state.state
+            for (tactic, scope), state in sorted(self._states.items())
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        open_now = sum(
+            1 for state in self._states.values() if state.state == "open"
+        )
+        return {
+            "breakers": len(self._states),
+            "breaker_opened": self.opened,
+            "breaker_recoveries": self.recoveries,
+            "breaker_rejections": self.rejections,
+            "breakers_open": open_now,
+        }

@@ -36,7 +36,18 @@ class Tactic:
         An applied tactic's touched-element set is recorded on the
         context (``ctx.tactic_footprints``), feeding the concurrent
         engine's footprint analysis and the repair history.
+
+        When the engine installs a circuit-breaker bank on the context,
+        an open breaker for (this tactic, the repair's scope) makes the
+        tactic report "not applicable" without evaluating anything, so
+        the strategy falls through to its next tactic or aborts into
+        the human-alert escalation.
         """
+        breakers = getattr(ctx, "breakers", None)
+        if breakers is not None and not breakers.allow(
+            self.name, getattr(ctx, "repair_scope", "") or ""
+        ):
+            return False
         mark = ctx.mark()
         epoch = ctx.system.epoch
         structure_epoch = ctx.system.structure_epoch

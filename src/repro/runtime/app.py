@@ -31,6 +31,7 @@ from repro.acme.system import ArchSystem
 from repro.repair.context import RuntimeView
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plane import FaultPlane
     from repro.runtime.core import AdaptationRuntime
 
 __all__ = ["IntentExecutor", "ManagedApplication"]
@@ -78,3 +79,13 @@ class ManagedApplication(abc.ABC):
     def runtime_view(self) -> Optional[RuntimeView]:
         """Read-only repair-time queries; None when operators need none."""
         return None
+
+    def bind_faults(self, plane: "FaultPlane") -> None:
+        """Register crashable components on the fault plane.
+
+        Called by the runtime only when its spec carries an active
+        :class:`~repro.faults.spec.FaultSpec`.  The default binds
+        nothing — applications that support component outages override
+        this with ``plane.bind_component(name, on_fail, on_recover)``
+        calls for each crashable entity.
+        """

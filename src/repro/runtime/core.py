@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.bus.bus import EventBus, QueuePolicy
 from repro.constraints.invariants import ConstraintChecker
+from repro.faults.plane import FaultPlane
 from repro.monitoring.gauges import Gauge
 from repro.monitoring.manager import GaugeManager, ThresholdGate
 from repro.repair.dsl import parse_repair_dsl
@@ -79,12 +80,20 @@ class AdaptationRuntime:
                 repair=decl.strategy,
             )
 
-        # 4-6: gauge lifecycle, translation, repair engine
+        # 4-6: gauge lifecycle, translation, repair engine.  The fault
+        # plane (when the spec carries an active FaultSpec) wraps the
+        # translator before the engine captures it; building the plane
+        # schedules nothing, so a spec without faults is unaffected.
+        self.fault_plane: Optional[FaultPlane] = None
+        if spec.faults is not None and spec.faults.active():
+            self.fault_plane = FaultPlane(sim, spec.faults, trace=self.trace)
         self.gauge_manager = GaugeManager(
             sim, self.trace,
             create_delay=spec.gauge_create_delay, cached=spec.gauge_caching,
         )
         self.translator = app.intent_executor(self)
+        if self.fault_plane is not None:
+            self.translator = self.fault_plane.wrap_translator(self.translator)
         self.manager = ArchitectureManager(
             sim,
             self.model,
@@ -98,6 +107,11 @@ class AdaptationRuntime:
             violation_policy=spec.violation_policy,
             concurrency=spec.concurrency,
             max_concurrent_repairs=spec.max_concurrent_repairs,
+            repair_timeout=spec.repair_timeout,
+            retry_policy=spec.retry_policy,
+            breaker_policy=spec.breaker_policy,
+            quarantine_policy=spec.quarantine_policy,
+            history_capacity=spec.history_capacity,
         )
         for strategy in strategies.values():
             self.manager.register_strategy(strategy)
@@ -116,6 +130,9 @@ class AdaptationRuntime:
             sim, delivery=spec.delivery, name="gauge-bus",
             batched=spec.bus_batching, queue_policy=queue_policy,
         )
+        if self.fault_plane is not None:
+            self.fault_plane.bind_bus(self.probe_bus)
+            self.fault_plane.bind_bus(self.gauge_bus)
         self.probes: List[Any] = []
         self.periodic_probes: List[Any] = []
         self.gauges: List[Gauge] = []
@@ -147,11 +164,36 @@ class AdaptationRuntime:
                 gate=self.wake_gate,
             )
 
+        # 10 (fault mode only): bind the remaining injection surfaces —
+        # probes for dropout windows, application components for outages.
+        if self.fault_plane is not None:
+            for probe in self.probes:
+                self.fault_plane.bind_probe(probe)
+            app.bind_faults(self.fault_plane)
+
+        self._stopped = False
+
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
-        """Start every periodic probe (in instrument order)."""
+        """Start every periodic probe (in instrument order), then faults."""
         for probe in self.periodic_probes:
             probe.start()
+        if self.fault_plane is not None:
+            self.fault_plane.start()
+
+    def stop(self) -> None:
+        """Stop periodic probes, flushing any buffered batches.
+
+        Idempotent, and safe on a runtime that never started.  The
+        experiment runner calls this on the error/abort path too, so
+        batched probes (``CallbackProbe(batch=N)``) never silently drop
+        their buffered tail when a run dies mid-burst.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        for probe in self.periodic_probes:
+            probe.stop()
 
     # -- reporting ---------------------------------------------------------
     @property
@@ -219,14 +261,25 @@ class AdaptationRuntime:
             stats["suppressed_reports"] = 0
         return stats
 
+    def fault_stats(self) -> Dict[str, Any]:
+        """The fault plane's injection counters ({} without a plane)."""
+        if self.fault_plane is None:
+            return {}
+        return self.fault_plane.stats()
+
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Every counter section at once — the shape
         :class:`~repro.experiment.result.RunResult` carries as its
-        ``bus_stats`` / ``gauge_stats`` / ``constraint_stats`` sections."""
-        return {
+        ``bus_stats`` / ``gauge_stats`` / ``constraint_stats`` sections.
+        The ``faults`` section appears only when a fault plane exists,
+        so no-fault runs keep their historical stats shape."""
+        stats = {
             "bus": self.bus_stats(),
             "gauges": self.gauge_stats(),
             "constraints": self.constraint_stats(),
             "repairs": self.manager.repair_stats(),
             "telemetry": self.telemetry_stats(),
         }
+        if self.fault_plane is not None:
+            stats["faults"] = self.fault_stats()
+        return stats

@@ -33,8 +33,14 @@ from typing import (
 from repro.bus.bus import DeliveryModel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.spec import FaultSpec
     from repro.monitoring.gauges import Gauge
     from repro.monitoring.manager import WakeThreshold
+    from repro.repair.resilience import (
+        BreakerPolicy,
+        QuarantinePolicy,
+        RetryPolicy,
+    )
     from repro.runtime.core import AdaptationRuntime
 
 __all__ = ["ProbeBinding", "GaugeBinding", "InstrumentBinding", "AdaptationSpec"]
@@ -132,3 +138,19 @@ class AdaptationSpec:
     # updater only wakes the constraint checker on threshold crossings.
     telemetry: str = "scalar"
     wake_thresholds: Mapping[str, "WakeThreshold"] = field(default_factory=dict)
+
+    # fault plane: a frozen FaultSpec turns on deterministic failure
+    # injection (component outages, effector faults, probe dropout, bus
+    # delivery drops).  None — the pinned-fingerprint default — builds
+    # no plane at all.
+    faults: Optional["FaultSpec"] = None
+
+    # resilient repair execution: any non-None option switches the
+    # engine to two-phase commit (translate, then commit) and enables
+    # the corresponding hardening; all-None preserves the original
+    # schedule bit for bit.
+    repair_timeout: Optional[float] = None
+    retry_policy: Optional["RetryPolicy"] = None
+    breaker_policy: Optional["BreakerPolicy"] = None
+    quarantine_policy: Optional["QuarantinePolicy"] = None
+    history_capacity: Optional[int] = None

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.acme import Attachment, Component, Connector, Property
+from repro.acme import (
+    PROPERTY_ABSENT,
+    Attachment,
+    Component,
+    Connector,
+    Property,
+)
 from repro.errors import (
     AttachmentError,
     DuplicateElementError,
@@ -66,7 +72,15 @@ class TestPropertyBag:
         c.on_property_change(lambda owner, n, old, new: seen.append((n, old, new)))
         c.declare_property("x", 1)
         c.set_property("x", 2)
-        assert seen == [("x", None, 1), ("x", 1, 2)]
+        c.remove_property("x")
+        # creation reports old=PROPERTY_ABSENT (not None — the undo log
+        # needs "did not exist" to differ from "was None"); removal
+        # reports new=PROPERTY_ABSENT and returns the last value.
+        assert seen == [
+            ("x", PROPERTY_ABSENT, 1),
+            ("x", 1, 2),
+            ("x", 2, PROPERTY_ABSENT),
+        ]
 
     def test_property_names_sorted(self):
         c = Component("c1")

@@ -1,0 +1,115 @@
+"""Regression: batched probes flush their tail on the runner's error path.
+
+A ``CallbackProbe(batch=N)`` buffers observations between publishes; if
+a run dies mid-burst, the buffered tail must still reach the bus — the
+runner's ``finally`` stops the runtime, and ``AdaptationRuntime.stop``
+flushes every periodic probe.  Before that wiring, an aborted run
+silently dropped up to N-1 observations.
+"""
+
+import pytest
+
+from repro.api import RunConfig
+from repro.app.pipeline_app import PipelineApplication
+from repro.bus.bus import FixedDelay
+from repro.experiment.pipeline_scenario import PipelineManagedApplication
+from repro.experiment.runner import clear_cache, run_scenario
+from repro.experiment.scenarios import register_scenario, unregister_scenario
+from repro.monitoring.probes import CallbackProbe
+from repro.runtime import AdaptationRuntime, AdaptationSpec, ProbeBinding
+from repro.sim import Simulator
+from repro.styles.pipeline import PIPELINE_DSL, pipeline_operators
+
+STAGES = (("extract", 1, 0.5), ("load", 1, 0.25))
+SCENARIO = "exploding_probe_flush"
+
+
+class MidRunExplosion(Exception):
+    """The injected mid-run failure."""
+
+
+class ExplodingExperiment:
+    """Buffers a partial probe batch, then dies mid-run."""
+
+    def __init__(self, config):
+        self.config = config
+        self.sim = Simulator()
+        app = PipelineApplication(self.sim, STAGES)
+        spec = AdaptationSpec(
+            style="PipelineFam",
+            dsl_source=PIPELINE_DSL,
+            invariant_scopes={"b": "FilterT", "u": "FilterT"},
+            # thresholds no tiny run can trip: the probe is the subject
+            bindings={
+                "maxBacklog": 1e9, "lowWater": 0.0, "minUtilization": 0.0
+            },
+            operators=lambda rt: pipeline_operators(),
+            instruments=[
+                ProbeBinding(
+                    lambda rt: CallbackProbe(
+                        rt.sim, rt.probe_bus, "load", "extract",
+                        lambda: 1.0, period=1.0, batch=10,
+                    ),
+                    periodic=True,
+                )
+            ],
+            delivery=FixedDelay(0.01),
+        )
+        self.runtime = AdaptationRuntime(
+            self.sim, PipelineManagedApplication(app), spec
+        )
+
+    def build(self):
+        return self.runtime
+
+    def run(self):
+        self.runtime.start()
+        # samples at t = 0..4: five observations buffered, batch=10,
+        # so nothing has been published when the run explodes
+        self.sim.run(until=4.5)
+        raise MidRunExplosion("injected mid-run failure")
+
+
+@pytest.fixture
+def exploding():
+    created = []
+
+    def builder(config):
+        experiment = ExplodingExperiment(config)
+        created.append(experiment)
+        return experiment
+
+    register_scenario(SCENARIO, description="probe-flush regression")(builder)
+    try:
+        yield created
+    finally:
+        unregister_scenario(SCENARIO)
+        clear_cache()
+
+
+def test_buffered_tail_flushes_when_run_dies_mid_burst(exploding):
+    with pytest.raises(MidRunExplosion):
+        run_scenario(RunConfig.adapted(SCENARIO, horizon=100.0))
+    probe = exploding[0].runtime.periodic_probes[0]
+    assert probe.batches == 1    # the partial batch went out anyway
+    assert probe.samples == 5    # all five buffered observations
+    assert probe._pending_values == []
+    assert exploding[0].runtime.probe_bus.published == 1
+
+
+def test_stop_is_idempotent_after_error_path(exploding):
+    with pytest.raises(MidRunExplosion):
+        run_scenario(RunConfig.adapted(SCENARIO, horizon=100.0))
+    runtime = exploding[0].runtime
+    runtime.stop()  # second stop: no double flush, no error
+    probe = runtime.periodic_probes[0]
+    assert probe.batches == 1
+    assert runtime.probe_bus.published == 1
+
+
+def test_failed_run_is_not_cached(exploding):
+    with pytest.raises(MidRunExplosion):
+        run_scenario(RunConfig.adapted(SCENARIO, horizon=100.0))
+    with pytest.raises(MidRunExplosion):
+        run_scenario(RunConfig.adapted(SCENARIO, horizon=100.0))
+    assert len(exploding) == 2  # both calls actually ran

@@ -27,6 +27,19 @@ PINNED = {
         "fee570fa60c94bcd089fc38ef51026f65deb435bd675ef0fe9a9b07f9ef02397",
     "master_worker":
         "ec3f0da01758c031e9d62291fccc752ae2db8379666f1b8c1c0fa97531df9c6e",
+    # Captured on the commit before the fault plane / resilient repair
+    # execution landed: the all-defaults-off resilience path must keep
+    # these runs byte-identical too.
+    "multi_tenant":
+        "e460b3fbb70cc81117c789b3f9e3fe038e3074d8f1b23943391580911c5aeec3",
+    "map_reduce":
+        "ed6dd2aa63f1605b98f9a5254b6fb2f393f6045fd39d6ee3fb02d809cab79f10",
+    # grid_site ships WITH its fault plane on by default; this pin locks
+    # the seeded fault schedule itself (crash times, effector sabotage,
+    # retries and breaker transitions all feed the digest via the trace
+    # and history).
+    "grid_site":
+        "525bb6eb96bf9ae1be7219ba716dc689a3d27ec0c440a2dcd0e174a671e2a2f3",
 }
 
 
@@ -90,7 +103,10 @@ def test_serial_is_the_default_everywhere_but_multi_tenant():
         ]
         == "serial"
     )
+    # multi_tenant opts into the disjoint scheduler; grid_site declares
+    # serial explicitly (its params carry the knob); everything else
+    # inherits the serial default.
+    declared = {"multi_tenant": "disjoint", "grid_site": "serial"}
     entries = {e["name"]: e for e in api.list_scenarios()}
     for name, entry in entries.items():
-        expected = "disjoint" if name == "multi_tenant" else None
-        assert entry["params"].get("concurrency") == expected
+        assert entry["params"].get("concurrency") == declared.get(name)
