@@ -103,9 +103,7 @@ def drive(columnar: bool):
         if columnar:
             times = np.full(BATCH, rnd * TICK + 0.001)
             for i in range(GAUGES):
-                bus.publish_subject(
-                    f"probe.bench.G{i}", times=times, values=values
-                )
+                bus.publish_subject(f"probe.bench.G{i}", times=times, values=values)
             samples += BATCH * GAUGES
         else:
             scalars = [float(v) for v in values]
@@ -181,9 +179,7 @@ def test_x8_telemetry(benchmark, artifact):
         },
         "speedup": speedup,
     }
-    (OUT_DIR / "BENCH_telemetry.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    (OUT_DIR / "BENCH_telemetry.json").write_text(json.dumps(report, indent=2) + "\n")
 
     # Identical telemetry: same live-sample counts and bit-for-bit means.
     assert scalar["samples"] == columnar["samples"] > 0

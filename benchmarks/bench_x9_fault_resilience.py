@@ -139,8 +139,5 @@ def test_x9_fault_resilience(artifact):
     # throughput (within 10%).
     assert res["quarantine_skips"] >= 1
     assert aborts_with < aborts_without
-    assert (
-        res["breaker_rejections"]
-        < no_quarantine.resilience["breaker_rejections"]
-    )
+    assert res["breaker_rejections"] < no_quarantine.resilience["breaker_rejections"]
     assert adapted.completed >= 0.9 * no_quarantine.completed

@@ -157,6 +157,7 @@ class ManagedJobQueue(ManagedApplication):
         app, sim = self.app, runtime.sim
 
         class GrowExecutor(IntentExecutor):
+            INTENT_OPS = frozenset({"addWorker"})
             SPIN_UP = 3.0  # seconds to provision one worker
 
             def execute(self, intents, on_done=None):
@@ -274,6 +275,20 @@ register_scenario(
 
 
 def main() -> None:
+    # Step 6: validate before running.  `repro lint` builds the control
+    # plane without executing a single event and checks everything the
+    # spec wires — DSL semantics, static footprints, probe/gauge/effector
+    # wiring.  A typo'd subject or an intent the executor can't replay
+    # surfaces here, not as a silently-flat metric 120 s into a run.
+    from repro.lint import lint_scenario
+
+    report = lint_scenario("job_queue")
+    if not report.ok:
+        for finding in report.findings:
+            print(f"lint: {finding}")
+        raise SystemExit(1)
+    print("lint: job_queue spec is clean")
+
     # 2 workers at 1 s/job drain 2 jobs/s; arrivals come at 4 jobs/s.
     result = api.run(RunConfig.adapted("job_queue", horizon=120.0))
     app_workers = result.config.params.workers

@@ -106,16 +106,11 @@ class GridSiteApplication:
         sorted passes — deterministic, and health-blind by design.
         """
         cycle: List[str] = []
-        names = sorted(
-            name for name, site in self.sites.items() if not site.drained
-        )
+        names = sorted(name for name, site in self.sites.items() if not site.drained)
         if names:
             width = max(self.sites[name].slots for name in names)
             for round_ in range(width):
-                cycle.extend(
-                    name for name in names
-                    if self.sites[name].slots > round_
-                )
+                cycle.extend(name for name in names if self.sites[name].slots > round_)
         self._cycle = cycle
         self._cursor = 0
 

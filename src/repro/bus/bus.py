@@ -140,9 +140,7 @@ class EventBus:
         self.batches = 0
         #: fault-plane hook: ``(sub, msg) -> bool``; True drops the
         #: delivery before scheduling/enqueueing and counts a dead letter
-        self.fault_injector: Optional[
-            Callable[[Subscription, Message], bool]
-        ] = None
+        self.fault_injector: Optional[Callable[[Subscription, Message], bool]] = None
         self.dead_letters = 0
         self.dead_letters_by_sid: Dict[str, int] = {}
 

@@ -5,7 +5,9 @@ Subcommands:
 * ``list``    — registered scenarios and their typed parameter blocks;
 * ``run``     — run one scenario (``--control``, ``--fast``, ``--set``);
 * ``compare`` — adapted vs control under the identical seeded workload;
-* ``report``  — full text report (summary, claims, series strips).
+* ``report``  — full text report (summary, claims, series strips);
+* ``lint``    — static analysis over adaptation specs (DSL semantics,
+  static footprints, determinism, wiring) without running any events.
 
 ``--json`` emits machine-readable output (strict JSON, no NaN); every
 command exits 0 on success, 1 on a :class:`~repro.errors.ReproError`
@@ -153,6 +155,46 @@ def _cmd_report(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    # imported lazily: the lint package pulls the experiment layer in
+    from repro.experiment.scenarios import scenario_names
+    from repro.lint import lint_all, lint_document
+
+    if args.dsl:
+        try:
+            source_text = open(args.dsl, encoding="utf-8").read()
+        except OSError as exc:
+            print(f"error: cannot read {args.dsl}: {exc}", file=sys.stderr)
+            return 2
+        reports = [lint_document(source_text, source=args.dsl)]
+    else:
+        known = set(scenario_names())
+        unknown = [name for name in args.scenarios if name not in known]
+        if unknown:
+            print(
+                f"error: unknown scenario(s) {', '.join(unknown)} "
+                f"(registered: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        reports = lint_all(
+            args.scenarios or None, determinism=not args.no_determinism
+        )
+
+    if args.json:
+        _emit([report.as_dict() for report in reports], True, out)
+    else:
+        for report in reports:
+            status = "ok" if report.ok else f"{len(report.findings)} finding(s)"
+            waived = (
+                f" ({len(report.waived)} waived)" if report.waived else ""
+            )
+            print(f"{report.source}: {status}{waived}", file=out)
+            for finding in report.findings:
+                print(f"  {finding}", file=out)
+    return 0 if all(report.ok for report in reports) else 1
+
+
 # -- parser ------------------------------------------------------------------
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -213,6 +255,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--name", default=None)
     p_rep.set_defaults(fn=_cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis over adaptation specs"
+    )
+    p_lint.add_argument(
+        "scenarios", nargs="*", metavar="scenario",
+        help="scenarios to lint (default: all registered)",
+    )
+    p_lint.add_argument(
+        "--dsl", default=None, metavar="PATH",
+        help="lint one repair-DSL file instead of built scenarios",
+    )
+    p_lint.add_argument(
+        "--no-determinism", action="store_true",
+        help="skip the determinism sweep over the repro tree",
+    )
+    p_lint.add_argument("--json", action="store_true", help="emit JSON")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     return parser
 

@@ -215,9 +215,7 @@ def _compile_name(node: Name, locals_: Tuple[str, ...]) -> CompiledFn:
         if locals_[idx] == ident:
             return lambda ctx, frame, _i=idx: frame[_i]
     if ident == "self":
-        return lambda ctx, frame: (
-            ctx.scope if ctx.scope is not None else ctx.system
-        )
+        return lambda ctx, frame: (ctx.scope if ctx.scope is not None else ctx.system)
     if ident == "system":
         return lambda ctx, frame: ctx.system
     message = f"unresolved name {ident!r} (line {node.line}, column {node.column})"
@@ -365,18 +363,14 @@ def _compile_unary(
                 return False
             if value is False:
                 return True
-            raise EvaluationError(
-                f"'!' requires a boolean, got {value!r}{suffix}"
-            )
+            raise EvaluationError(f"'!' requires a boolean, got {value!r}{suffix}")
 
         return run
     if node.op == "-":
         def run(ctx, frame):
             value = operandf(ctx, frame)
             if isinstance(value, bool) or not isinstance(value, (int, float)):
-                raise EvaluationError(
-                    f"unary '-' requires a number, got {value!r}"
-                )
+                raise EvaluationError(f"unary '-' requires a number, got {value!r}")
             return -value
 
         return run

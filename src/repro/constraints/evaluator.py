@@ -141,10 +141,7 @@ def _filter_domain(ctx: EvalContext, items: Any, type_name: Optional[str], node:
         )
     out = list(seq)
     if type_name is not None:
-        out = [
-            x for x in out
-            if isinstance(x, Element) and x.declares_type(type_name)
-        ]
+        out = [x for x in out if isinstance(x, Element) and x.declares_type(type_name)]
     return out
 
 
@@ -195,7 +192,7 @@ class Evaluator:
             )
         return fn(ctx, *args)
 
-    # -- operators ----------------------------------------------------------------------
+    # -- operators ---------------------------------------------------------
     def _eval_unary(self, node: Unary, ctx: EvalContext) -> Any:
         value = self.evaluate(node.operand, ctx)
         if node.op == "!":
@@ -265,7 +262,7 @@ class Evaluator:
             return left % right
         raise EvaluationError(f"unknown operator {op!r}")
 
-    # -- quantifiers -------------------------------------------------------------------------
+    # -- quantifiers -------------------------------------------------------
     def _eval_quantifier(self, node: Quantifier, ctx: EvalContext) -> bool:
         domain = _filter_domain(
             ctx, self.evaluate(node.domain, ctx), node.type_name, node

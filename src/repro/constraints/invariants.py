@@ -69,7 +69,9 @@ class ConstraintResult:
         return not self.ok
 
     def __str__(self) -> str:
-        state = "OK" if self.ok else ("ERROR: " + self.error if self.error else "VIOLATED")
+        state = (
+            "OK" if self.ok else ("ERROR: " + self.error if self.error else "VIOLATED")
+        )
         where = f" @ {self.scope}" if self.scope else ""
         return f"[{self.invariant}{where}] {state}"
 
@@ -95,9 +97,7 @@ class Invariant:
         try:
             self.ast: Node = parse_expression(expression)
         except Exception as exc:
-            raise ConstraintError(
-                f"invariant {name!r} does not parse: {exc}"
-            ) from exc
+            raise ConstraintError(f"invariant {name!r} does not parse: {exc}") from exc
         #: True when the expression provably reads only its scope
         #: element + bindings (the incremental checker's fast lane)
         self.scope_local: bool = is_scope_local(self.ast)
@@ -339,9 +339,7 @@ class ConstraintChecker:
             else:
                 value = evaluator.evaluate(invariant.ast, ctx)
         except EvaluationError as exc:
-            return ConstraintResult(
-                invariant.name, False, scope_name, scope, str(exc)
-            )
+            return ConstraintResult(invariant.name, False, scope_name, scope, str(exc))
         if not isinstance(value, bool):
             return ConstraintResult(
                 invariant.name, False, scope_name, scope,

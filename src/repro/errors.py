@@ -111,6 +111,7 @@ class ParseError(ReproError):
     def __init__(self, message: str, line: int = 0, column: int = 0):
         location = f" (line {line}, column {column})" if line else ""
         super().__init__(f"{message}{location}")
+        self.bare_message = message
         self.line = line
         self.column = column
 

@@ -178,9 +178,7 @@ class GridSiteParams(ScenarioParams):
             "flaky_sites must be in [0, sites] (0 = all)",
         )
         self._require(self.site_mtbf > 0, "site_mtbf must be positive")
-        self._require(
-            self.site_outage_mean > 0, "site_outage_mean must be positive"
-        )
+        self._require(self.site_outage_mean > 0, "site_outage_mean must be positive")
         self._require(self.fault_start >= 0, "fault_start must be >= 0")
         for name in ("fail", "noop", "hang"):
             prob = getattr(self, f"effector_{name}_prob")
@@ -194,9 +192,7 @@ class GridSiteParams(ScenarioParams):
             <= 1.0,
             "effector fault probabilities must sum to <= 1",
         )
-        self._require(
-            self.probe_dropout_mtbd >= 0, "probe_dropout_mtbd must be >= 0"
-        )
+        self._require(self.probe_dropout_mtbd >= 0, "probe_dropout_mtbd must be >= 0")
         self._require(
             0.0 <= self.bus_drop_prob < 1.0, "bus_drop_prob must be in [0, 1)"
         )
@@ -207,23 +203,13 @@ class GridSiteParams(ScenarioParams):
         self._require(self.repair_timeout >= 0, "repair_timeout must be >= 0")
         self._require(self.retry_attempts >= 1, "retry_attempts must be >= 1")
         self._require(self.retry_backoff > 0, "retry_backoff must be positive")
-        self._require(
-            self.retry_multiplier >= 1.0, "retry_multiplier must be >= 1"
-        )
+        self._require(self.retry_multiplier >= 1.0, "retry_multiplier must be >= 1")
         self._require(self.retry_jitter >= 0, "retry_jitter must be >= 0")
-        self._require(
-            self.breaker_threshold >= 0, "breaker_threshold must be >= 0"
-        )
+        self._require(self.breaker_threshold >= 0, "breaker_threshold must be >= 0")
         self._require(self.breaker_reset > 0, "breaker_reset must be positive")
-        self._require(
-            self.quarantine_after >= 0, "quarantine_after must be >= 0"
-        )
-        self._require(
-            self.quarantine_period > 0, "quarantine_period must be positive"
-        )
-        self._require(
-            self.history_capacity >= 0, "history_capacity must be >= 0"
-        )
+        self._require(self.quarantine_after >= 0, "quarantine_after must be >= 0")
+        self._require(self.quarantine_period > 0, "quarantine_period must be positive")
+        self._require(self.history_capacity >= 0, "history_capacity must be >= 0")
         self._require(
             self.telemetry in ("scalar", "columnar"),
             "telemetry must be 'scalar' or 'columnar'",
@@ -277,9 +263,7 @@ class PoissonArrivals:
 
     def _run(self):
         while True:
-            yield self.sim.timeout(
-                float(self._rng.exponential(1.0 / self.rate))
-            )
+            yield self.sim.timeout(float(self._rng.exponential(1.0 / self.rate)))
             self._submit()
 
 
@@ -291,6 +275,8 @@ class GridSiteTranslator(IntentExecutor):
     runs with faults, the fault plane wraps this translator — so what
     the engine actually calls may raise, silently no-op, or hang.
     """
+
+    INTENT_OPS = frozenset({"drainSite", "resubmitPilots"})
 
     def __init__(
         self,
@@ -382,9 +368,7 @@ class GridSiteMetricsSampler:
             self.series[f"queue.{name}"] = TimeSeries(f"queue.{name}", "tasks")
 
     def start(self) -> Process:
-        return Process(
-            self.experiment.sim, self._run(), name="grid-site-metrics"
-        )
+        return Process(self.experiment.sim, self._run(), name="grid-site-metrics")
 
     def _run(self):
         sim = self.experiment.sim
@@ -400,9 +384,7 @@ class GridSiteMetricsSampler:
         self.series["sites.down"].append(now, float(app.sites_down()))
         self.series["sites.drained"].append(now, float(app.sites_drained()))
         for name in app.sites:
-            self.series[f"queue.{name}"].append(
-                now, float(app.queue_length(name))
-            )
+            self.series[f"queue.{name}"].append(now, float(app.queue_length(name)))
 
 
 class GridSiteExperiment:

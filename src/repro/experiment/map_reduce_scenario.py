@@ -223,6 +223,8 @@ class MapReduceTranslator(IntentExecutor):
     shuffle routing changed under them, so their shares are stale.
     """
 
+    INTENT_OPS = frozenset({"splitPartition", "stealWork"})
+
     def __init__(
         self,
         app: MapReduceApplication,

@@ -177,6 +177,8 @@ class MasterWorkerTranslator(IntentExecutor):
     re-measures on its next sample.
     """
 
+    INTENT_OPS = frozenset({"addWorkers", "removeWorkers", "redispatchOldest"})
+
     def __init__(
         self,
         app: MasterWorkerApplication,

@@ -277,6 +277,8 @@ class MultiTenantTranslator(IntentExecutor):
     translations genuinely overlap in simulated time.
     """
 
+    INTENT_OPS = frozenset({"resizeTenant"})
+
     def __init__(
         self,
         app: MultiTenantApplication,

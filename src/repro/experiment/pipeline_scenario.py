@@ -96,6 +96,8 @@ class PipelineTranslator(IntentExecutor):
     gauge redeployment for the affected stage (the monitoring blind spot).
     """
 
+    INTENT_OPS = frozenset({"widenStage", "narrowStage"})
+
     def __init__(
         self,
         app: PipelineApplication,

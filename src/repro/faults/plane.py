@@ -90,22 +90,16 @@ class FaultyTranslator:
             if draw < spec.fail_prob:
                 error = f"EffectorRaise:{intent.op}"
                 self.counters["effector_raised"] += 1
-                self.trace.emit(
-                    self.sim.now, "fault.effector_raise", op=intent.op
-                )
+                self.trace.emit(self.sim.now, "fault.effector_raise", op=intent.op)
                 break
             if draw < spec.fail_prob + spec.noop_prob:
                 self.counters["effector_noops"] += 1
-                self.trace.emit(
-                    self.sim.now, "fault.effector_noop", op=intent.op
-                )
+                self.trace.emit(self.sim.now, "fault.effector_noop", op=intent.op)
                 continue
             if draw < spec.fail_prob + spec.noop_prob + spec.hang_prob:
                 hang = True
                 self.counters["effector_hangs"] += 1
-                self.trace.emit(
-                    self.sim.now, "fault.effector_hang", op=intent.op
-                )
+                self.trace.emit(self.sim.now, "fault.effector_hang", op=intent.op)
                 break
             survivors.append(intent)
         if error is not None:
@@ -143,9 +137,7 @@ class FaultPlane:
         self.sim = sim
         self.spec = spec
         self.trace = trace if trace is not None else Trace()
-        self._components: Dict[
-            str, Tuple[Callable[[], None], Callable[[], None]]
-        ] = {}
+        self._components: Dict[str, Tuple[Callable[[], None], Callable[[], None]]] = {}
         self._probes: List[Any] = []
         self._buses: List[Any] = []
         self._started = False

@@ -1,0 +1,46 @@
+"""Static analysis for adaptation specs (``repro lint``).
+
+Four rule families over everything an :class:`AdaptationSpec` wires —
+none of which executes a single simulated event:
+
+* ``DSL1xx`` — semantic checks on the repair DSL (:mod:`.dsl_rules`);
+* ``FP2xx``  — static footprint & oscillation analysis
+  (:mod:`.footprint_rules`);
+* ``DET3xx`` — determinism lint over the simulator-facing Python
+  packages (:mod:`.determinism`);
+* ``WIR4xx`` — probe/gauge/effector wiring audit (:mod:`.wiring`).
+
+See ``docs/linting.md`` for the rule catalog and waiver syntax.
+"""
+
+from repro.lint.api import (
+    LintReport,
+    lint_all,
+    lint_document,
+    lint_repo_determinism,
+    lint_runtime,
+    lint_scenario,
+)
+from repro.lint.findings import (
+    ERROR,
+    WARNING,
+    LintFinding,
+    Waiver,
+    apply_waivers,
+    parse_waivers,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "LintFinding",
+    "LintReport",
+    "Waiver",
+    "apply_waivers",
+    "parse_waivers",
+    "lint_all",
+    "lint_document",
+    "lint_repo_determinism",
+    "lint_runtime",
+    "lint_scenario",
+]

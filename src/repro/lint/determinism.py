@@ -1,0 +1,162 @@
+"""Rule family 3: determinism lint over the simulator-facing packages.
+
+The whole repro rests on runs being replayable: the serial-fingerprint
+suite hashes run results bit-for-bit, and the fault plane's scenarios
+only make sense if the baseline they perturb is deterministic.  One
+stray ``time.time()`` or unseeded ``default_rng()`` in the simulation
+path quietly breaks that contract, usually long after the commit that
+introduced it.
+
+This pass walks the Python AST of every module under the packages that
+execute inside (or drive) simulated time and flags:
+
+* ``DET301`` — a call into a wall-clock or ambient-randomness API:
+  ``random.*``, ``time.time`` / ``time.time_ns`` / ``time.monotonic``
+  / ``time.perf_counter``, ``datetime.now`` / ``datetime.utcnow`` (and
+  their ``datetime.datetime`` spellings);
+* ``DET302`` — RNG construction that takes its seed from the
+  environment: ``numpy.random.default_rng()`` with no arguments,
+  ``numpy.random.RandomState()`` with no arguments, or a call to the
+  global ``numpy.random.seed``.
+
+Only *call sites* are flagged — a ``np.random.Generator`` type
+annotation never fires.  ``util/rng.py`` is the sanctioned seam where
+seeds enter the system, so it is exempt; anything else that genuinely
+needs wall-clock time carries a ``# lint: waive DET301 <reason>``
+comment on a nearby line, which suppresses the rule file-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import ERROR, LintFinding, apply_waivers, parse_waivers
+
+__all__ = ["DETERMINISM_PACKAGES", "lint_python_source", "lint_determinism_tree"]
+
+#: packages whose code runs inside (or schedules) simulated time
+DETERMINISM_PACKAGES = ("sim", "runtime", "faults", "app", "experiment")
+
+#: dotted call targets that read ambient time or randomness
+_FORBIDDEN_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "time.monotonic": "wall-clock time",
+    "time.perf_counter": "wall-clock time",
+    "datetime.now": "wall-clock time",
+    "datetime.utcnow": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+}
+
+#: zero-arg constructions that seed themselves from the OS
+_UNSEEDED_CTORS = ("default_rng", "RandomState")
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a bare name."""
+    parts: List[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    return ".".join(reversed(parts))
+
+
+def _call_findings(call: ast.Call, source_label: str) -> Iterator[LintFinding]:
+    target = _dotted_name(call.func)
+    if target is None:
+        return
+    head, _, tail = target.partition(".")
+    if target in _FORBIDDEN_CALLS:
+        yield LintFinding(
+            rule="DET301",
+            severity=ERROR,
+            source=source_label,
+            message=(
+                f"call to {target}() reads {_FORBIDDEN_CALLS[target]}: "
+                "simulation code must take time from the event kernel"
+            ),
+            hint="use the simulator clock (sim.now) or thread a timestamp in",
+            line=call.lineno,
+            column=call.col_offset + 1,
+        )
+    elif head == "random" and tail:
+        yield LintFinding(
+            rule="DET301",
+            severity=ERROR,
+            source=source_label,
+            message=(
+                f"call to {target}() uses the process-global random state: "
+                "runs stop being replayable"
+            ),
+            hint="draw from a Generator owned by util/rng.py instead",
+            line=call.lineno,
+            column=call.col_offset + 1,
+        )
+    elif target.endswith(".seed") and "random" in target.split("."):
+        yield LintFinding(
+            rule="DET302",
+            severity=ERROR,
+            source=source_label,
+            message=(
+                f"call to {target}() reseeds a global RNG underneath "
+                "every other consumer"
+            ),
+            hint="construct a dedicated Generator via util/rng.py",
+            line=call.lineno,
+            column=call.col_offset + 1,
+        )
+    elif target.split(".")[-1] in _UNSEEDED_CTORS and not call.args:
+        has_seed_kwarg = any(kw.arg == "seed" for kw in call.keywords)
+        if not has_seed_kwarg:
+            yield LintFinding(
+                rule="DET302",
+                severity=ERROR,
+                source=source_label,
+                message=(
+                    f"{target}() without a seed draws entropy from the OS: "
+                    "two runs of the same config diverge"
+                ),
+                hint="pass an explicit seed (route it through util/rng.py)",
+                line=call.lineno,
+                column=call.col_offset + 1,
+            )
+
+
+def lint_python_source(source_text: str, source_label: str) -> List[LintFinding]:
+    """DET findings for one Python module's source text (waivers applied)."""
+    try:
+        tree = ast.parse(source_text)
+    except SyntaxError:
+        return []  # not this linter's department; the test suite will object
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            findings.extend(_call_findings(node, source_label))
+    kept, _waived = apply_waivers(findings, parse_waivers(source_text))
+    return kept
+
+
+def lint_determinism_tree(
+    root: Path, packages: Sequence[str] = DETERMINISM_PACKAGES
+) -> Tuple[List[LintFinding], int]:
+    """Lint every module under ``root/<package>``; returns (findings, files)."""
+    findings: List[LintFinding] = []
+    scanned = 0
+    for package in packages:
+        base = root / package
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if path.name == "rng.py":
+                continue  # the sanctioned seed seam
+            scanned += 1
+            label = str(path.relative_to(root.parent))
+            findings += lint_python_source(path.read_text(encoding="utf-8"), label)
+    return findings, scanned

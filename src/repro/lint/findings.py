@@ -1,0 +1,117 @@
+"""The lint pass's currency: structured findings and in-source waivers.
+
+A :class:`LintFinding` names the rule that fired, where (a source label
+plus a 1-based line/column when the rule can anchor one), what went
+wrong, and — because a finding you cannot act on is noise — a fix hint.
+
+Waivers are declared *in the linted source itself* so they ride along
+with the spec they excuse (the in-repo requirement: every finding on a
+registered scenario is either fixed or visibly waived next to the code
+that triggers it).  The syntax is a comment anywhere in the document::
+
+    // lint: waive FP203 healthy/drained are binary; (0, 1) is unreachable
+    # lint: waive DET301 wall-clock is fine in this reporting helper
+
+The first token after ``waive`` is the rule id; the rest of the line is
+the (required) justification.  A waiver suppresses every finding with
+that rule id produced from the document that declares it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "LintFinding",
+    "Waiver",
+    "parse_waivers",
+    "apply_waivers",
+]
+
+#: severity levels: errors are always worth failing a build over;
+#: warnings flag risk that a human may waive with a recorded reason.
+ERROR = "error"
+WARNING = "warning"
+
+_WAIVER_RE = re.compile(
+    r"(?://|#)\s*lint:\s*waive\s+(?P<rule>[A-Z]+[0-9]+)\s+(?P<reason>\S.*)"
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation, anchored to a source location.
+
+    ``source`` labels where the finding came from — a scenario name, a
+    file path, or a caller-supplied document label; ``line``/``column``
+    are 1-based positions within that source (0 = no position).
+    """
+
+    rule: str
+    severity: str
+    source: str
+    message: str
+    hint: str = ""
+    line: int = 0
+    column: int = 0
+
+    def location(self) -> str:
+        if self.line:
+            return f"{self.source}:{self.line}:{self.column}"
+        return self.source
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "source": self.source,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        hint = f" [{self.hint}]" if self.hint else ""
+        return f"{self.location()}: {self.severity} {self.rule}: {self.message}{hint}"
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One in-source waiver: a rule id plus its recorded justification."""
+
+    rule: str
+    reason: str
+    line: int = 0
+
+
+def parse_waivers(source: str) -> List[Waiver]:
+    """Extract ``lint: waive RULE reason`` comments from document text."""
+    waivers: List[Waiver] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match:
+            waivers.append(
+                Waiver(
+                    rule=match.group("rule"),
+                    reason=match.group("reason").strip(),
+                    line=lineno,
+                )
+            )
+    return waivers
+
+
+def apply_waivers(
+    findings: Iterable[LintFinding], waivers: Iterable[Waiver]
+) -> Tuple[List[LintFinding], List[LintFinding]]:
+    """Split findings into (kept, waived) under the given waivers."""
+    waived_rules = {w.rule for w in waivers}
+    kept: List[LintFinding] = []
+    waived: List[LintFinding] = []
+    for finding in findings:
+        (waived if finding.rule in waived_rules else kept).append(finding)
+    return kept, waived

@@ -1,0 +1,418 @@
+"""Rule family 2: static footprint and oscillation analysis.
+
+PR 4's repair engine proves *runtime* footprints disjoint before letting
+two repairs commit concurrently (``repro.repair.footprint``).  This
+module asks the same questions of the *source text*, before anything
+runs:
+
+* ``FP201`` — in a disjoint-mode spec, a tactic writes through a
+  receiver the analysis cannot root at one of its parameters.  At
+  runtime that write lands outside the repair's declared scope, the
+  transaction's touched-set goes :data:`Footprint.UNIVERSAL`, and the
+  engine silently degrades to serial scheduling — legal, but it defeats
+  the point of disjoint mode.
+* ``FP202`` — in a disjoint-mode spec, tactics reachable from
+  *different* strategies write the same parameter *type*.  Two
+  violations of different invariants can then race on one element class;
+  the runtime overlap check will serialize them, but the spec author
+  probably believed they were independent.
+* ``FP203`` — two tactics guard the same property from opposite sides
+  and the thresholds overlap: one acts while ``prop > X``, the other
+  while ``prop < Y``, and ``Y > X``.  Any observation landing in
+  ``(X, Y)`` satisfies both action regions, so the pair can ping-pong
+  grow/shrink repairs forever.  Thresholds are resolved through the
+  spec's bindings, so tightening a binding can introduce (or remove)
+  this finding without touching the DSL.
+
+All three rules derive tactic write sets from the AST alone: a write is
+any non-stdlib, non-tactic call (a style-operator invocation), and its
+root is found by chasing receivers through ``let``/``foreach`` chains —
+the static analogue of what ``ModelTransaction.touched()`` observes at
+commit time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.ast import (
+    Binary,
+    Call,
+    Literal,
+    Name,
+    Node,
+    PropertyAccess,
+    Quantifier,
+    Select,
+    Unary,
+)
+from repro.lint.dsl_rules import (
+    _STDLIB_ARITY,
+    DocumentContext,
+    iter_calls,
+    iter_expressions,
+    iter_statements,
+)
+from repro.lint.findings import WARNING, LintFinding
+from repro.repair.dsl.ast import (
+    ForeachStmt,
+    IfStmt,
+    LetStmt,
+    ReturnStmt,
+    Stmt,
+    TacticDecl,
+)
+from repro.repair.dsl.parser import RepairDocument
+
+__all__ = ["lint_footprints"]
+
+#: sentinel root meaning "cannot be bounded: treat as writes-anything"
+_UNIVERSAL = "*"
+
+
+@dataclass(frozen=True)
+class _Write:
+    """One static write: the operator call and where its receiver roots."""
+
+    op: str
+    root: str  # a parameter name, or _UNIVERSAL
+    root_type: Optional[str]
+    line: int
+    column: int
+
+
+def lint_footprints(doc: RepairDocument, ctx: DocumentContext) -> List[LintFinding]:
+    writes = {name: _tactic_writes(decl, doc) for name, decl in doc.tactics.items()}
+    findings: List[LintFinding] = []
+    if ctx.concurrency == "disjoint":
+        findings += _check_universal_writes(doc, ctx, writes)
+        findings += _check_overlapping_types(doc, ctx, writes)
+    findings += _check_guard_overlap(doc, ctx, writes)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Write extraction
+# ---------------------------------------------------------------------------
+
+def _expr_root(node: Node, env: Dict[str, str]) -> str:
+    """The name a receiver chain ultimately roots at (or _UNIVERSAL)."""
+    if isinstance(node, Name):
+        return env.get(node.ident, node.ident)
+    if isinstance(node, PropertyAccess):
+        return _expr_root(node.obj, env)
+    if isinstance(node, Call):
+        if node.receiver is not None:
+            return _expr_root(node.receiver, env)
+        return _UNIVERSAL
+    if isinstance(node, (Quantifier, Select)):
+        return _expr_root(node.domain, env)
+    if isinstance(node, Unary):
+        return _expr_root(node.operand, env)
+    if isinstance(node, Binary):
+        return _UNIVERSAL
+    return _UNIVERSAL
+
+
+def _tactic_writes(decl: TacticDecl, doc: RepairDocument) -> List[_Write]:
+    """Every style-operator call a tactic makes, with resolved roots."""
+    param_types = {p.name: p.type_name for p in decl.params}
+    env: Dict[str, str] = {p.name: p.name for p in decl.params}
+    # lets/foreach vars chase back to whatever their source expression
+    # roots at (script scope is flat, so a single in-order pass works)
+    for stmt in iter_statements(decl.body):
+        if isinstance(stmt, LetStmt):
+            env[stmt.name] = _expr_root(stmt.value, env)
+        elif isinstance(stmt, ForeachStmt):
+            env[stmt.var] = _expr_root(stmt.domain, env)
+    writes: List[_Write] = []
+    for expr, stmt in iter_expressions(decl.body):
+        for call in iter_calls(expr):
+            if call.func in _STDLIB_ARITY or call.func in doc.tactics:
+                continue
+            if call.receiver is None:
+                root = _UNIVERSAL
+            else:
+                root = _expr_root(call.receiver, env)
+                if root not in param_types:
+                    root = _UNIVERSAL
+            writes.append(
+                _Write(
+                    op=call.func,
+                    root=root,
+                    root_type=param_types.get(root),
+                    line=call.line or stmt.line,
+                    column=call.column,
+                )
+            )
+    return writes
+
+
+def _tactics_by_strategy(doc: RepairDocument) -> Dict[str, Set[str]]:
+    """strategy name -> every tactic reachable from it (transitively)."""
+    direct: Dict[str, Set[str]] = {}
+    for name, tactic in doc.tactics.items():
+        calls: Set[str] = set()
+        for expr, _stmt in iter_expressions(tactic.body):
+            calls |= {c.func for c in iter_calls(expr) if c.func in doc.tactics}
+        direct[name] = calls
+    reach: Dict[str, Set[str]] = {}
+    for sname, strategy in doc.strategies.items():
+        frontier: Set[str] = set()
+        for expr, _stmt in iter_expressions(strategy.body):
+            frontier |= {c.func for c in iter_calls(expr) if c.func in doc.tactics}
+        seen: Set[str] = set()
+        while frontier:
+            tactic_name = frontier.pop()
+            if tactic_name in seen:
+                continue
+            seen.add(tactic_name)
+            frontier |= direct.get(tactic_name, set())
+        reach[sname] = seen
+    return reach
+
+
+# ---------------------------------------------------------------------------
+# FP201 / FP202
+# ---------------------------------------------------------------------------
+
+def _check_universal_writes(
+    doc: RepairDocument,
+    ctx: DocumentContext,
+    writes: Dict[str, List[_Write]],
+) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for tactic_name, tactic_writes in writes.items():
+        for write in tactic_writes:
+            if write.root is not _UNIVERSAL:
+                continue
+            findings.append(
+                LintFinding(
+                    rule="FP201",
+                    severity=WARNING,
+                    source=ctx.source,
+                    message=(
+                        f"tactic {tactic_name!r}: write {write.op}(...) is "
+                        "not rooted at a tactic parameter, so its runtime "
+                        "footprint is UNIVERSAL and disjoint-mode scheduling "
+                        "degrades to serial whenever this tactic runs"
+                    ),
+                    hint="pass the written element in as a parameter, or "
+                    "accept serial scheduling for this repair",
+                    line=write.line,
+                    column=write.column,
+                )
+            )
+    return findings
+
+
+def _check_overlapping_types(
+    doc: RepairDocument,
+    ctx: DocumentContext,
+    writes: Dict[str, List[_Write]],
+) -> List[LintFinding]:
+    reach = _tactics_by_strategy(doc)
+    findings: List[LintFinding] = []
+    strategies = sorted(reach)
+    for i, first in enumerate(strategies):
+        for second in strategies[i + 1 :]:
+            shared = _shared_write_types(reach[first], reach[second], writes)
+            for type_name, (tname_a, tname_b) in sorted(shared.items()):
+                decl = doc.tactics[tname_a]
+                findings.append(
+                    LintFinding(
+                        rule="FP202",
+                        severity=WARNING,
+                        source=ctx.source,
+                        message=(
+                            f"strategies {first!r} and {second!r} both write "
+                            f"{type_name} elements (via tactics {tname_a!r} "
+                            f"and {tname_b!r}): their repairs statically "
+                            "overlap under disjoint-mode scheduling"
+                        ),
+                        hint="confirm the two repairs always target distinct "
+                        "instances, then waive; otherwise merge the strategies",
+                        line=decl.line,
+                        column=decl.column,
+                    )
+                )
+    return findings
+
+
+def _shared_write_types(
+    tactics_a: Set[str],
+    tactics_b: Set[str],
+    writes: Dict[str, List[_Write]],
+) -> Dict[str, Tuple[str, str]]:
+    """type name -> (tactic in a, tactic in b) writing it from both sides."""
+
+    def types_of(names: Set[str]) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for name in sorted(names):
+            for write in writes.get(name, ()):
+                if write.root_type and write.root_type not in out:
+                    out[write.root_type] = name
+        return out
+
+    only_a = types_of(tactics_a - tactics_b)
+    only_b = types_of(tactics_b - tactics_a)
+    return {
+        type_name: (only_a[type_name], only_b[type_name])
+        for type_name in only_a.keys() & only_b.keys()
+    }
+
+
+# ---------------------------------------------------------------------------
+# FP203 — guard-threshold ping-pong
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ActionBound:
+    """One face of a tactic's action region: ``prop <dir> threshold``."""
+
+    prop: str
+    direction: str  # "above" (acts while prop > bound) or "below"
+    bound: float
+    bound_text: str
+    line: int
+
+
+def _resolve_threshold(
+    node: Node, ctx: DocumentContext
+) -> Optional[Tuple[float, str]]:
+    if isinstance(node, Literal) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value), repr(node.value)
+    if isinstance(node, Name) and node.ident in ctx.binding_values:
+        return ctx.binding_values[node.ident], node.ident
+    return None
+
+
+def _guard_prop(node: Node) -> Optional[str]:
+    """The property a guard's left side observes, if it is simple."""
+    if isinstance(node, PropertyAccess) and isinstance(node.obj, Name):
+        return node.attr
+    if isinstance(node, Name):
+        return node.ident
+    return None
+
+
+#: negating ``if (prop OP bound) { return false; }`` gives the action
+#: region's face: a ``<=`` guard means the tactic acts while *above*.
+_NEGATED_DIRECTION = {"<=": "above", "<": "above", ">=": "below", ">": "below"}
+
+
+def _action_bounds(decl: TacticDecl, ctx: DocumentContext) -> List[_ActionBound]:
+    bounds: List[_ActionBound] = []
+    for stmt in decl.body:
+        if not _is_guard(stmt):
+            break
+        cond = stmt.cond  # type: ignore[union-attr]
+        if not isinstance(cond, Binary) or cond.op not in _NEGATED_DIRECTION:
+            continue
+        prop = _guard_prop(cond.left)
+        threshold = _resolve_threshold(cond.right, ctx)
+        if prop is None or threshold is None:
+            continue
+        value, text = threshold
+        bounds.append(
+            _ActionBound(
+                prop=prop,
+                direction=_NEGATED_DIRECTION[cond.op],
+                bound=value,
+                bound_text=text,
+                line=stmt.line,
+            )
+        )
+    return bounds
+
+
+def _is_guard(stmt: Stmt) -> bool:
+    """``if (cond) { return false-or-bare; }`` with no else branch."""
+    if not isinstance(stmt, IfStmt) or stmt.else_block is not None:
+        return False
+    if len(stmt.then_block) != 1:
+        return False
+    only = stmt.then_block[0]
+    if not isinstance(only, ReturnStmt):
+        return False
+    return only.value is None or (
+        isinstance(only.value, Literal) and only.value.value is False
+    )
+
+
+def _write_types(writes: Sequence[_Write]) -> Set[str]:
+    out: Set[str] = set()
+    for write in writes:
+        out.add(write.root_type or _UNIVERSAL)
+    return out
+
+
+def _check_guard_overlap(
+    doc: RepairDocument,
+    ctx: DocumentContext,
+    writes: Dict[str, List[_Write]],
+) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    tactics = sorted(doc.tactics)
+    bounds = {name: _action_bounds(doc.tactics[name], ctx) for name in tactics}
+    for i, first in enumerate(tactics):
+        for second in tactics[i + 1 :]:
+            if not _may_contend(writes.get(first, ()), writes.get(second, ())):
+                continue
+            for above, below, a_name, b_name in _opposing_pairs(
+                bounds[first], bounds[second], first, second
+            ):
+                if below.bound <= above.bound:
+                    continue
+                findings.append(
+                    LintFinding(
+                        rule="FP203",
+                        severity=WARNING,
+                        source=ctx.source,
+                        message=(
+                            f"tactics {a_name!r} and {b_name!r} ping-pong on "
+                            f"{above.prop!r}: one acts while it exceeds "
+                            f"{above.bound_text} ({above.bound:g}), the other "
+                            f"while it is under {below.bound_text} "
+                            f"({below.bound:g}), and the regions overlap on "
+                            f"({above.bound:g}, {below.bound:g})"
+                        ),
+                        hint="separate the thresholds (hysteresis band) or "
+                        "waive with the reason the overlap is unreachable",
+                        line=above.line,
+                        column=0,
+                    )
+                )
+    return findings
+
+
+def _may_contend(writes_a: Sequence[_Write], writes_b: Sequence[_Write]) -> bool:
+    """True when the two tactics' write sets could touch common elements."""
+    if not writes_a or not writes_b:
+        return False
+    types_a = _write_types(writes_a)
+    types_b = _write_types(writes_b)
+    if _UNIVERSAL in types_a or _UNIVERSAL in types_b:
+        return True
+    return not types_a.isdisjoint(types_b)
+
+
+def _opposing_pairs(
+    bounds_a: Sequence[_ActionBound],
+    bounds_b: Sequence[_ActionBound],
+    name_a: str,
+    name_b: str,
+) -> List[Tuple[_ActionBound, _ActionBound, str, str]]:
+    pairs: List[Tuple[_ActionBound, _ActionBound, str, str]] = []
+    for first in bounds_a:
+        for second in bounds_b:
+            if first.prop != second.prop or first.direction == second.direction:
+                continue
+            above, below = (
+                (first, second) if first.direction == "above" else (second, first)
+            )
+            pairs.append((above, below, name_a, name_b))
+    return pairs

@@ -1,5 +1,12 @@
 """Statement/declaration AST for the repair DSL (expressions come from
-:mod:`repro.constraints.ast`)."""
+:mod:`repro.constraints.ast`).
+
+Every statement and declaration carries the 1-based ``line``/``column``
+of its first token, so downstream tooling — most importantly
+:mod:`repro.lint` — can anchor findings to the source text.  The fields
+default to ``0`` ("position unknown") so hand-built ASTs stay cheap to
+construct in tests.
+"""
 
 from __future__ import annotations
 
@@ -30,10 +37,15 @@ class Param:
 
     name: str
     type_name: Optional[str] = None
+    line: int = 0
+    column: int = 0
 
 
 class Stmt:
     """Base statement."""
+
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -43,6 +55,8 @@ class LetStmt(Stmt):
     name: str
     type_name: Optional[str]
     value: Node
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -52,6 +66,8 @@ class IfStmt(Stmt):
     cond: Node
     then_block: List[Stmt]
     else_block: Optional[List[Stmt]] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -61,6 +77,8 @@ class ForeachStmt(Stmt):
     var: str
     domain: Node
     body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -68,11 +86,16 @@ class ReturnStmt(Stmt):
     """``return [expr];`` — ends a tactic with its boolean result."""
 
     value: Optional[Node] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
 class CommitStmt(Stmt):
     """``commit repair;`` — ends a strategy successfully."""
+
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -80,6 +103,8 @@ class AbortStmt(Stmt):
     """``abort Reason;`` — aborts the whole repair."""
 
     reason: str
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -87,6 +112,8 @@ class ExprStmt(Stmt):
     """An expression evaluated for effect (operator/tactic invocation)."""
 
     expr: Node
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -95,6 +122,8 @@ class TacticDecl:
     params: List[Param]
     body: List[Stmt]
     returns: Optional[str] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -102,6 +131,8 @@ class StrategyDecl:
     name: str
     params: List[Param]
     body: List[Stmt]
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -112,3 +143,5 @@ class InvariantDecl:
     expression: str
     strategy: str
     argument: Optional[str] = None
+    line: int = 0
+    column: int = 0

@@ -1,4 +1,15 @@
-"""Parser for the repair DSL (Figure 5 syntax)."""
+"""Parser for the repair DSL (Figure 5 syntax).
+
+Two things beyond the grammar itself:
+
+* every declaration and statement node records the ``line``/``column``
+  of its first token (the lint pass anchors findings there);
+* a parse failure *inside* a named declaration is re-raised with the
+  declaration named in the message — ``in tactic 'fixServerLoad':
+  expected ';', got '}' (line 21, column 5)`` — so multi-document
+  sources point at the offending strategy/tactic, not just a bare
+  coordinate.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.acme.lexer import TokenStream, tokenize
 from repro.constraints.parser import ExpressionParser
+from repro.errors import ParseError
 from repro.repair.dsl.ast import (
     AbortStmt,
     CommitStmt,
@@ -61,15 +73,22 @@ class _DslParser:
         return self.doc
 
     # -- declarations -------------------------------------------------------
+    def _decl_error(self, kind: str, name: str, exc: ParseError) -> ParseError:
+        """Re-raise a parse error naming its enclosing declaration."""
+        return ParseError(
+            f"in {kind} {name!r}: {exc.bare_message}", exc.line, exc.column
+        )
+
     def _params(self) -> List[Param]:
         self.ts.expect_punct("(")
         params: List[Param] = []
         while not self.ts.at_punct(")"):
-            name = self.ts.expect_ident().text
+            tok = self.ts.expect_ident()
+            name = tok.text
             type_name: Optional[str] = None
             if self.ts.match_punct(":"):
                 type_name = self._type_name()
-            params.append(Param(name, type_name))
+            params.append(Param(name, type_name, line=tok.line, column=tok.column))
             if not self.ts.match_punct(","):
                 break
         self.ts.expect_punct(")")
@@ -84,48 +103,64 @@ class _DslParser:
         return name
 
     def _strategy(self) -> StrategyDecl:
-        self.ts.expect_ident("strategy")
+        kw = self.ts.expect_ident("strategy")
         name = self.ts.expect_ident().text
-        params = self._params()
-        self.ts.expect_punct("=")
-        body = self._block()
-        return StrategyDecl(name, params, body)
+        try:
+            params = self._params()
+            self.ts.expect_punct("=")
+            body = self._block()
+        except ParseError as exc:
+            raise self._decl_error("strategy", name, exc) from None
+        return StrategyDecl(name, params, body, line=kw.line, column=kw.column)
 
     def _tactic(self) -> TacticDecl:
-        self.ts.expect_ident("tactic")
+        kw = self.ts.expect_ident("tactic")
         name = self.ts.expect_ident().text
-        params = self._params()
-        returns: Optional[str] = None
-        if self.ts.match_punct(":"):
-            returns = self._type_name()
-        self.ts.expect_punct("=")
-        body = self._block()
-        return TacticDecl(name, params, body, returns)
+        try:
+            params = self._params()
+            returns: Optional[str] = None
+            if self.ts.match_punct(":"):
+                returns = self._type_name()
+            self.ts.expect_punct("=")
+            body = self._block()
+        except ParseError as exc:
+            raise self._decl_error("tactic", name, exc) from None
+        return TacticDecl(name, params, body, returns, line=kw.line, column=kw.column)
 
     def _invariant(self) -> InvariantDecl:
         """``invariant name : <expr tokens> ! -> strategy(arg);``"""
-        self.ts.expect_ident("invariant")
+        kw = self.ts.expect_ident("invariant")
         name = self.ts.expect_ident().text
-        self.ts.expect_punct(":")
-        pieces: List[str] = []
-        while not (self.ts.at_punct("!") and self.ts.peek().is_punct("->")):
-            tok = self.ts.current
-            if tok.kind == "eof":
-                raise self.ts.error("unterminated invariant (expected '! ->')")
-            pieces.append(tok.text if tok.kind != "string" else f'"{tok.text}"')
-            self.ts.advance()
-        self.ts.expect_punct("!")
-        self.ts.expect_punct("->")
-        strategy = self.ts.expect_ident().text
-        argument: Optional[str] = None
-        if self.ts.match_punct("("):
-            if not self.ts.at_punct(")"):
-                argument = self.ts.expect_ident().text
-            self.ts.expect_punct(")")
-        self.ts.expect_punct(";")
+        try:
+            self.ts.expect_punct(":")
+            pieces: List[str] = []
+            while not (self.ts.at_punct("!") and self.ts.peek().is_punct("->")):
+                tok = self.ts.current
+                if tok.kind == "eof":
+                    raise self.ts.error("unterminated invariant (expected '! ->')")
+                pieces.append(tok.text if tok.kind != "string" else f'"{tok.text}"')
+                self.ts.advance()
+            self.ts.expect_punct("!")
+            self.ts.expect_punct("->")
+            strategy = self.ts.expect_ident().text
+            argument: Optional[str] = None
+            if self.ts.match_punct("("):
+                if not self.ts.at_punct(")"):
+                    argument = self.ts.expect_ident().text
+                self.ts.expect_punct(")")
+            self.ts.expect_punct(";")
+        except ParseError as exc:
+            raise self._decl_error("invariant", name, exc) from None
         from repro.acme.parser import _join_tokens
 
-        return InvariantDecl(name, _join_tokens(pieces), strategy, argument)
+        return InvariantDecl(
+            name,
+            _join_tokens(pieces),
+            strategy,
+            argument,
+            line=kw.line,
+            column=kw.column,
+        )
 
     # -- statements -----------------------------------------------------------
     def _block(self) -> List[Stmt]:
@@ -136,6 +171,7 @@ class _DslParser:
         return stmts
 
     def _statement(self) -> Stmt:
+        tok = self.ts.current
         if self.ts.at_ident("let"):
             return self._let()
         if self.ts.at_ident("if"):
@@ -148,18 +184,18 @@ class _DslParser:
             self.ts.advance()
             self.ts.expect_ident("repair")
             self.ts.expect_punct(";")
-            return CommitStmt()
+            return CommitStmt(line=tok.line, column=tok.column)
         if self.ts.at_ident("abort"):
             self.ts.advance()
             reason = self.ts.expect_ident().text
             self.ts.expect_punct(";")
-            return AbortStmt(reason)
+            return AbortStmt(reason, line=tok.line, column=tok.column)
         expr = self.expr.expression()
         self.ts.expect_punct(";")
-        return ExprStmt(expr)
+        return ExprStmt(expr, line=tok.line, column=tok.column)
 
     def _let(self) -> LetStmt:
-        self.ts.expect_ident("let")
+        kw = self.ts.expect_ident("let")
         name = self.ts.expect_ident().text
         type_name: Optional[str] = None
         if self.ts.match_punct(":"):
@@ -167,10 +203,10 @@ class _DslParser:
         self.ts.expect_punct("=")
         value = self.expr.expression()
         self.ts.expect_punct(";")
-        return LetStmt(name, type_name, value)
+        return LetStmt(name, type_name, value, line=kw.line, column=kw.column)
 
     def _if(self) -> IfStmt:
-        self.ts.expect_ident("if")
+        kw = self.ts.expect_ident("if")
         self.ts.expect_punct("(")
         cond = self.expr.expression()
         self.ts.expect_punct(")")
@@ -181,23 +217,23 @@ class _DslParser:
                 else_block = [self._if()]
             else:
                 else_block = self._block()
-        return IfStmt(cond, then_block, else_block)
+        return IfStmt(cond, then_block, else_block, line=kw.line, column=kw.column)
 
     def _foreach(self) -> ForeachStmt:
-        self.ts.expect_ident("foreach")
+        kw = self.ts.expect_ident("foreach")
         var = self.ts.expect_ident().text
         self.ts.expect_ident("in")
         domain = self.expr.expression()
         body = self._block()
-        return ForeachStmt(var, domain, body)
+        return ForeachStmt(var, domain, body, line=kw.line, column=kw.column)
 
     def _return(self) -> ReturnStmt:
-        self.ts.expect_ident("return")
+        kw = self.ts.expect_ident("return")
         if self.ts.match_punct(";"):
-            return ReturnStmt(None)
+            return ReturnStmt(None, line=kw.line, column=kw.column)
         value = self.expr.expression()
         self.ts.expect_punct(";")
-        return ReturnStmt(value)
+        return ReturnStmt(value, line=kw.line, column=kw.column)
 
 
 def parse_repair_dsl(source: str) -> RepairDocument:

@@ -237,9 +237,7 @@ class CircuitBreakerBank:
         }
 
     def stats(self) -> Dict[str, Any]:
-        open_now = sum(
-            1 for state in self._states.values() if state.state == "open"
-        )
+        open_now = sum(1 for state in self._states.values() if state.state == "open")
         return {
             "breakers": len(self._states),
             "breaker_opened": self.opened,

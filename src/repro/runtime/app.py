@@ -25,7 +25,7 @@ declaratively through the spec.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, FrozenSet, Optional
 
 from repro.acme.system import ArchSystem
 from repro.repair.context import RuntimeView
@@ -45,7 +45,14 @@ class IntentExecutor(abc.ABC):
     free to spread the work over simulated time (the paper's ~30 s repair
     duration lives here).  :class:`~repro.translation.translator.Translator`
     is the client/server implementation.
+
+    ``INTENT_OPS`` declares the intent ``op`` names the executor can
+    replay; ``repro lint``'s wiring audit (WIR403) checks every op the
+    spec's style operators emit against it.  ``None`` (the default)
+    means "undeclared" and exempts the executor from the audit.
     """
+
+    INTENT_OPS: Optional[FrozenSet[str]] = None
 
     @abc.abstractmethod
     def execute(self, intents, on_done=None):

@@ -136,6 +136,9 @@ def multi_tenant_operators(
 
 
 MULTI_TENANT_DSL = """
+// lint: waive FP202 grow and shrink always target distinct pool instances
+// (one invariant violation binds one tenant), so runtime footprints stay
+// disjoint even though both strategies write TenantPoolT statically.
 invariant f : latency <= maxLatency ! -> boostTenant(f);
 invariant i : size <= minSize or utilization >= minUtilization
     ! -> relaxTenant(i);

@@ -34,6 +34,8 @@ __all__ = ["Translator"]
 class Translator(IntentExecutor):
     """Model-operator to runtime-operation mapping and execution engine."""
 
+    INTENT_OPS = frozenset({"moveClient", "addServer", "removeServer"})
+
     def __init__(
         self,
         env: EnvironmentManager,

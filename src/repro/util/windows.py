@@ -243,9 +243,7 @@ class ColumnarWindow:
         start, end = self._start, self._end
         if start == end or self._times[start] >= cutoff:
             return
-        expired = int(
-            np.searchsorted(self._times[start:end], cutoff, side="left")
-        )
+        expired = int(np.searchsorted(self._times[start:end], cutoff, side="left"))
         self._sum = _accumulate_into(
             self._sum, self._values[start : start + expired], np.subtract
         )

@@ -1,0 +1,64 @@
+// The Figure 5 repair corpus (HPDC'02), combined with the §3.2
+// underutilization repair — a known-good document the lint CI job and
+// the randomized evaluator/compiler equivalence suite both consume.
+invariant r : averageLatency <= maxLatency ! -> fixLatency(r);
+invariant u : replication <= minServers or utilization >= minUtilization
+    ! -> fixUnderutilization(u);
+
+strategy fixLatency(badRole : ClientRoleT) = {
+    let badClient : ClientT =
+        select one cli : ClientT in self.components |
+            exists p : RequestT in cli.ports | attached(p, badRole);
+    if (fixServerLoad(badClient)) {
+        commit repair;
+    } else if (fixBandwidth(badClient, badRole)) {
+        commit repair;
+    } else {
+        abort ModelError;
+    }
+}
+
+tactic fixServerLoad(client : ClientT) : boolean = {
+    let loadedServerGroups : set{ServerGroupT} =
+        select sgrp : ServerGroupT in self.components |
+            connected(sgrp, client) and sgrp.load > maxServerLoad;
+    if (size(loadedServerGroups) == 0) {
+        return false;
+    }
+    foreach sGrp in loadedServerGroups {
+        sGrp.addServer();
+    }
+    return size(loadedServerGroups) > 0;
+}
+
+tactic fixBandwidth(client : ClientT, role : ClientRoleT) : boolean = {
+    if (role.bandwidth >= minBandwidth) {
+        return false;
+    }
+    let goodSGrp : ServerGroupT = findGoodSGrp(client, minBandwidth);
+    if (goodSGrp != nil) {
+        client.move(goodSGrp);
+        return true;
+    } else {
+        abort NoServerGroupFound;
+    }
+}
+
+strategy fixUnderutilization(badGroup : ServerGroupT) = {
+    if (shrinkGroup(badGroup)) {
+        commit repair;
+    } else {
+        abort ModelError;
+    }
+}
+
+tactic shrinkGroup(group : ServerGroupT) : boolean = {
+    if (group.replication <= minServers) {
+        return false;
+    }
+    if (group.load > 0.5) {
+        return false;
+    }
+    group.removeServer();
+    return true;
+}

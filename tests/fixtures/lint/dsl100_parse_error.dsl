@@ -1,0 +1,8 @@
+// DSL100: the document fails to parse (missing ';' inside the tactic).
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    pool.grow(1)
+    return true;
+}

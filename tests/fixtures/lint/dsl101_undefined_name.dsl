@@ -1,0 +1,10 @@
+// DSL101: `stepSize` is not a binding, parameter, local, or property.
+// (Linted with bindings={maxLoad} and properties={load}.)
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    if (pool.load <= maxLoad) { return false; }
+    pool.grow(stepSize);
+    return true;
+}

@@ -1,0 +1,9 @@
+// DSL102: isEmpty() takes one argument, called here with two.
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    if (isEmpty(pool, pool)) { return false; }
+    pool.grow(1);
+    return true;
+}

@@ -1,0 +1,9 @@
+// DSL103: size() expects a collection; the literal 3 can never be one.
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    if (size(3) == 0) { return false; }
+    pool.grow(1);
+    return true;
+}

@@ -1,0 +1,9 @@
+// DSL104: the second grow() sits after an unconditional return.
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    pool.grow(1);
+    return true;
+    pool.grow(2);
+}

@@ -1,0 +1,9 @@
+// DSL105: `grwo` is a typo for the registered operator `grow`.
+// (Linted with operators={grow}.)
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    pool.grwo(1);
+    return true;
+}

@@ -1,0 +1,9 @@
+// DSL106: the strategy never commits and never returns — every run
+// falls off the end into RepairAborted(NoCommit).
+strategy fixPool(p : PoolT) = {
+    widen(p);
+}
+tactic widen(pool : PoolT) : boolean = {
+    pool.grow(1);
+    return true;
+}

@@ -1,0 +1,7 @@
+// DSL107: the tactic has no return at all, so it always reports failure.
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    pool.grow(1);
+}

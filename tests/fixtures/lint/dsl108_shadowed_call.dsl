@@ -1,0 +1,15 @@
+// DSL108: the second `widen(p)` arm repeats the first and can never
+// add an outcome.
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) {
+        commit repair;
+    } else if (widen(p)) {
+        commit repair;
+    } else {
+        abort ModelError;
+    }
+}
+tactic widen(pool : PoolT) : boolean = {
+    pool.grow(1);
+    return true;
+}

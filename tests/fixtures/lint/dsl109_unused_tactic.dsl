@@ -1,0 +1,12 @@
+// DSL109: `orphan` is declared but nothing ever calls it.
+strategy fixPool(p : PoolT) = {
+    if (widen(p)) { commit repair; } else { abort ModelError; }
+}
+tactic widen(pool : PoolT) : boolean = {
+    pool.grow(1);
+    return true;
+}
+tactic orphan(pool : PoolT) : boolean = {
+    pool.shrink(1);
+    return true;
+}

@@ -1,0 +1,2 @@
+// DSL110: the invariant routes to a strategy the document never declares.
+invariant q : load <= maxLoad ! -> missingStrategy(q);

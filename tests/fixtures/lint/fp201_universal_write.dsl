@@ -1,0 +1,14 @@
+// FP201 (disjoint mode): drainAll writes through a select over
+// self.components — not rooted at any parameter, so its runtime
+// footprint is UNIVERSAL and disjoint scheduling degrades to serial.
+strategy fixAll(p : PoolT) = {
+    if (drainAll(p)) { commit repair; } else { abort ModelError; }
+}
+tactic drainAll(pool : PoolT) : boolean = {
+    let victims : set{PoolT} =
+        select v : PoolT in self.components | v.load > 1;
+    foreach v in victims {
+        v.shrink(1);
+    }
+    return true;
+}

@@ -1,0 +1,16 @@
+// FP202 (disjoint mode): two strategies' tactics both write PoolT
+// elements, so their repairs statically overlap.
+strategy growPool(p : PoolT) = {
+    if (grow(p)) { commit repair; } else { abort ModelError; }
+}
+strategy shrinkPool(p : PoolT) = {
+    if (shrink(p)) { commit repair; } else { abort ModelError; }
+}
+tactic grow(pool : PoolT) : boolean = {
+    pool.widen(1);
+    return true;
+}
+tactic shrink(pool : PoolT) : boolean = {
+    pool.narrow(1);
+    return true;
+}

@@ -1,0 +1,19 @@
+// FP203: grow acts while load > maxLoad, shrink while load < lowWater.
+// Linted with maxLoad=5 and lowWater=8, so any load in (5, 8) satisfies
+// both action regions and the pair can ping-pong forever.
+strategy growPool(p : PoolT) = {
+    if (grow(p)) { commit repair; } else { abort ModelError; }
+}
+strategy shrinkPool(p : PoolT) = {
+    if (shrink(p)) { commit repair; } else { abort ModelError; }
+}
+tactic grow(pool : PoolT) : boolean = {
+    if (pool.load <= maxLoad) { return false; }
+    pool.widen(1);
+    return true;
+}
+tactic shrink(pool : PoolT) : boolean = {
+    if (pool.load >= lowWater) { return false; }
+    pool.narrow(1);
+    return true;
+}

@@ -111,16 +111,12 @@ def build_report_harness(gauge_cls, batch, **gauge_kwargs):
         state["step"] += 1
         return (state["step"] * 7) % 23 * 0.5
 
-    probe = CallbackProbe(
-        sim, probe_bus, "load", "E1", fn, period=1.0, batch=batch
-    )
+    probe = CallbackProbe(sim, probe_bus, "load", "E1", fn, period=1.0, batch=batch)
     gauge = gauge_cls(
         sim, probe_bus, gauge_bus, "load", "E1", period=5.0, **gauge_kwargs
     )
     reports = []
-    gauge_bus.subscribe(
-        "gauge.>", lambda m: reports.append((sim.now, m["value"]))
-    )
+    gauge_bus.subscribe("gauge.>", lambda m: reports.append((sim.now, m["value"])))
     gauge.activate()
     sim.schedule(0.5, probe.start)
     sim.run(until=61.0)

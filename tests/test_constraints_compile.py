@@ -247,6 +247,46 @@ class TestCompiledExpressionEquivalence:
 
                 assert outcome(compiled) == outcome(interp), source
 
+    def test_lint_corpus_invariants_match_interpreter(self):
+        """Every invariant expression in the lint fixture corpus evaluates
+        identically under the interpreter and the compiler (the corpus is
+        adversarial by construction, so it doubles as equivalence fuel)."""
+        from pathlib import Path
+
+        from repro.errors import ParseError
+        from repro.repair.dsl.parser import parse_repair_dsl
+
+        corpus = sorted(
+            (Path(__file__).parent / "fixtures" / "lint").glob("*.dsl")
+        )
+        assert corpus, "lint fixture corpus missing"
+        expressions = []
+        for path in corpus:
+            try:
+                doc = parse_repair_dsl(path.read_text(encoding="utf-8"))
+            except ParseError:
+                continue  # the DSL100 fixture is unparseable on purpose
+            expressions += [inv.expression for inv in doc.invariants]
+        assert expressions, "corpus contributed no invariant expressions"
+        evaluator = Evaluator()
+        rng = random.Random(11)
+        for source in expressions:
+            node = parse_expression(source)
+            program = compile_expression(node, {**STDLIB})
+            for seed in range(3):
+                system = build_system(random.Random(seed))
+                scope = rng.choice([None] + list(system.components))
+
+                def interp():
+                    ctx = EvalContext(system, scope=scope, bindings=BINDINGS)
+                    return evaluator.evaluate(node, ctx)
+
+                def compiled():
+                    ctx = EvalContext(system, scope=scope, bindings=BINDINGS)
+                    return program.evaluate(ctx)
+
+                assert outcome(compiled) == outcome(interp), source
+
 
 class TestScopeLocality:
     @pytest.mark.parametrize("source", [

@@ -269,9 +269,7 @@ def test_probe_dropout_window_silences_probe_then_restores():
     # the probe published strictly fewer reports than the no-fault count
     assert probe.reports < 300
     dark = [r.time for r in trace.records if r.category == "fault.probe_dark"]
-    restored = [
-        r.time for r in trace.records if r.category == "fault.probe_restored"
-    ]
+    restored = [r.time for r in trace.records if r.category == "fault.probe_restored"]
     assert dark and len(restored) >= len(dark) - 1
 
 

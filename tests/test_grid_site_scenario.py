@@ -237,11 +237,7 @@ class TestEndToEnd:
 
     def test_repair_intents_flow_through_public_operators(self, pair):
         """Repairs act only via drainSite/resubmitPilots intents."""
-        ops = {
-            str(i.op)
-            for r in pair["adapted"].history.committed
-            for i in r.intents
-        }
+        ops = {str(i.op) for r in pair["adapted"].history.committed for i in r.intents}
         assert ops == {"drainSite", "resubmitPilots"}
 
     def test_extras_surface_resilience_views(self, pair):

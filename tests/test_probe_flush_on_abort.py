@@ -40,9 +40,7 @@ class ExplodingExperiment:
             dsl_source=PIPELINE_DSL,
             invariant_scopes={"b": "FilterT", "u": "FilterT"},
             # thresholds no tiny run can trip: the probe is the subject
-            bindings={
-                "maxBacklog": 1e9, "lowWater": 0.0, "minUtilization": 0.0
-            },
+            bindings={"maxBacklog": 1e9, "lowWater": 0.0, "minUtilization": 0.0},
             operators=lambda rt: pipeline_operators(),
             instruments=[
                 ProbeBinding(

@@ -254,3 +254,53 @@ class TestStatementSemantics:
             build_strategies(doc)["s"].run(ctx)
         assert system.component("SG1").get_property("replication") == before
         assert ctx.intents == []  # intent rolled back with the savepoint
+
+
+class TestParserPositions:
+    """The parser stamps line/column on declarations, statements, and
+    errors — the anchors ``repro lint`` findings hang off."""
+
+    SOURCE = (
+        "strategy s(x : PoolT) = {\n"
+        "    if (t(x)) { commit repair; } else { abort Nope; }\n"
+        "}\n"
+        "tactic t(pool : PoolT) : boolean = {\n"
+        "    pool.grow(1);\n"
+        "    return true;\n"
+        "}\n"
+        "invariant q : load <= maxLoad ! -> s(q);\n"
+    )
+
+    def test_declarations_carry_keyword_positions(self):
+        doc = parse_repair_dsl(self.SOURCE)
+        assert (doc.strategies["s"].line, doc.strategies["s"].column) == (1, 1)
+        assert (doc.tactics["t"].line, doc.tactics["t"].column) == (4, 1)
+        inv = doc.invariants[0]
+        assert (inv.line, inv.column) == (8, 1)
+
+    def test_statements_carry_first_token_positions(self):
+        doc = parse_repair_dsl(self.SOURCE)
+        if_stmt = doc.strategies["s"].body[0]
+        assert (if_stmt.line, if_stmt.column) == (2, 5)
+        commit = if_stmt.then_block[0]
+        assert commit.line == 2
+        expr_stmt, ret_stmt = doc.tactics["t"].body
+        assert (expr_stmt.line, expr_stmt.column) == (5, 5)
+        assert (ret_stmt.line, ret_stmt.column) == (6, 5)
+
+    def test_error_inside_declaration_names_it(self):
+        bad = "tactic bad(pool : PoolT) : boolean = { pool.grow(1) }"
+        with pytest.raises(ParseError) as excinfo:
+            parse_repair_dsl(bad)
+        exc = excinfo.value
+        assert "in tactic 'bad':" in str(exc)
+        assert "(line 1, column" in str(exc)
+        assert exc.bare_message.startswith("in tactic 'bad':")
+        assert exc.line == 1 and exc.column > 1
+
+    def test_toplevel_error_format_unchanged(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_repair_dsl("widget w() = {}")
+        message = str(excinfo.value)
+        assert "expected strategy/tactic/invariant" in message
+        assert "(line 1, column 1)" in message

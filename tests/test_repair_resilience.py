@@ -237,14 +237,10 @@ class TestRetry:
                     max_attempts=3, backoff=5.0, jitter=0.5, seed=9
                 ),
             )
-            mgr.register_strategy(
-                FirstSuccessStrategy("fix", [touching_tactic()])
-            )
+            mgr.register_strategy(FirstSuccessStrategy("fix", [touching_tactic()]))
             mgr.evaluate()
             sim.run(until=200.0)
-            return [
-                (r.started, r.attempt, r.retry_backoff) for r in mgr.history
-            ]
+            return [(r.started, r.attempt, r.retry_backoff) for r in mgr.history]
 
         first = backoffs()
         assert first == backoffs()

@@ -144,9 +144,7 @@ def make_script(seed, steps=STEPS):
             return step_add_component()
         name = mine[rng.randrange(len(mine))]
         comps.remove(name)
-        created_props[:] = [
-            e for e in created_props if e[1] != name
-        ]
+        created_props[:] = [e for e in created_props if e[1] != name]
         return f"remove component {name}", lambda s: s.remove_component(name)
 
     def step_attach_pair():
