@@ -71,6 +71,14 @@ def _largest_size_speedup(report: Dict[str, Any]) -> Optional[float]:
     return results[size]["compiled-incremental"]["speedup"]
 
 
+def _quiesce_at_4_shards(report: Dict[str, Any]) -> Optional[float]:
+    """X7: simulated time-to-quiesce at the gated 4-shard sweep point."""
+    for point in report.get("sweep", []):
+        if point.get("shards") == 4:
+            return point.get("quiesce_s")
+    return None
+
+
 GATES: Dict[str, List[Gate]] = {
     "BENCH_bus_throughput.json": [
         Gate(
@@ -127,6 +135,20 @@ GATES: Dict[str, List[Gate]] = {
             "quarantine_aborts_avoided",
             lambda r: r["quarantine"]["aborts_avoided"],
             higher_is_better=True,
+            margin=EXACT_MARGIN,
+        ),
+    ],
+    "BENCH_sharding.json": [
+        Gate(
+            "throughput_ratio_4v1",
+            lambda r: r["scaling"]["ratio_4v1"],
+            higher_is_better=True,
+            margin=EXACT_MARGIN,
+        ),
+        Gate(
+            "quiesce_s_at_4_shards",
+            _quiesce_at_4_shards,
+            higher_is_better=False,
             margin=EXACT_MARGIN,
         ),
     ],

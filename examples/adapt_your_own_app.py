@@ -255,6 +255,7 @@ class JobQueueExperiment:
         Process(self.sim, sampler(), name="sampler")
         self.sim.run(until=self.config.horizon)
         rt = self.runtime
+        stats = rt.stats() if rt is not None else None
         return RunResult(
             config=self.config,
             series={"depth": depth},
@@ -262,9 +263,10 @@ class JobQueueExperiment:
             history=rt.history if rt is not None else RepairHistory(),
             issued=self.app.completed + self.app.depth + self.app.busy,
             completed=self.app.completed,
-            bus_stats=rt.bus_stats() if rt is not None else {},
-            gauge_stats=rt.gauge_stats() if rt is not None else {},
-            constraint_stats=rt.constraint_stats() if rt is not None else {},
+            bus_stats=dict(stats.bus) if stats is not None else {},
+            gauge_stats=dict(stats.gauges) if stats is not None else {},
+            constraint_stats=dict(stats.constraints) if stats is not None else {},
+            stats=stats,
         )
 
 

@@ -12,6 +12,7 @@ syntax so models can be written as design-time artifacts (paper §2).
 from repro.acme.properties import PROPERTY_ABSENT, Property, PropertyBag
 from repro.acme.elements import Element, Port, Role, Component, Connector, Attachment
 from repro.acme.system import ArchSystem
+from repro.acme.sharding import ShardedArchSystem
 from repro.acme.family import ElementType, Family
 from repro.acme.validation import validate_system, ValidationIssue
 from repro.acme.parser import parse_acme
@@ -28,6 +29,7 @@ __all__ = [
     "Connector",
     "Attachment",
     "ArchSystem",
+    "ShardedArchSystem",
     "ElementType",
     "Family",
     "validate_system",

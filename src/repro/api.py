@@ -46,8 +46,13 @@ from repro.experiment.scenarios import (
     scenario_names,
     unregister_scenario,
 )
+from repro.runtime.sharding import ShardingSpec
+from repro.runtime.stats import RuntimeStats, ShardStats
 
 __all__ = [
+    "ShardingSpec",
+    "RuntimeStats",
+    "ShardStats",
     "RunConfig",
     "as_run_config",
     "RunResult",

@@ -18,8 +18,11 @@ from repro.bus.bus import (
     FixedDelay,
     CallableDelay,
 )
+from repro.bus.sharding import ShardedEventBus, ShardedSubscription
 
 __all__ = [
+    "ShardedEventBus",
+    "ShardedSubscription",
     "Message",
     "AttributeFilter",
     "subject_matches",

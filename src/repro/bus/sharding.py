@@ -1,0 +1,219 @@
+"""Per-shard event buses behind one publish/subscribe facade.
+
+The sharded runtime gives every shard its own :class:`EventBus` so
+shard-local monitoring traffic never serializes through a global bus.
+:class:`ShardedEventBus` is the facade the existing probes, gauges, and
+updaters talk to unchanged: it routes each publish to exactly **one**
+child bus chosen from the message subject, and routes each subscribe to
+the child bus(es) its pattern can match.
+
+Routing uses the repo-wide subject convention ``kind.metric.target``
+(probes publish ``probe.latency.T3``, gauges ``gauge.latency.T3``): the
+*last* dot-segment names the model element, and the sharded model's
+``shard_of`` says which shard owns it.  Subjects whose target the model
+does not know deterministically land on shard 0 — and the same rule is
+applied to fully-literal subscription patterns, so an unknown-target
+publish still meets its unknown-target subscriber on shard 0 exactly
+once.  Only patterns containing a wildcard token (``*`` or ``>``) fan
+out to every child bus; a wildcard subscriber therefore sees each
+message once, because the publish side never broadcasts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bus.bus import DeliveryModel, EventBus, Subscription
+from repro.bus.filters import AttributeFilter
+from repro.bus.messages import Message
+from repro.bus.queues import QueuePolicy
+from repro.sim.kernel import Simulator
+
+__all__ = ["ShardedEventBus", "ShardedSubscription"]
+
+
+class ShardedSubscription:
+    """Handle over one logical subscription's per-shard registrations."""
+
+    def __init__(self, pattern: str, parts: List[Subscription]):
+        self.pattern = pattern
+        self.parts = parts
+
+    @property
+    def active(self) -> bool:
+        return any(sub.active for sub in self.parts)
+
+
+def _has_wildcard(pattern: str) -> bool:
+    return any(token in ("*", ">") for token in pattern.split("."))
+
+
+class ShardedEventBus:
+    """Facade over one :class:`EventBus` per shard.
+
+    ``shard_of`` maps a model element name to its owning shard (``None``
+    for names the model does not know).  The facade exposes the same
+    publish/subscribe/stats surface as a single bus; per-child access is
+    available through :meth:`shard` for shard-scoped wiring (e.g. the
+    per-shard property updaters).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shards: int,
+        shard_of: Callable[[str], Optional[int]],
+        delivery: Optional[DeliveryModel] = None,
+        name: str = "bus",
+        batched: bool = False,
+        queue_policy: Optional[QueuePolicy] = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.sim = sim
+        self.name = name
+        self._shard_of = shard_of
+        self._buses = [
+            EventBus(
+                sim,
+                delivery,
+                name=f"{name}[{k}]",
+                batched=batched,
+                queue_policy=queue_policy,
+            )
+            for k in range(shards)
+        ]
+
+    # -- routing -----------------------------------------------------------
+    def _route(self, subject: str) -> int:
+        target = subject.rsplit(".", 1)[-1]
+        shard = self._shard_of(target)
+        if shard is None:
+            return 0
+        return shard % len(self._buses)
+
+    def shard(self, index: int) -> EventBus:
+        return self._buses[index]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._buses)
+
+    # -- subscription management -------------------------------------------
+    def subscribe(
+        self,
+        pattern: str,
+        handler: Callable[[Message], None],
+        attr_filter: Optional[AttributeFilter] = None,
+        batched: Optional[bool] = None,
+        queue_policy: Optional[QueuePolicy] = None,
+    ) -> ShardedSubscription:
+        """Register on the child bus(es) ``pattern`` can match.
+
+        Wildcard patterns register everywhere; literal patterns register
+        only on their target's home shard (unknown target -> shard 0,
+        mirroring publish routing).
+        """
+        if _has_wildcard(pattern):
+            buses = self._buses
+        else:
+            buses = [self._buses[self._route(pattern)]]
+        parts = [
+            bus.subscribe(
+                pattern,
+                handler,
+                attr_filter=attr_filter,
+                batched=batched,
+                queue_policy=queue_policy,
+            )
+            for bus in buses
+        ]
+        return ShardedSubscription(pattern, parts)
+
+    def unsubscribe(self, sub) -> None:
+        """Unsubscribe a facade handle or a raw child subscription."""
+        parts = sub.parts if isinstance(sub, ShardedSubscription) else [sub]
+        # unsubscribe is idempotent, so asking every child is safe even
+        # though each part lives on exactly one of them
+        for part in parts:
+            for bus in self._buses:
+                bus.unsubscribe(part)
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return [sub for bus in self._buses for sub in bus.subscriptions]
+
+    # -- publication -------------------------------------------------------
+    def publish(self, message: Message) -> int:
+        return self._buses[self._route(message.subject)].publish(message)
+
+    def publish_subject(self, subject: str, sender: str = "", **attributes) -> int:
+        return self._buses[self._route(subject)].publish_subject(
+            subject, sender=sender, **attributes
+        )
+
+    # -- fault plane -------------------------------------------------------
+    @property
+    def fault_injector(self):
+        return self._buses[0].fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, fn) -> None:
+        for bus in self._buses:
+            bus.fault_injector = fn
+
+    @property
+    def dead_letters(self) -> int:
+        return sum(bus.dead_letters for bus in self._buses)
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def published(self) -> int:
+        return sum(bus.published for bus in self._buses)
+
+    @property
+    def delivered(self) -> int:
+        return sum(bus.delivered for bus in self._buses)
+
+    @property
+    def mean_transit(self) -> float:
+        delivered = self.delivered
+        if not delivered:
+            return 0.0
+        total = sum(bus.total_transit for bus in self._buses)
+        return total / delivered
+
+    def stats(self) -> Dict[str, float]:
+        """Rollup of the children's counters, same shape as a single bus."""
+        data: Dict[str, float] = {
+            "published": self.published,
+            "delivered": self.delivered,
+            "mean_transit": self.mean_transit,
+        }
+        children = [bus.stats() for bus in self._buses]
+        if any("dead_letters" in child for child in children):
+            data["dead_letters"] = sum(
+                child.get("dead_letters", 0) for child in children
+            )
+        if any("batches" in child for child in children):
+            for key in (
+                "batched_subscriptions",
+                "batches",
+                "dropped",
+                "stalled",
+                "queued_now",
+            ):
+                data[key] = sum(child.get(key, 0) for child in children)
+            for key in ("peak_depth", "max_batch"):
+                data[key] = max(child.get(key, 0) for child in children)
+        return data
+
+    def shard_stats(self) -> List[Dict[str, float]]:
+        """Per-child counters, index-aligned with shard numbers."""
+        return [bus.stats() for bus in self._buses]
+
+    def queue_stats(self) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for bus in self._buses:
+            out.update(bus.queue_stats())
+        return out

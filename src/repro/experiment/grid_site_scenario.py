@@ -582,11 +582,13 @@ class GridSiteExperiment:
         self.metrics.start()
         self.sim.run(until=cfg.horizon)
         rt = self.runtime
-        stats = rt.stats() if rt is not None else {}
-        fault_stats: Dict[str, Any] = stats.get("faults", {})
+        stats = rt.stats() if rt is not None else None
+        fault_stats: Dict[str, Any] = (
+            dict(stats.faults) if stats is not None and stats.faults else {}
+        )
         if rt is None and self.control_plane is not None:
             fault_stats = self.control_plane.stats()
-        repair_stats = stats.get("repairs", {})
+        repair_stats = dict(stats.repairs) if stats is not None else {}
         resilience = {
             key: repair_stats[key]
             for key in (
@@ -607,11 +609,12 @@ class GridSiteExperiment:
             issued=self.app.issued,
             completed=self.app.completed,
             dropped=0,
-            bus_stats=stats.get("bus", {}),
-            gauge_stats=stats.get("gauges", {}),
-            constraint_stats=stats.get("constraints", {}),
-            telemetry_stats=stats.get("telemetry", {}),
+            bus_stats=dict(stats.bus) if stats is not None else {},
+            gauge_stats=dict(stats.gauges) if stats is not None else {},
+            constraint_stats=dict(stats.constraints) if stats is not None else {},
+            telemetry_stats=dict(stats.telemetry) if stats is not None else {},
             fault_stats=fault_stats,
+            stats=stats,
             stranded=self.app.stranded,
             resilience=resilience,
             breaker_states=breaker_states,

@@ -527,7 +527,7 @@ class MapReduceExperiment:
         self.metrics.start()
         self.sim.run(until=cfg.horizon)
         rt = self.runtime
-        stats = rt.stats() if rt is not None else {}
+        stats = rt.stats() if rt is not None else None
         return MapReduceResult(
             config=cfg,
             series=self.metrics.series,
@@ -536,10 +536,11 @@ class MapReduceExperiment:
             issued=self.app.issued,
             completed=self.app.completed,
             dropped=0,
-            bus_stats=stats.get("bus", {}),
-            gauge_stats=stats.get("gauges", {}),
-            constraint_stats=stats.get("constraints", {}),
-            telemetry_stats=stats.get("telemetry", {}),
+            bus_stats=dict(stats.bus) if stats is not None else {},
+            gauge_stats=dict(stats.gauges) if stats is not None else {},
+            constraint_stats=dict(stats.constraints) if stats is not None else {},
+            telemetry_stats=dict(stats.telemetry) if stats is not None else {},
+            stats=stats,
             splits=self.app.splits,
             steals=self.app.steals,
             moved_keys=self.app.moved_keys,

@@ -46,6 +46,7 @@ from repro.runtime import (
     ManagedApplication,
     ProbeBinding,
 )
+from repro.runtime.sharding import ShardingSpec, shard_key_names
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.sim.trace import Trace
@@ -60,6 +61,7 @@ from repro.util.windows import StepFunction
 
 __all__ = [
     "MultiTenantParams",
+    "MultiTenantShardedParams",
     "MultiTenantResult",
     "MultiTenantExperiment",
     "MultiTenantManagedApplication",
@@ -126,6 +128,12 @@ class MultiTenantParams(ScenarioParams):
     concurrency: str = "disjoint"  # the scenario's raison d'etre
     max_concurrent_repairs: int = 16
 
+    # sharded control plane: None keeps the single-loop (pinned) path;
+    # reachable from the CLI as --set sharding.shards=N
+    sharding: Optional[ShardingSpec] = None
+
+    NESTED_BLOCKS: ClassVar[Dict[str, type]] = {"sharding": ShardingSpec}
+
     def tenant_names(self) -> List[str]:
         return [f"T{i}" for i in range(self.tenants)]
 
@@ -169,6 +177,14 @@ class MultiTenantParams(ScenarioParams):
             f"concurrency must be 'serial' or 'disjoint', "
             f"got {self.concurrency!r}",
         )
+        if self.sharding is not None:
+            # the spec already validated its own shape on construction;
+            # check the cross-cutting bit (the key must be registered)
+            self._require(
+                self.sharding.key in shard_key_names(),
+                f"sharding.key {self.sharding.key!r} is not registered; "
+                f"known keys: {shard_key_names()}",
+            )
 
 
 @dataclass
@@ -543,6 +559,7 @@ class MultiTenantExperiment:
             max_concurrent_repairs=params.max_concurrent_repairs,
             telemetry=params.telemetry,
             wake_thresholds=wake_thresholds,
+            sharding=params.sharding,
         )
 
     # -- execution ---------------------------------------------------------
@@ -555,8 +572,8 @@ class MultiTenantExperiment:
         self.metrics.start()
         self.sim.run(until=cfg.horizon)
         rt = self.runtime
-        stats = rt.stats() if rt is not None else {}
-        repair_stats = stats.get("repairs", {})
+        stats = rt.stats() if rt is not None else None
+        repair_stats = dict(stats.repairs) if stats is not None else {}
         return MultiTenantResult(
             config=cfg,
             series=self.metrics.series,
@@ -565,10 +582,11 @@ class MultiTenantExperiment:
             issued=self.app.issued,
             completed=self.app.completed,
             dropped=0,
-            bus_stats=stats.get("bus", {}),
-            gauge_stats=stats.get("gauges", {}),
-            constraint_stats=stats.get("constraints", {}),
-            telemetry_stats=stats.get("telemetry", {}),
+            bus_stats=dict(stats.bus) if stats is not None else {},
+            gauge_stats=dict(stats.gauges) if stats is not None else {},
+            constraint_stats=dict(stats.constraints) if stats is not None else {},
+            telemetry_stats=dict(stats.telemetry) if stats is not None else {},
+            stats=stats,
             conflicts=repair_stats.get("conflicts", 0),
             peak_inflight=repair_stats.get("peak_inflight", 0),
         )
@@ -581,4 +599,31 @@ class MultiTenantExperiment:
 )
 def _build_multi_tenant(config: RunConfig) -> MultiTenantExperiment:
     """The multi-tenant grid service (ROADMAP open item)."""
+    return MultiTenantExperiment(config)
+
+
+@dataclass(frozen=True)
+class MultiTenantShardedParams(MultiTenantParams):
+    """The sharded multi-tenant variant's defaults.
+
+    Per-shard repair loops are serial — the paper's engine, one repair
+    at a time *per shard* — so all observed concurrency comes from the
+    sharding itself.  Tenants map to shards by their numeric suffix
+    (``T7`` -> ``7 % shards``), keeping each shard's pool set stable as
+    the tenant count grows.
+    """
+
+    concurrency: str = "serial"
+    sharding: Optional[ShardingSpec] = ShardingSpec(
+        shards=3, key="numeric_suffix"
+    )
+
+
+@register_scenario(
+    "multi_tenant_sharded",
+    params=MultiTenantShardedParams,
+    description="tenant farms on a sharded control plane: per-shard loops",
+)
+def _build_multi_tenant_sharded(config: RunConfig) -> MultiTenantExperiment:
+    """The multi-tenant service on a sharded control plane."""
     return MultiTenantExperiment(config)

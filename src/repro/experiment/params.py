@@ -21,7 +21,7 @@ scenario.  The default (every field the block declares) is right for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import TYPE_CHECKING, Any, ClassVar, Dict, Optional, Tuple
 
 from repro.errors import ReproError
@@ -45,6 +45,11 @@ class ScenarioParams:
     #: block; ``None`` means "every field this block declares".
     LEGACY_FIELDS: ClassVar[Optional[Tuple[str, ...]]] = None
 
+    #: nested frozen config blocks reachable through dotted ``but`` keys
+    #: (``sharding.shards=4``): field name -> block type, used to build a
+    #: default instance when the field is currently ``None``
+    NESTED_BLOCKS: ClassVar[Dict[str, type]] = {}
+
     @classmethod
     def field_names(cls) -> Tuple[str, ...]:
         return tuple(f.name for f in fields(cls))
@@ -54,14 +59,56 @@ class ScenarioParams:
         return cls.LEGACY_FIELDS if cls.LEGACY_FIELDS is not None else cls.field_names()
 
     def but(self, **changes: Any) -> "ScenarioParams":
-        """A modified copy; rejects names the block does not declare."""
-        unknown = sorted(set(changes) - set(self.field_names()))
+        """A modified copy; rejects names the block does not declare.
+
+        Dotted keys reach into nested frozen config blocks:
+        ``but(**{"sharding.shards": 4})`` replaces the ``sharding``
+        block's ``shards`` field (building a default block via
+        ``NESTED_BLOCKS`` when the field is currently ``None``).  The
+        nested block's own construction-time validation runs on the
+        replacement, so inconsistent values fail here, not mid-build.
+        """
+        flat: Dict[str, Any] = {}
+        nested: Dict[str, Dict[str, Any]] = {}
+        for key, value in changes.items():
+            if "." in key:
+                head, sub = key.split(".", 1)
+                nested.setdefault(head, {})[sub] = value
+            else:
+                flat[key] = value
+        unknown = sorted((set(flat) | set(nested)) - set(self.field_names()))
         if unknown:
             raise ReproError(
                 f"{type(self).__name__} has no parameter(s) {unknown}; "
                 f"declared: {sorted(self.field_names())}"
             )
-        return replace(self, **changes)
+        for head in sorted(nested):
+            current = flat.get(head, getattr(self, head))
+            if current is None:
+                block_type = self.NESTED_BLOCKS.get(head)
+                if block_type is None:
+                    raise ReproError(
+                        f"{type(self).__name__}.{head} is unset and has no "
+                        f"registered nested block type"
+                    )
+                current = block_type()
+            if not is_dataclass(current):
+                raise ReproError(
+                    f"{type(self).__name__}.{head} is not a nested config "
+                    f"block; cannot set {sorted(nested[head])}"
+                )
+            valid = {f.name for f in fields(current)}
+            bad = sorted(set(nested[head]) - valid)
+            if bad:
+                raise ReproError(
+                    f"{type(current).__name__} has no parameter(s) {bad}; "
+                    f"declared: {sorted(valid)}"
+                )
+            try:
+                flat[head] = replace(current, **nested[head])
+            except ValueError as exc:
+                raise ReproError(str(exc)) from None
+        return replace(self, **flat)
 
     def cache_key(self) -> Tuple:
         """Hashable identity, composed into :meth:`RunConfig.cache_key`."""
@@ -70,7 +117,15 @@ class ScenarioParams:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {name: getattr(self, name) for name in self.field_names()}
+        out: Dict[str, Any] = {}
+        for name in self.field_names():
+            value = getattr(self, name)
+            if is_dataclass(value) and not isinstance(value, type):
+                value = {
+                    f.name: getattr(value, f.name) for f in fields(value)
+                }
+            out[name] = value
+        return out
 
     # -- validation hooks ---------------------------------------------------
     def validate(self, config: "RunConfig") -> None:

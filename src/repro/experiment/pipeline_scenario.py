@@ -311,7 +311,7 @@ class PipelineExperiment:
         self.metrics.start()
         self.sim.run(until=cfg.horizon)
         rt = self.runtime
-        stats = rt.stats() if rt is not None else {}
+        stats = rt.stats() if rt is not None else None
         return PipelineResult(
             config=cfg,
             series=self.metrics.series,
@@ -320,7 +320,8 @@ class PipelineExperiment:
             issued=self.app.issued,
             completed=self.app.completed,
             dropped=0,
-            bus_stats=stats.get("bus", {}),
-            gauge_stats=stats.get("gauges", {}),
-            constraint_stats=stats.get("constraints", {}),
+            bus_stats=dict(stats.bus) if stats is not None else {},
+            gauge_stats=dict(stats.gauges) if stats is not None else {},
+            constraint_stats=dict(stats.constraints) if stats is not None else {},
+            stats=stats,
         )

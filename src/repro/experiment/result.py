@@ -18,11 +18,12 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiment.config import RunConfig
 from repro.experiment.series import TimeSeries
 from repro.repair.history import RepairHistory
+from repro.runtime.stats import RuntimeStats
 from repro.sim.trace import Trace
 
 __all__ = ["RunResult", "ClientServerResult", "PipelineResult"]
@@ -62,6 +63,10 @@ class RunResult:
     telemetry_stats: Dict[str, int] = field(default_factory=dict)
     #: fault-plane injection counters; {} on runs without a fault plane
     fault_stats: Dict[str, Any] = field(default_factory=dict)
+    #: the runtime's full typed counter snapshot (None on control runs
+    #: that never built a runtime); the dict sections above are retained
+    #: views into it for existing consumers
+    stats: Optional[RuntimeStats] = None
 
     # -- structured access ---------------------------------------------------
     def s(self, name: str) -> TimeSeries:
@@ -131,6 +136,10 @@ class RunResult:
         }
         if self.fault_stats:
             data["counters"]["faults"] = dict(self.fault_stats)
+        if self.stats is not None and self.stats.shards:
+            data["counters"]["shards"] = [
+                shard.to_dict() for shard in self.stats.shards
+            ]
         extras = self.extras()
         if extras:
             data["details"] = extras

@@ -405,7 +405,7 @@ class Experiment:
     def _result(self) -> ClientServerResult:
         dropped = sum(s.dropped for s in self.app.servers.values())
         rt = self.runtime
-        stats = rt.stats() if rt is not None else {}
+        stats = rt.stats() if rt is not None else None
         return ClientServerResult(
             config=self.config,
             series=self.metrics.series,
@@ -415,9 +415,10 @@ class Experiment:
             completed=self.app.total_completed,
             dropped=dropped,
             remos_stats=self.remos.stats,
-            bus_stats=stats.get("bus", {}),
-            gauge_stats=stats.get("gauges", {}),
-            constraint_stats=stats.get("constraints", {}),
+            bus_stats=dict(stats.bus) if stats is not None else {},
+            gauge_stats=dict(stats.gauges) if stats is not None else {},
+            constraint_stats=dict(stats.constraints) if stats is not None else {},
+            stats=stats,
         )
 
 

@@ -27,9 +27,12 @@ from repro.repair.resilience import (
     QuarantinePolicy,
     RetryPolicy,
 )
+from repro.repair.sharding import CrossRepairOutcome, ShardCoordinator
 from repro.repair.dsl import parse_repair_dsl, DslStrategy, DslTactic
 
 __all__ = [
+    "ShardCoordinator",
+    "CrossRepairOutcome",
     "RepairContext",
     "RuntimeIntent",
     "Footprint",

@@ -15,12 +15,19 @@ two; :mod:`repro.experiment.scenarios` registers named scenarios on top.
 
 from repro.runtime.app import IntentExecutor, ManagedApplication
 from repro.runtime.core import AdaptationRuntime
+from repro.runtime.sharding import (
+    ShardingSpec,
+    register_shard_key,
+    resolve_shard_key,
+    shard_key_names,
+)
 from repro.runtime.spec import (
     AdaptationSpec,
     GaugeBinding,
     InstrumentBinding,
     ProbeBinding,
 )
+from repro.runtime.stats import RuntimeStats, ShardStats
 from repro.runtime.updater import PropertyUpdater
 
 __all__ = [
@@ -32,4 +39,10 @@ __all__ = [
     "ManagedApplication",
     "ProbeBinding",
     "PropertyUpdater",
+    "RuntimeStats",
+    "ShardStats",
+    "ShardingSpec",
+    "register_shard_key",
+    "resolve_shard_key",
+    "shard_key_names",
 ]

@@ -29,9 +29,12 @@ else is event-driven from there.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.acme.sharding import ShardedArchSystem
 from repro.bus.bus import EventBus, QueuePolicy
+from repro.bus.sharding import ShardedEventBus
 from repro.constraints.invariants import ConstraintChecker
 from repro.faults.plane import FaultPlane
 from repro.monitoring.gauges import Gauge
@@ -39,8 +42,11 @@ from repro.monitoring.manager import GaugeManager, ThresholdGate
 from repro.repair.dsl import parse_repair_dsl
 from repro.repair.dsl.interp import build_strategies
 from repro.repair.engine import ArchitectureManager
+from repro.repair.sharding import ShardCoordinator
 from repro.runtime.app import ManagedApplication
+from repro.runtime.sharding import resolve_shard_key
 from repro.runtime.spec import AdaptationSpec, GaugeBinding, ProbeBinding
+from repro.runtime.stats import RuntimeStats, ShardStats
 from repro.runtime.updater import PropertyUpdater
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
@@ -66,19 +72,52 @@ class AdaptationRuntime:
             raise ValueError(
                 f"telemetry must be 'scalar' or 'columnar', got {spec.telemetry!r}"
             )
+        sharding = spec.sharding
+        self.sharded = sharding is not None and sharding.active()
+        if self.sharded:
+            if spec.faults is not None and spec.faults.active():
+                raise ValueError(
+                    "sharding and fault injection cannot be combined "
+                    "(the fault plane is not shard-aware yet)"
+                )
+            if spec.updater is not None:
+                raise ValueError(
+                    "sharding builds one PropertyUpdater per shard; "
+                    "a custom spec.updater is unsupported"
+                )
 
-        # 1-3: model layer
-        self.model = app.architecture()
-        self.checker = ConstraintChecker()
-        self.checker.bindings.update(spec.bindings)
+        # 1-3: model layer.  Sharded: partition the model by the spec's
+        # shard key, then give every shard its own checker so invariant
+        # evaluation fans out over shard-local elements only.
         document = parse_repair_dsl(spec.dsl_source)
-        strategies = build_strategies(document)
-        for decl in document.invariants:
-            self.checker.add_source(
-                decl.name, decl.expression,
-                scope_type=spec.invariant_scopes.get(decl.name),
-                repair=decl.strategy,
+        if self.sharded:
+            self.model = ShardedArchSystem.partition(
+                app.architecture(), sharding.shards,
+                resolve_shard_key(sharding.key),
             )
+            self.checkers: List[ConstraintChecker] = []
+            for _ in range(sharding.shards):
+                checker = ConstraintChecker()
+                checker.bindings.update(spec.bindings)
+                for decl in document.invariants:
+                    checker.add_source(
+                        decl.name, decl.expression,
+                        scope_type=spec.invariant_scopes.get(decl.name),
+                        repair=decl.strategy,
+                    )
+                self.checkers.append(checker)
+            self.checker = None
+        else:
+            self.model = app.architecture()
+            self.checker = ConstraintChecker()
+            self.checker.bindings.update(spec.bindings)
+            for decl in document.invariants:
+                self.checker.add_source(
+                    decl.name, decl.expression,
+                    scope_type=spec.invariant_scopes.get(decl.name),
+                    repair=decl.strategy,
+                )
+            self.checkers = [self.checker]
 
         # 4-6: gauge lifecycle, translation, repair engine.  The fault
         # plane (when the spec carries an active FaultSpec) wraps the
@@ -94,27 +133,66 @@ class AdaptationRuntime:
         self.translator = app.intent_executor(self)
         if self.fault_plane is not None:
             self.translator = self.fault_plane.wrap_translator(self.translator)
-        self.manager = ArchitectureManager(
-            sim,
-            self.model,
-            self.checker,
-            translator=self.translator,
-            runtime=app.runtime_view(),
-            operators=spec.operators(self),
-            trace=self.trace,
-            settle_time=spec.settle_time,
-            failed_repair_cost=spec.failed_repair_cost,
-            violation_policy=spec.violation_policy,
-            concurrency=spec.concurrency,
-            max_concurrent_repairs=spec.max_concurrent_repairs,
-            repair_timeout=spec.repair_timeout,
-            retry_policy=spec.retry_policy,
-            breaker_policy=spec.breaker_policy,
-            quarantine_policy=spec.quarantine_policy,
-            history_capacity=spec.history_capacity,
-        )
-        for strategy in strategies.values():
-            self.manager.register_strategy(strategy)
+        if self.sharded:
+            runtime_view = app.runtime_view()
+            operators = spec.operators(self)
+            self.managers: List[ArchitectureManager] = []
+            for k in range(sharding.shards):
+                manager = ArchitectureManager(
+                    sim,
+                    self.model.shard(k),
+                    self.checkers[k],
+                    translator=self.translator,
+                    runtime=runtime_view,
+                    operators=operators,
+                    trace=self.trace,
+                    settle_time=spec.settle_time,
+                    failed_repair_cost=spec.failed_repair_cost,
+                    violation_policy=spec.violation_policy,
+                    concurrency=spec.concurrency,
+                    max_concurrent_repairs=spec.max_concurrent_repairs,
+                    repair_timeout=spec.repair_timeout,
+                    retry_policy=spec.retry_policy,
+                    breaker_policy=spec.breaker_policy,
+                    quarantine_policy=spec.quarantine_policy,
+                    history_capacity=spec.history_capacity,
+                )
+                # strategies hold per-engine interpreter state: rebuild
+                # a fresh set for each shard rather than sharing
+                for strategy in build_strategies(document).values():
+                    manager.register_strategy(strategy)
+                self.managers.append(manager)
+            self.manager = ShardCoordinator(
+                sim,
+                self.model,
+                self.managers,
+                trace=self.trace,
+                settle_time=spec.settle_time,
+                max_lock_shards=sharding.max_lock_shards,
+            )
+        else:
+            self.manager = ArchitectureManager(
+                sim,
+                self.model,
+                self.checker,
+                translator=self.translator,
+                runtime=app.runtime_view(),
+                operators=spec.operators(self),
+                trace=self.trace,
+                settle_time=spec.settle_time,
+                failed_repair_cost=spec.failed_repair_cost,
+                violation_policy=spec.violation_policy,
+                concurrency=spec.concurrency,
+                max_concurrent_repairs=spec.max_concurrent_repairs,
+                repair_timeout=spec.repair_timeout,
+                retry_policy=spec.retry_policy,
+                breaker_policy=spec.breaker_policy,
+                quarantine_policy=spec.quarantine_policy,
+                history_capacity=spec.history_capacity,
+            )
+            for strategy in build_strategies(document).values():
+                self.manager.register_strategy(strategy)
+            self.managers = [self.manager]
 
         # 7-8: monitoring infrastructure
         queue_policy = None
@@ -122,14 +200,26 @@ class AdaptationRuntime:
             queue_policy = QueuePolicy(
                 mode=spec.bus_queue_policy, capacity=spec.bus_queue_capacity
             )
-        self.probe_bus = EventBus(
-            sim, delivery=spec.delivery, name="probe-bus",
-            batched=spec.bus_batching, queue_policy=queue_policy,
-        )
-        self.gauge_bus = EventBus(
-            sim, delivery=spec.delivery, name="gauge-bus",
-            batched=spec.bus_batching, queue_policy=queue_policy,
-        )
+        if self.sharded:
+            self.probe_bus = ShardedEventBus(
+                sim, sharding.shards, self.model.shard_of,
+                delivery=spec.delivery, name="probe-bus",
+                batched=spec.bus_batching, queue_policy=queue_policy,
+            )
+            self.gauge_bus = ShardedEventBus(
+                sim, sharding.shards, self.model.shard_of,
+                delivery=spec.delivery, name="gauge-bus",
+                batched=spec.bus_batching, queue_policy=queue_policy,
+            )
+        else:
+            self.probe_bus = EventBus(
+                sim, delivery=spec.delivery, name="probe-bus",
+                batched=spec.bus_batching, queue_policy=queue_policy,
+            )
+            self.gauge_bus = EventBus(
+                sim, delivery=spec.delivery, name="gauge-bus",
+                batched=spec.bus_batching, queue_policy=queue_policy,
+            )
         if self.fault_plane is not None:
             self.fault_plane.bind_bus(self.probe_bus)
             self.fault_plane.bind_bus(self.gauge_bus)
@@ -155,14 +245,29 @@ class AdaptationRuntime:
         self.wake_gate: Optional[ThresholdGate] = None
         if spec.telemetry == "columnar" and spec.wake_thresholds:
             self.wake_gate = ThresholdGate(spec.wake_thresholds)
-        if spec.updater is not None:
+        if self.sharded:
+            # one updater per shard, each wired to that shard's slice of
+            # the gauge bus and waking only that shard's repair loop
+            self.updater = None
+            self.updaters = [
+                PropertyUpdater(
+                    self.model.shard(k), self.gauge_bus.shard(k),
+                    self.manager.shard_proxy(k),
+                    property_map=spec.gauge_property_map,
+                    gate=self.wake_gate,
+                )
+                for k in range(sharding.shards)
+            ]
+        elif spec.updater is not None:
             self.updater = spec.updater(self)
+            self.updaters = [self.updater]
         else:
             self.updater = PropertyUpdater(
                 self.model, self.gauge_bus, self.manager,
                 property_map=spec.gauge_property_map,
                 gate=self.wake_gate,
             )
+            self.updaters = [self.updater]
 
         # 10 (fault mode only): bind the remaining injection surfaces —
         # probes for dropout windows, application components for outages.
@@ -200,7 +305,7 @@ class AdaptationRuntime:
     def history(self):
         return self.manager.history
 
-    def bus_stats(self) -> Dict[str, float]:
+    def _bus_section(self) -> Dict[str, float]:
         """Monitoring-overhead numbers for the experiment harness.
 
         Batching counters (batches, drops, stalls, queue depths) appear
@@ -227,20 +332,20 @@ class AdaptationRuntime:
                     stats[f"{prefix}_{key}"] = bus_stats[key]
         return stats
 
-    def gauge_stats(self) -> Dict[str, int]:
+    def _gauge_section(self) -> Dict[str, int]:
         return {
             "created": self.gauge_manager.created,
             "redeployments": self.gauge_manager.redeployments,
         }
 
-    def constraint_stats(self) -> Dict[str, int]:
+    def _constraint_section(self) -> Dict[str, int]:
         """Incremental-checker counters for the evaluation hot path
         (see docs/performance.md): evaluations, full vs incremental
         passes, and per-scope evaluate/reuse totals."""
         return {"evaluations": self.manager.evaluations,
                 **self.manager.constraint_stats}
 
-    def telemetry_stats(self) -> Dict[str, int]:
+    def _telemetry_section(self) -> Dict[str, int]:
         """Columnar-plane counters (X8): volume and wakeup suppression.
 
         ``samples`` counts probe observations, ``batches`` the
@@ -257,29 +362,91 @@ class AdaptationRuntime:
         if self.wake_gate is not None:
             stats.update(self.wake_gate.stats())
         else:
-            stats["wakeups"] = int(getattr(self.updater, "applied", 0))
+            stats["wakeups"] = sum(
+                int(getattr(u, "applied", 0)) for u in self.updaters
+            )
             stats["suppressed_reports"] = 0
         return stats
 
-    def fault_stats(self) -> Dict[str, Any]:
+    def _fault_section(self) -> Dict[str, Any]:
         """The fault plane's injection counters ({} without a plane)."""
         if self.fault_plane is None:
             return {}
         return self.fault_plane.stats()
 
-    def stats(self) -> Dict[str, Dict[str, float]]:
-        """Every counter section at once — the shape
-        :class:`~repro.experiment.result.RunResult` carries as its
-        ``bus_stats`` / ``gauge_stats`` / ``constraint_stats`` sections.
-        The ``faults`` section appears only when a fault plane exists,
-        so no-fault runs keep their historical stats shape."""
-        stats = {
-            "bus": self.bus_stats(),
-            "gauges": self.gauge_stats(),
-            "constraints": self.constraint_stats(),
-            "repairs": self.manager.repair_stats(),
-            "telemetry": self.telemetry_stats(),
-        }
-        if self.fault_plane is not None:
-            stats["faults"] = self.fault_stats()
-        return stats
+    def _shard_sections(self) -> Tuple[ShardStats, ...]:
+        """Per-shard counter sections (empty on the unsharded path)."""
+        if not self.sharded:
+            return ()
+        sections = []
+        for k, manager in enumerate(self.managers):
+            probe = self.probe_bus.shard(k)
+            gauge = self.gauge_bus.shard(k)
+            sections.append(
+                ShardStats(
+                    shard=k,
+                    bus={
+                        "probe_published": probe.published,
+                        "probe_mean_transit": probe.mean_transit,
+                        "gauge_published": gauge.published,
+                        "gauge_mean_transit": gauge.mean_transit,
+                    },
+                    constraints={
+                        "evaluations": manager.evaluations,
+                        **manager.constraint_stats,
+                    },
+                    repairs=manager.repair_stats(),
+                )
+            )
+        return tuple(sections)
+
+    def stats(self) -> RuntimeStats:
+        """Every counter section at once, as one typed, frozen
+        :class:`~repro.runtime.stats.RuntimeStats` snapshot.
+
+        ``stats().to_dict()`` reproduces the historical dict shape
+        exactly: ``faults`` appears only when a fault plane exists and
+        ``shards`` only when sharding is active, so no-fault unsharded
+        runs keep their historical stats shape."""
+        return RuntimeStats(
+            bus=self._bus_section(),
+            gauges=self._gauge_section(),
+            constraints=self._constraint_section(),
+            repairs=self.manager.repair_stats(),
+            telemetry=self._telemetry_section(),
+            faults=self._fault_section() if self.fault_plane is not None else None,
+            shards=self._shard_sections(),
+        )
+
+    # -- deprecated per-section accessors ----------------------------------
+    def _deprecated(self, old: str, new: str):
+        warnings.warn(
+            f"AdaptationRuntime.{old}() is deprecated; use {new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def bus_stats(self) -> Dict[str, float]:
+        """Deprecated: use :meth:`stats` (``.bus``)."""
+        self._deprecated("bus_stats", "stats().bus")
+        return self._bus_section()
+
+    def gauge_stats(self) -> Dict[str, int]:
+        """Deprecated: use :meth:`stats` (``.gauges``)."""
+        self._deprecated("gauge_stats", "stats().gauges")
+        return self._gauge_section()
+
+    def constraint_stats(self) -> Dict[str, int]:
+        """Deprecated: use :meth:`stats` (``.constraints``)."""
+        self._deprecated("constraint_stats", "stats().constraints")
+        return self._constraint_section()
+
+    def telemetry_stats(self) -> Dict[str, int]:
+        """Deprecated: use :meth:`stats` (``.telemetry``)."""
+        self._deprecated("telemetry_stats", "stats().telemetry")
+        return self._telemetry_section()
+
+    def fault_stats(self) -> Dict[str, Any]:
+        """Deprecated: use :meth:`stats` (``.faults``)."""
+        self._deprecated("fault_stats", "stats().faults")
+        return self._fault_section()

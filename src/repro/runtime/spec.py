@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
         RetryPolicy,
     )
     from repro.runtime.core import AdaptationRuntime
+    from repro.runtime.sharding import ShardingSpec
 
 __all__ = ["ProbeBinding", "GaugeBinding", "InstrumentBinding", "AdaptationSpec"]
 
@@ -154,3 +155,9 @@ class AdaptationSpec:
     breaker_policy: Optional["BreakerPolicy"] = None
     quarantine_policy: Optional["QuarantinePolicy"] = None
     history_capacity: Optional[int] = None
+
+    # sharded control plane: a ShardingSpec with shards > 1 partitions
+    # the model, buses, and repair loops per shard with a footprint-locked
+    # cross-shard coordinator.  None — the pinned-fingerprint default —
+    # builds the single-loop plane exactly as before.
+    sharding: Optional["ShardingSpec"] = None

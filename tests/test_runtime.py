@@ -91,7 +91,7 @@ class TestAdaptationRuntimeBuild:
         assert isinstance(rt.updater, PropertyUpdater)
         assert len(rt.gauges) == 2
         assert len(rt.periodic_probes) == 2
-        assert rt.gauge_stats()["created"] == 2
+        assert rt.stats().gauges["created"] == 2
 
     def test_model_mirrors_runtime_configuration(self):
         _, app, rt = tiny_runtime()
@@ -147,7 +147,7 @@ class TestAdaptationRuntimeLoop:
         for _ in range(12):
             app.submit()
         sim.run(until=20.0)
-        stats = rt.constraint_stats()
+        stats = rt.stats().constraints
         assert stats["evaluations"] > 10
         assert stats["incremental_checks"] > 0
         assert stats["full_checks"] <= 2  # the initial cache build

@@ -104,9 +104,14 @@ def test_serial_is_the_default_everywhere_but_multi_tenant():
         == "serial"
     )
     # multi_tenant opts into the disjoint scheduler; grid_site declares
-    # serial explicitly (its params carry the knob); everything else
-    # inherits the serial default.
-    declared = {"multi_tenant": "disjoint", "grid_site": "serial"}
+    # serial explicitly (its params carry the knob); the sharded variant
+    # runs serial per-shard loops (all concurrency comes from sharding);
+    # everything else inherits the serial default.
+    declared = {
+        "multi_tenant": "disjoint",
+        "multi_tenant_sharded": "serial",
+        "grid_site": "serial",
+    }
     entries = {e["name"]: e for e in api.list_scenarios()}
     for name, entry in entries.items():
         assert entry["params"].get("concurrency") == declared.get(name)

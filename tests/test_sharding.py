@@ -1,0 +1,556 @@
+"""Sharded control plane: spec validation, model partition, bus routing,
+and the cross-shard coordinator's two-phase commit/abort paths."""
+
+import pytest
+
+from repro.acme.sharding import ShardedArchSystem
+from repro.acme.system import ArchSystem
+from repro.bus.sharding import ShardedEventBus
+from repro.constraints.invariants import ConstraintChecker
+from repro.errors import UnknownElementError
+from repro.repair import (
+    ArchitectureManager,
+    FirstSuccessStrategy,
+    Footprint,
+    PythonTactic,
+    ShardCoordinator,
+)
+from repro.runtime.sharding import (
+    ShardingSpec,
+    register_shard_key,
+    resolve_shard_key,
+    shard_key_names,
+)
+from repro.sim import Simulator
+from repro.styles.multi_tenant import (
+    build_multi_tenant_family,
+    build_multi_tenant_model,
+)
+
+TRANSLATE_COST = 10.0
+SETTLE_TIME = 20.0
+
+
+# ---------------------------------------------------------------------------
+# ShardingSpec + shard-key registry
+# ---------------------------------------------------------------------------
+class TestShardingSpec:
+    def test_defaults_are_inactive(self):
+        spec = ShardingSpec()
+        assert spec.shards == 1
+        assert spec.key == "hash"
+        assert not spec.active()
+
+    def test_active_needs_shards_and_enabled(self):
+        assert ShardingSpec(shards=4).active()
+        assert not ShardingSpec(shards=4, enabled=False).active()
+        assert not ShardingSpec(shards=1).active()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"shards": -2},
+            {"shards": 2.5},
+            {"key": ""},
+            {"key": 7},
+            {"max_lock_shards": -1},
+        ],
+    )
+    def test_invalid_specs_fail_on_construction(self, kwargs):
+        with pytest.raises(ValueError, match="invalid sharding spec"):
+            ShardingSpec(**kwargs)
+
+    def test_spec_is_frozen_and_hashable(self):
+        spec = ShardingSpec(shards=3, key="numeric_suffix")
+        with pytest.raises(Exception):
+            spec.shards = 4
+        assert spec == ShardingSpec(shards=3, key="numeric_suffix")
+        assert hash(spec) == hash(ShardingSpec(shards=3, key="numeric_suffix"))
+
+    def test_builtin_keys_registered(self):
+        assert "hash" in shard_key_names()
+        assert "numeric_suffix" in shard_key_names()
+
+    def test_unknown_key_resolution_fails_with_names(self):
+        with pytest.raises(ValueError, match="unknown shard key"):
+            resolve_shard_key("no_such_key")
+
+    def test_duplicate_registration_rejected(self):
+        register_shard_key("test_sharding_dup", lambda name, shards: 0)
+        with pytest.raises(ValueError, match="already registered"):
+            register_shard_key("test_sharding_dup", lambda name, shards: 0)
+
+    def test_numeric_suffix_key(self):
+        key = resolve_shard_key("numeric_suffix")
+        assert key("T7", 3) == 1
+        assert key("n12", 5) == 2
+        assert key("gateway", 3) is None
+
+    def test_hash_key_is_stable_and_in_range(self):
+        key = resolve_shard_key("hash")
+        # crc32-based: stable across processes (unlike hash())
+        assert key("gateway", 4) == key("gateway", 4)
+        for name in ("a", "gateway", "T0", "route_T3"):
+            assert 0 <= key(name, 3) < 3
+
+
+# ---------------------------------------------------------------------------
+# Model partition
+# ---------------------------------------------------------------------------
+def tenancy_model():
+    return build_multi_tenant_model(
+        "TenancyModel",
+        ["T0", "T1", "T2", "T3"],
+        pool_size=2,
+        min_size=1,
+        family=build_multi_tenant_family(),
+    )
+
+
+class TestPartition:
+    def test_assignment_follows_key(self):
+        model = ShardedArchSystem.partition(
+            tenancy_model(), 3, resolve_shard_key("numeric_suffix")
+        )
+        assert model.shard_count == 3
+        assert model.shard_of("T0") == 0
+        assert model.shard_of("T1") == 1
+        assert model.shard_of("T2") == 2
+        assert model.shard_of("T3") == 0  # 3 % 3
+        # no digits -> no opinion -> shard 0
+        assert model.shard_of("gateway") == 0
+        assert model.shard_of("nobody") is None
+
+    def test_connector_follows_first_attached_component(self):
+        model = ShardedArchSystem.partition(
+            tenancy_model(), 3, resolve_shard_key("numeric_suffix")
+        )
+        # sorted attachment order puts "T1.ingest" before "gateway.out_T1",
+        # so each route connector co-shards with its tenant pool
+        for tenant, shard in (("T0", 0), ("T1", 1), ("T2", 2), ("T3", 0)):
+            assert model.shard_of(f"route_{tenant}") == shard
+            part = model.shard(shard)
+            assert part.has_component(tenant)
+            assert part.has_connector(f"route_{tenant}")
+
+    def test_cross_links_record_dropped_attachments(self):
+        model = ShardedArchSystem.partition(
+            tenancy_model(), 3, resolve_shard_key("numeric_suffix")
+        )
+        # gateway (shard 0) -> route_T1/route_T2 (shards 1/2) span shards;
+        # every other attachment materializes inside its shard
+        spans = {
+            (port, role): (ps, rs) for port, role, ps, rs in model.cross_links
+        }
+        assert spans == {
+            ("gateway.out_T1", "route_T1.gateway"): (0, 1),
+            ("gateway.out_T2", "route_T2.gateway"): (0, 2),
+        }
+        # the co-sharded side of those routes still materialized
+        assert model.shard(1).is_attached(
+            model.component("T1").port("ingest"),
+            model.connector("route_T1").role("tenant"),
+        )
+
+    def test_partition_copies_properties_and_invariants(self):
+        source = tenancy_model()
+        model = ShardedArchSystem.partition(
+            source, 3, resolve_shard_key("numeric_suffix")
+        )
+        for tenant in ("T0", "T1", "T2", "T3"):
+            pool = model.component(tenant)
+            assert pool.get_property("size") == 2
+            assert pool.get_property("minSize") == 1
+            assert pool.declares_type("TenantPoolT")
+        assert model.component("gateway").get_property("tenants") == 4
+        for part in model.shards:
+            assert part.invariant_sources == source.invariant_sources
+            assert part.family == source.family
+
+    def test_partition_rebuilds_elements(self):
+        source = tenancy_model()
+        model = ShardedArchSystem.partition(
+            source, 2, resolve_shard_key("numeric_suffix")
+        )
+        # fresh objects: writes to a shard slice never leak to the source
+        model.component("T0").set_property("size", 9)
+        assert source.component("T0").get_property("size") == 2
+
+    def test_facade_lookups(self):
+        model = ShardedArchSystem.partition(
+            tenancy_model(), 3, resolve_shard_key("numeric_suffix")
+        )
+        assert [c.name for c in model.components] == [
+            "T0", "T1", "T2", "T3", "gateway",
+        ]
+        assert [c.name for c in model.connectors] == [
+            "route_T0", "route_T1", "route_T2", "route_T3",
+        ]
+        assert len(model.components_of_type("TenantPoolT")) == 4
+        assert model.has_component("T2")
+        assert not model.has_component("route_T2")
+        assert model.has_connector("route_T2")
+        with pytest.raises(UnknownElementError):
+            model.component("nobody")
+        with pytest.raises(UnknownElementError):
+            model.connector("T1")
+
+    def test_shards_of_elements(self):
+        model = ShardedArchSystem.partition(
+            tenancy_model(), 3, resolve_shard_key("numeric_suffix")
+        )
+        assert model.shards_of_elements(["T1"]) == {1}
+        # qualified port names resolve through their owner
+        assert model.shards_of_elements(["T2.ingest", "gateway"]) == {0, 2}
+        # unknown names map to every shard: conservative for admission
+        assert model.shards_of_elements(["mystery"]) == {0, 1, 2}
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="shard count"):
+            ShardedArchSystem.partition(
+                tenancy_model(), 0, resolve_shard_key("hash")
+            )
+
+
+# ---------------------------------------------------------------------------
+# Sharded event bus
+# ---------------------------------------------------------------------------
+def make_bus(shards=2):
+    sim = Simulator()
+    homes = {"T0": 0, "T1": 1}
+    bus = ShardedEventBus(sim, shards, homes.get)
+    return sim, bus
+
+
+class TestShardedBus:
+    def test_literal_publish_and_subscribe_meet_on_home_shard(self):
+        sim, bus = make_bus()
+        got = []
+        sub = bus.subscribe("gauge.latency.T1", got.append)
+        assert len(sub.parts) == 1  # literal: home shard only
+        bus.publish_subject("gauge.latency.T1", value=1.5)
+        sim.run(until=1.0)
+        assert len(got) == 1
+        assert got[0].attributes["value"] == 1.5
+        assert bus.shard(1).published == 1
+        assert bus.shard(0).published == 0
+
+    def test_wildcard_subscriber_sees_each_message_exactly_once(self):
+        sim, bus = make_bus()
+        got = []
+        sub = bus.subscribe("gauge.latency.*", got.append)
+        assert len(sub.parts) == 2  # wildcard: registered everywhere
+        bus.publish_subject("gauge.latency.T0", value=1.0)
+        bus.publish_subject("gauge.latency.T1", value=2.0)
+        sim.run(until=1.0)
+        # publish routes to exactly one child, so no duplicates
+        assert sorted(m.subject for m in got) == [
+            "gauge.latency.T0",
+            "gauge.latency.T1",
+        ]
+
+    def test_unknown_target_lands_on_shard_zero(self):
+        sim, bus = make_bus()
+        got = []
+        bus.subscribe("probe.latency.mystery", got.append)
+        bus.publish_subject("probe.latency.mystery", value=3.0)
+        sim.run(until=1.0)
+        assert len(got) == 1
+        assert bus.shard(0).published == 1
+
+    def test_facade_unsubscribe(self):
+        sim, bus = make_bus()
+        got = []
+        sub = bus.subscribe("gauge.>", got.append)
+        bus.publish_subject("gauge.latency.T0", value=1.0)
+        sim.run(until=1.0)
+        assert sub.active
+        bus.unsubscribe(sub)
+        assert not sub.active
+        bus.publish_subject("gauge.latency.T0", value=2.0)
+        sim.run(until=2.0)
+        assert len(got) == 1
+
+    def test_stats_rollup(self):
+        sim, bus = make_bus()
+        bus.subscribe("gauge.>", lambda m: None)
+        bus.publish_subject("gauge.latency.T0", value=1.0)
+        bus.publish_subject("gauge.latency.T1", value=2.0)
+        sim.run(until=1.0)
+        stats = bus.stats()
+        assert stats["published"] == 2
+        assert stats["delivered"] == 2
+        per_shard = bus.shard_stats()
+        assert [s["published"] for s in per_shard] == [1, 1]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="shard count"):
+            ShardedEventBus(Simulator(), 0, lambda name: 0)
+
+
+# ---------------------------------------------------------------------------
+# Shard coordinator
+# ---------------------------------------------------------------------------
+class FixedCostTranslator:
+    def __init__(self, sim, delay):
+        self.sim = sim
+        self.delay = delay
+
+    def execute(self, intents, on_done=None):
+        self.sim.schedule(self.delay, on_done or (lambda: None))
+
+
+def heal(ctx):
+    target = ctx.bindings["__strategy_args__"][0]
+    target.set_property("latency", 1.0)
+    ctx.intend("heal", target=target.name)
+    return True
+
+
+def build_coordinator(
+    shards=3,
+    per_shard=2,
+    violated=True,
+    settle_time=SETTLE_TIME,
+    max_lock_shards=0,
+):
+    """bench_x5-style rig: ``shards * per_shard`` NodeT components sharded
+    by numeric suffix, one serial engine per shard, one coordinator."""
+    system = ArchSystem("Synthetic")
+    for i in range(shards * per_shard):
+        comp = system.new_component(f"n{i}", ["NodeT"])
+        comp.set_property("latency", 5.0 if violated else 1.0)
+    sim = Simulator()
+    model = ShardedArchSystem.partition(
+        system, shards, resolve_shard_key("numeric_suffix")
+    )
+    managers, checkers = [], []
+    for k in range(shards):
+        checker = ConstraintChecker(bindings={"maxLatency": 2.0})
+        checker.add_source(
+            "r", "latency <= maxLatency", scope_type="NodeT", repair="fix"
+        )
+        manager = ArchitectureManager(
+            sim,
+            model.shard(k),
+            checker,
+            translator=FixedCostTranslator(sim, TRANSLATE_COST),
+            settle_time=settle_time,
+        )
+        manager.register_strategy(
+            FirstSuccessStrategy("fix", [PythonTactic("heal", heal)])
+        )
+        managers.append(manager)
+        checkers.append(checker)
+    coordinator = ShardCoordinator(
+        sim,
+        model,
+        managers,
+        settle_time=settle_time,
+        max_lock_shards=max_lock_shards,
+    )
+    return sim, model, checkers, coordinator
+
+
+def run_to_quiesce(sim, model, checkers, coordinator, horizon=600.0):
+    quiesce = {"at": None}
+
+    def healthy():
+        return all(
+            not checker.violations(model.shard(k))
+            for k, checker in enumerate(checkers)
+        )
+
+    def tick():
+        coordinator.evaluate()
+        if quiesce["at"] is None and not coordinator.busy and healthy():
+            quiesce["at"] = sim.now
+            return
+        sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run(until=horizon)
+    return quiesce["at"] if quiesce["at"] is not None else horizon
+
+
+class TestCoordinatorLocalRepairs:
+    def test_shard_local_repairs_never_block_each_other(self):
+        """Disjoint violations: peak inflight reaches the shard count."""
+        shards = 3
+        sim, model, checkers, coordinator = build_coordinator(shards=shards)
+        run_to_quiesce(sim, model, checkers, coordinator)
+        assert coordinator.peak_inflight >= shards
+        history = coordinator.history
+        assert len(history) == shards * 2
+        assert all(record.committed for record in history)
+
+    def test_quiesce_time_independent_of_shard_count(self):
+        """Fixed per-shard load: adding shards must not slow quiesce."""
+        times = {
+            shards: run_to_quiesce(*build_coordinator(shards=shards))
+            for shards in (1, 3)
+        }
+        assert times[3] == pytest.approx(times[1], abs=2.0)
+
+    def test_aggregate_surface(self):
+        shards = 3
+        sim, model, checkers, coordinator = build_coordinator(shards=shards)
+        run_to_quiesce(sim, model, checkers, coordinator)
+        stats = coordinator.repair_stats()
+        assert stats["shards"] == shards
+        assert stats["peak_inflight"] == coordinator.peak_inflight
+        assert stats["cross_commits"] == 0
+        assert stats["deferrals"] == 0
+        assert coordinator.evaluations == sum(
+            manager.evaluations for manager in coordinator.managers
+        )
+        assert coordinator.constraint_stats["scopes_evaluated"] > 0
+        assert not coordinator.busy
+        assert coordinator.inflight == 0
+
+    def test_merged_history_is_time_ordered(self):
+        sim, model, checkers, coordinator = build_coordinator(shards=3)
+        run_to_quiesce(sim, model, checkers, coordinator)
+        started = [record.started for record in coordinator.history]
+        assert started == sorted(started)
+
+
+class TestCoordinatorCrossShard:
+    def test_cross_shard_commit_matches_unsharded_serial_schedule(self):
+        """Property: a fully cross-shard workload leaves the sharded model
+        in the same final state as the identical serial schedule applied
+        to the unsharded system."""
+        shards, per_shard = 3, 2
+        reference = ArchSystem("Synthetic")
+        for i in range(shards * per_shard):
+            reference.new_component(f"n{i}", ["NodeT"]).set_property(
+                "latency", 5.0
+            )
+        sim, model, checkers, coordinator = build_coordinator(
+            shards=shards, per_shard=per_shard, violated=True
+        )
+
+        # each step writes one component in every shard; values are a
+        # deterministic function of (step, component) so any lost or
+        # misrouted write changes the final state
+        def mutation(step, names):
+            def mutate(target):
+                for j, comp_name in enumerate(names):
+                    target.component(comp_name).set_property(
+                        "latency", float(10 * step + j)
+                    )
+            return mutate
+
+        schedule = [
+            ("n0", "n1", "n2"),
+            ("n3", "n4", "n5"),
+            ("n2", "n3", "n4"),
+        ]
+        for step, names in enumerate(schedule):
+            outcome = coordinator.submit_cross(
+                Footprint.of(names), mutation(step, names)
+            )
+            assert outcome.committed, outcome.reason
+            assert outcome.shards == (0, 1, 2)
+            mutation(step, names)(reference)
+            sim.run(until=sim.now + SETTLE_TIME + 1.0)  # let locks expire
+
+        assert coordinator.cross_commits == len(schedule)
+        assert coordinator.cross_aborts == 0
+        for comp in reference.components:
+            assert model.component(comp.name).get_property(
+                "latency"
+            ) == comp.get_property("latency")
+
+    def test_escaped_write_aborts_and_rolls_back_every_shard(self):
+        sim, model, checkers, coordinator = build_coordinator(violated=False)
+
+        def sloppy(target):
+            target.component("n0").set_property("latency", 99.0)  # declared
+            target.component("n1").set_property("latency", 99.0)  # escaped!
+
+        outcome = coordinator.submit_cross(Footprint.of(["n0"]), sloppy)
+        assert not outcome.committed
+        assert "escaped" in outcome.reason
+        assert coordinator.cross_aborts == 1
+        # both writes rolled back, including the one inside the footprint
+        assert model.component("n0").get_property("latency") == 1.0
+        assert model.component("n1").get_property("latency") == 1.0
+
+    def test_exception_aborts_and_rolls_back(self):
+        sim, model, checkers, coordinator = build_coordinator(violated=False)
+
+        def broken(target):
+            target.component("n0").set_property("latency", 99.0)
+            raise RuntimeError("mid-repair crash")
+
+        outcome = coordinator.submit_cross(Footprint.of(["n0", "n1"]), broken)
+        assert not outcome.committed
+        assert "exception" in outcome.reason
+        assert model.component("n0").get_property("latency") == 1.0
+
+    def test_universal_footprint_locks_every_shard(self):
+        sim, model, checkers, coordinator = build_coordinator(violated=False)
+        outcome = coordinator.submit_cross(
+            Footprint.UNIVERSAL, lambda target: None
+        )
+        assert outcome.committed
+        assert outcome.shards == (0, 1, 2)
+
+    def test_lock_defers_local_loops_then_expires(self):
+        sim, model, checkers, coordinator = build_coordinator(violated=False)
+        outcome = coordinator.submit_cross(
+            Footprint.of(["n0", "n1"]), lambda target: None
+        )
+        assert outcome.committed and outcome.shards == (0, 1)
+        assert coordinator.busy  # lock-settling counts as busy
+        coordinator.evaluate()
+        assert coordinator.deferrals == 2  # shards 0 and 1 skipped
+        # a second cross-shard repair into a locked shard is rejected
+        denied = coordinator.submit_cross(
+            Footprint.of(["n1"]), lambda target: None
+        )
+        assert not denied.committed
+        assert "lock-settling" in denied.reason
+        assert coordinator.cross_rejects == 1
+        # ...until the settle window expires
+        sim.run(until=SETTLE_TIME + 1.0)
+        assert not coordinator.busy
+        retried = coordinator.submit_cross(
+            Footprint.of(["n1"]), lambda target: None
+        )
+        assert retried.committed
+
+    def test_max_lock_shards_caps_admission(self):
+        sim, model, checkers, coordinator = build_coordinator(
+            violated=False, max_lock_shards=1
+        )
+        denied = coordinator.submit_cross(
+            Footprint.of(["n0", "n1"]), lambda target: None
+        )
+        assert not denied.committed
+        assert "max_lock_shards" in denied.reason
+        allowed = coordinator.submit_cross(
+            Footprint.of(["n0"]), lambda target: None
+        )
+        assert allowed.committed
+
+    def test_busy_shard_rejects_cross_repair(self):
+        sim, model, checkers, coordinator = build_coordinator(violated=True)
+        coordinator.evaluate_shard(0)  # shard 0 now mid-repair
+        assert coordinator.managers[0].busy
+        denied = coordinator.submit_cross(
+            Footprint.of(["n0", "n1"]), lambda target: None
+        )
+        assert not denied.committed
+        assert "busy" in denied.reason
+        # a cross repair avoiding the busy shard is unaffected
+        allowed = coordinator.submit_cross(
+            Footprint.of(["n1", "n2"]), lambda target: None
+        )
+        assert allowed.committed
+
+    def test_empty_manager_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one manager"):
+            ShardCoordinator(Simulator(), None, [])
