@@ -1,0 +1,319 @@
+"""A live asyncio application for the wall-clock execution plane.
+
+Every other module in ``repro.app`` is a *simulated* application; this
+one actually runs: :class:`AsyncWorkerPoolApp` serves a minimal HTTP
+protocol on a real socket from its own asyncio event loop (on a daemon
+thread), bounding concurrent request service with a **resizable worker
+pool** — the live analogue of the task farm's pool width.  Requests
+beyond the pool's capacity queue; the queue depth, pool occupancy, and
+pool size are exported as plain-int metrics any thread may read, which
+is exactly what the realtime plane's periodic probes sample.
+
+The adaptation seam is :meth:`AsyncWorkerPoolApp.request_resize` — the
+one thread-safe entry point the live translator calls when a committed
+repair's ``addWorkers`` / ``removeWorkers`` intent actuates.  Resizing
+up immediately admits queued requests; resizing down lets in-flight
+requests finish and narrows admission from then on (no worker is ever
+interrupted mid-request).
+
+:class:`LoadGenerator` is the built-in ``wrk``-style driver: a fixed
+number of **closed-loop** connections per phase, each issuing the next
+request only after the previous response lands.  Closed-loop load keeps
+socket use bounded and makes the latency story crisp: with ``C``
+connections against a pool of ``n`` workers and service time ``s``,
+steady-state round-trip time is ~``C * s / n`` — so growing the pool
+during a burst is directly visible in client-side p95.
+
+Latency is measured client-side against an injected
+:class:`~repro.realtime.clock.Clock` — this module never reads the OS
+clock itself (the determinism lint holds ``repro.app`` to that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from repro.realtime.clock import Clock
+
+__all__ = ["AsyncWorkerPool", "AsyncWorkerPoolApp", "LoadGenerator", "Phase"]
+
+#: one load phase: (name, closed-loop connections, duration seconds)
+Phase = Tuple[str, int, float]
+
+_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: text/plain\r\n"
+    b"Content-Length: 3\r\n"
+    b"Connection: keep-alive\r\n"
+    b"\r\n"
+    b"ok\n"
+)
+
+
+class AsyncWorkerPool:
+    """A resizable admission gate living inside one asyncio loop.
+
+    Like a semaphore whose value can change while tasks wait on it:
+    ``acquire`` admits the caller while fewer than ``size`` slots are
+    busy and queues a future otherwise; ``set_size`` re-pumps the queue
+    so a grow admits waiters immediately and a shrink simply stops
+    back-filling slots as they free.  All methods must run on the
+    owning loop.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = int(size)
+        self.busy = 0
+        self.max_size_seen = int(size)
+        self._waiters: Deque[asyncio.Future] = deque()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def _pump(self) -> None:
+        while self._waiters and self.busy < self.size:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                self.busy += 1
+                waiter.set_result(None)
+
+    async def acquire(self) -> None:
+        if self.busy < self.size:
+            self.busy += 1
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        await waiter
+
+    def release(self) -> None:
+        self.busy -= 1
+        self._pump()
+
+    def set_size(self, size: int) -> None:
+        self.size = max(1, int(size))
+        if self.size > self.max_size_seen:
+            self.max_size_seen = self.size
+        self._pump()
+
+
+class AsyncWorkerPoolApp:
+    """The live application: an HTTP server gated by a resizable pool.
+
+    ``start()`` spins up an event loop on a daemon thread, binds the
+    server (port 0 picks a free port, published as ``.port`` once the
+    ready event fires), and serves until ``stop()``.  Metric reads
+    (``pool_size``, ``queue_depth``, ``busy``, ``completed``) are plain
+    int reads, safe from any thread; the only cross-thread *mutation*
+    is :meth:`request_resize`, which hops onto the loop.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service_time: float = 0.05,
+        pool_size: int = 2,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.service_time = float(service_time)
+        self.initial_pool_size = int(pool_size)
+        self.completed = 0
+        self.resizes: List[int] = []
+        self._pool: Optional[AsyncWorkerPool] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- metrics (any thread) ----------------------------------------------
+    @property
+    def pool_size(self) -> int:
+        return self._pool.size if self._pool is not None else self.initial_pool_size
+
+    @property
+    def peak_pool_size(self) -> int:
+        if self._pool is None:
+            return self.initial_pool_size
+        return self._pool.max_size_seen
+
+    @property
+    def queue_depth(self) -> int:
+        return self._pool.queue_depth if self._pool is not None else 0
+
+    @property
+    def busy(self) -> int:
+        return self._pool.busy if self._pool is not None else 0
+
+    def utilization(self) -> float:
+        pool = self._pool
+        if pool is None or pool.size <= 0:
+            return 0.0
+        return min(1.0, pool.busy / pool.size)
+
+    # -- adaptation seam (any thread) --------------------------------------
+    def request_resize(self, size: int) -> None:
+        """Ask the pool to resize; safe from any thread."""
+        loop = self._loop
+        if loop is None:
+            raise RuntimeError("application is not running")
+        self.resizes.append(int(size))
+        loop.call_soon_threadsafe(self._pool.set_size, int(size))
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, ready_timeout: float = 10.0) -> None:
+        if self._thread is not None:
+            raise RuntimeError("application already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-live-app", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(ready_timeout):
+            raise RuntimeError("application did not come up in time")
+        if self._startup_error is not None:
+            raise RuntimeError(f"application failed to start: {self._startup_error!r}")
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=join_timeout)
+            self._thread = None
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures to start()
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._pool = AsyncWorkerPool(self.initial_pool_size)
+        self._stop_event = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line in (b"\r\n", b"\n"):
+                    continue  # stray blank between pipelined requests
+                while True:  # drain headers up to the blank line
+                    header = await reader.readline()
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                await self._pool.acquire()
+                try:
+                    await asyncio.sleep(self.service_time)
+                finally:
+                    self._pool.release()
+                self.completed += 1
+                writer.write(_RESPONSE)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+
+class LoadGenerator:
+    """``wrk``-style closed-loop load: N persistent connections per phase.
+
+    Each connection holds one socket open and issues requests serially
+    — the next request leaves only when the previous response returns —
+    so concurrency is exactly the phase's connection count and socket
+    usage is bounded.  Per-request latency is measured client-side with
+    the injected clock and recorded as ``(phase, seconds)``; an optional
+    ``on_latency(phase, seconds)`` callback fans each sample out (the
+    live demo pushes them into the realtime plane's ingest probe from
+    here).
+    """
+
+    _REQUEST = b"GET / HTTP/1.1\r\nHost: live-demo\r\n\r\n"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        clock: Clock,
+        on_latency: Optional[Callable[[str, float], None]] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.clock = clock
+        self.on_latency = on_latency
+        self.samples: List[Tuple[str, float]] = []
+        self.errors = 0
+
+    def run(self, phases: Sequence[Phase]) -> List[Tuple[str, float]]:
+        """Drive all phases back-to-back; blocks the calling thread."""
+        asyncio.run(self._run_phases(list(phases)))
+        return self.samples
+
+    def latencies(self, phase: Optional[str] = None) -> List[float]:
+        return [
+            seconds
+            for name, seconds in self.samples
+            if phase is None or name == phase
+        ]
+
+    async def _run_phases(self, phases: List[Phase]) -> None:
+        for name, connections, duration in phases:
+            stop = asyncio.Event()
+            tasks = [
+                asyncio.create_task(self._connection(name, stop))
+                for _ in range(int(connections))
+            ]
+            await asyncio.sleep(float(duration))
+            stop.set()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _connection(self, phase: str, stop: asyncio.Event) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except OSError:
+            self.errors += 1
+            return
+        try:
+            while not stop.is_set():
+                started = self.clock.elapsed()
+                writer.write(self._REQUEST)
+                await writer.drain()
+                status = await reader.readline()
+                if not status:
+                    break
+                length = 0
+                while True:  # headers; remember Content-Length
+                    header = await reader.readline()
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = header.partition(b":")
+                    if key.strip().lower() == b"content-length":
+                        length = int(value.strip())
+                await reader.readexactly(length)
+                elapsed = self.clock.elapsed() - started
+                self.samples.append((phase, elapsed))
+                if self.on_latency is not None:
+                    self.on_latency(phase, elapsed)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            self.errors += 1
+        finally:
+            writer.close()

@@ -7,7 +7,11 @@ Subcommands:
 * ``compare`` — adapted vs control under the identical seeded workload;
 * ``report``  — full text report (summary, claims, series strips);
 * ``lint``    — static analysis over adaptation specs (DSL semantics,
-  static footprints, determinism, wiring) without running any events.
+  static footprints, determinism, wiring) without running any events;
+* ``serve``   — HTTP front door (``/health``, ``/stats``,
+  ``/repair-history``, ``/run``, ``/ingest``) over the stdlib server;
+* ``live-demo`` — adapt a real asyncio worker pool under burst load on
+  the wall-clock plane, comparing adapted vs control p95.
 
 ``--json`` emits machine-readable output (strict JSON, no NaN); every
 command exits 0 on success, 1 on a :class:`~repro.errors.ReproError`
@@ -195,6 +199,34 @@ def _cmd_lint(args, out) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def _cmd_serve(args, out) -> int:
+    # imported lazily: the serve layer pulls realtime + http machinery in
+    from repro.experiment.scenarios import scenario_builder
+    from repro.serve.app import ServeApp
+    from repro.serve.http import run_server
+
+    runtime = None
+    if args.scenario is not None:
+        config = api.make_config(args.scenario, fast=True)
+        runtime = scenario_builder(args.scenario)(config).build()
+    return run_server(args.host, args.port, ServeApp(runtime=runtime), out=out)
+
+
+def _cmd_live_demo(args, out) -> int:
+    # imported lazily: the demo pulls the realtime plane + asyncio app in
+    from repro.realtime.demo import main as demo_main
+
+    argv: List[str] = []
+    if args.check:
+        argv.append("--check")
+    if args.json:
+        argv.append("--json")
+    if args.fast:
+        argv.append("--fast")
+    argv += ["--factor", str(args.factor)]
+    return demo_main(argv, out=out)
+
+
 # -- parser ------------------------------------------------------------------
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -273,6 +305,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--json", action="store_true", help="emit JSON")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP front door for stats, history, and runs"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8023, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="build NAME's control plane (never started) behind /stats",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_demo = sub.add_parser(
+        "live-demo", help="wall-clock adaptation demo (adapted vs control)"
+    )
+    p_demo.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless adapted beats control on burst p95",
+    )
+    p_demo.add_argument(
+        "--fast", action="store_true", help="shorter load phases"
+    )
+    p_demo.add_argument(
+        "--factor", type=float, default=0.75,
+        help="required adapted/control burst-p95 ratio (default 0.75)",
+    )
+    p_demo.add_argument("--json", action="store_true", help="emit JSON")
+    p_demo.set_defaults(fn=_cmd_live_demo)
 
     return parser
 

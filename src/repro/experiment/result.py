@@ -83,6 +83,10 @@ class RunResult:
             (a, b) for a, b, _ in self.trace.intervals("repair.start", "repair.end")
         ]
 
+    def history_dicts(self) -> List[Dict[str, Any]]:
+        """The repair history as JSON-ready dicts (``/repair-history``)."""
+        return [record.as_dict() for record in self.history]
+
     # -- reporting -----------------------------------------------------------
     def extras(self) -> Dict[str, Any]:
         """Scenario-specific scalars for :meth:`summary` (subclass hook)."""

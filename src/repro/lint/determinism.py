@@ -20,10 +20,14 @@ execute inside (or drive) simulated time and flags:
   global ``numpy.random.seed``.
 
 Only *call sites* are flagged — a ``np.random.Generator`` type
-annotation never fires.  ``util/rng.py`` is the sanctioned seam where
-seeds enter the system, so it is exempt; anything else that genuinely
-needs wall-clock time carries a ``# lint: waive DET301 <reason>``
-comment on a nearby line, which suppresses the rule file-wide.
+annotation never fires.  Two files are sanctioned seams and exempt:
+``util/rng.py``, where seeds enter the system, and
+``realtime/clock.py``, where the wall-clock execution plane reads the
+OS clock (everything else in ``repro.realtime`` / ``repro.serve`` must
+take time from a ``Clock`` handed in at construction).  Anything else
+that genuinely needs wall-clock time carries a
+``# lint: waive DET301 <reason>`` comment on a nearby line, which
+suppresses the rule file-wide.
 """
 
 from __future__ import annotations
@@ -36,8 +40,21 @@ from repro.lint.findings import ERROR, LintFinding, apply_waivers, parse_waivers
 
 __all__ = ["DETERMINISM_PACKAGES", "lint_python_source", "lint_determinism_tree"]
 
-#: packages whose code runs inside (or schedules) simulated time
-DETERMINISM_PACKAGES = ("sim", "runtime", "faults", "app", "experiment")
+#: packages whose code runs inside (or schedules) simulated time — plus
+#: the wall-clock plane, which must route every time read through the
+#: realtime/clock.py seam
+DETERMINISM_PACKAGES = (
+    "sim",
+    "runtime",
+    "faults",
+    "app",
+    "experiment",
+    "realtime",
+    "serve",
+)
+
+#: per-file sanctioned seams: ambient time/randomness may enter here only
+_SEAM_FILES = frozenset({"rng.py", "clock.py"})
 
 #: dotted call targets that read ambient time or randomness
 _FORBIDDEN_CALLS = {
@@ -154,8 +171,8 @@ def lint_determinism_tree(
         if not base.is_dir():
             continue
         for path in sorted(base.rglob("*.py")):
-            if path.name == "rng.py":
-                continue  # the sanctioned seed seam
+            if path.name in _SEAM_FILES:
+                continue  # the sanctioned seed / wall-clock seams
             scanned += 1
             label = str(path.relative_to(root.parent))
             findings += lint_python_source(path.read_text(encoding="utf-8"), label)

@@ -41,6 +41,7 @@ __all__ = [
     "StageBacklogProbe",
     "StageUtilizationProbe",
     "CallbackProbe",
+    "IngestProbe",
 ]
 
 
@@ -330,6 +331,82 @@ class CallbackProbe(_PeriodicProbe):
     def stop(self) -> None:
         self.flush()
         super().stop()
+
+
+class IngestProbe(_Probe):
+    """Bus-ingested telemetry: samples pushed from *outside* the plane.
+
+    Where :class:`CallbackProbe` pulls (it samples a function on a
+    period), an ingest probe is push-fed: an external application — an
+    HTTP handler, an asyncio server, another process behind ``repro
+    serve``'s ``POST /ingest`` — hands observations in and the probe
+    publishes them on the probe bus under the usual
+    ``probe.<kind>.<target>`` subject, so the downstream gauge/updater
+    wiring is identical to the simulated plane's.
+
+    ``ingest`` must run on the thread that owns the bus; external
+    callers go through
+    :meth:`~repro.realtime.driver.RealtimeDriver.ingest`, which hops
+    onto the scheduler via ``call_soon_threadsafe``.  With ``batch > 1``
+    samples buffer (with capture times) and flush as one columnar
+    ``times``/``values`` array message — the PR 6 batched path — which
+    is the mode a high-rate external feed should run.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: EventBus,
+        kind: str,
+        target: str,
+        batch: int = 1,
+    ):
+        super().__init__(sim, bus, f"probe.{kind}.{target}")
+        if batch < 1:
+            raise ValueError(f"probe batch must be >= 1, got {batch}")
+        self.kind = kind
+        self.target = target
+        self.batch = int(batch)
+        self._pending_times: List[float] = []
+        self._pending_values: List[float] = []
+
+    def ingest(self, value: float, time: Optional[float] = None) -> None:
+        """Publish (or buffer) one externally captured observation.
+
+        ``time`` is the capture time on the scheduler's logical
+        timeline; it defaults to the current instant, which is also the
+        arrival stamp ``call_soon_threadsafe`` injection gives pushed
+        samples.
+        """
+        capture = self.sim.now if time is None else float(time)
+        if self.batch == 1:
+            self.publish(
+                f"probe.{self.kind}.{self.target}",
+                target=self.target,
+                value=float(value),
+            )
+            return
+        self._pending_times.append(capture)
+        self._pending_values.append(float(value))
+        if len(self._pending_values) >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        """Publish any buffered observations as one array message."""
+        if not self._pending_values:
+            return
+        times, self._pending_times = self._pending_times, []
+        values, self._pending_values = self._pending_values, []
+        self.publish_batch(
+            f"probe.{self.kind}.{self.target}",
+            times,
+            values,
+            target=self.target,
+        )
+
+    def stop(self) -> None:
+        """Flush the buffered tail (the driver calls this on shutdown)."""
+        self.flush()
 
 
 class UtilizationProbe(_PeriodicProbe):

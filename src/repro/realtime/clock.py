@@ -1,0 +1,88 @@
+"""The sanctioned wall-clock seam for the realtime plane.
+
+The determinism lint (DET301) forbids every module that runs inside or
+drives simulated time from reading ambient time — ``util/rng.py`` plays
+the same role for randomness.  This module is the one place the realtime
+plane touches the OS clock: :class:`WallClock` wraps ``time.monotonic``
+plus an interruptible wait, and :class:`FakeClock` is the deterministic
+double the realtime test suite runs on (advancing "elapsed" time
+instantly instead of sleeping), so the same scheduler code paths are
+exercised bit-for-bit reproducibly.
+
+Everything else in ``repro.realtime`` / ``repro.serve`` takes time from
+a :class:`Clock` instance handed in at construction; nothing outside
+this file may call ``time.*`` (the lint sweep enforces it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Protocol, runtime_checkable
+
+__all__ = ["Clock", "WallClock", "FakeClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What the realtime scheduler needs from a time source."""
+
+    def elapsed(self) -> float:
+        """Seconds since the clock's origin (monotonic, starts at 0)."""
+        ...  # pragma: no cover - protocol
+
+    def wait(self, timeout: float, interrupt: Optional[threading.Event]) -> bool:
+        """Block up to ``timeout`` seconds; True if ``interrupt`` fired."""
+        ...  # pragma: no cover - protocol
+
+
+class WallClock:
+    """Real time: ``time.monotonic`` anchored at construction.
+
+    ``wait`` blocks on the caller's interrupt event so a sleeping run
+    loop wakes immediately when another thread injects work or asks the
+    scheduler to stop — the latency of external telemetry ingestion is
+    one event wait, not a polling interval.
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._origin
+
+    def wait(self, timeout: float, interrupt: Optional[threading.Event]) -> bool:
+        if timeout <= 0:
+            return False
+        if interrupt is None:
+            time.sleep(timeout)
+            return False
+        return interrupt.wait(timeout)
+
+
+class FakeClock:
+    """Deterministic clock: ``wait`` advances elapsed time instantly.
+
+    Runs the realtime scheduler as fast as the host allows while keeping
+    the *logical* timeline exact: a loop that would sleep 0.25 s on a
+    :class:`WallClock` advances ``elapsed()`` by exactly 0.25 instead.
+    ``advance`` supports tests that move time by hand between steps.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._elapsed = float(start)
+        self.waits = 0
+
+    def elapsed(self) -> float:
+        return self._elapsed
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._elapsed += float(seconds)
+
+    def wait(self, timeout: float, interrupt: Optional[threading.Event]) -> bool:
+        if timeout > 0:
+            self._elapsed += float(timeout)
+            self.waits += 1
+        return False

@@ -1,0 +1,499 @@
+"""The live-adaptation demo: a real asyncio app adapted in wall time.
+
+This is the end-to-end proof of the wall-clock plane, and the online
+restaging of the paper's Figure 7 experiment: a running application is
+pushed past its provisioned capacity, the architecture model notices
+through gauges, and a committed repair resizes the real system while
+clients keep measuring it from the outside.
+
+The cast:
+
+* the application — :class:`~repro.app.async_pool_app.AsyncWorkerPoolApp`,
+  an asyncio HTTP server whose concurrency is gated by a resizable
+  worker pool (starts at ``pool_size``, budget ``max_workers``);
+* the load — a closed-loop ``wrk``-style generator driving three
+  phases: a calm ``warmup``, a ``burst`` of many concurrent
+  connections that swamps the initial pool, and a small ``cooldown``;
+* the control plane — the same style machinery the simulated task farm
+  uses (a ``WorkerPoolT`` with ``grow``/``shrink`` operators), mounted
+  on a :class:`~repro.realtime.driver.RealtimeDriver`: periodic probes
+  sample the live queue depth and occupancy, a bus-ingested probe
+  receives *client-side* latency pushed in from the load generator, and
+  the translator actuates committed resizes back into the asyncio loop.
+
+``run_live_demo(adapted=True)`` runs one such episode;
+:func:`run_comparison` runs adapted and control (same app, same load,
+no control plane) back to back and gates on the burst-phase p95:
+adaptation must grow the pool during the burst, shrink it after, and
+beat the control run's p95 by the required factor.  ``repro live-demo``
+is the CLI front door; CI runs it with ``--check``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.acme.family import Family
+from repro.acme.system import ArchSystem
+from repro.app.async_pool_app import AsyncWorkerPoolApp, LoadGenerator, Phase
+from repro.bus.bus import FixedDelay
+from repro.errors import TranslationError
+from repro.monitoring.gauges import EwmaGauge, WindowedMeanGauge
+from repro.monitoring.probes import CallbackProbe, IngestProbe
+from repro.realtime.clock import Clock, WallClock
+from repro.realtime.driver import RealtimeDriver
+from repro.runtime import (
+    AdaptationRuntime,
+    AdaptationSpec,
+    GaugeBinding,
+    IntentExecutor,
+    ManagedApplication,
+    ProbeBinding,
+)
+from repro.sim.process import Process
+from repro.styles.master_worker import master_worker_operators
+
+__all__ = [
+    "LIVE_POOL_DSL",
+    "build_live_pool_family",
+    "build_live_pool_model",
+    "build_live_pool_spec",
+    "LivePoolTranslator",
+    "LivePoolManagedApplication",
+    "run_live_demo",
+    "run_comparison",
+    "main",
+]
+
+
+def build_live_pool_family() -> Family:
+    """``LivePoolFam``: one ``WorkerPoolT`` component, live-pool properties.
+
+    The component type keeps the task-farm style's name so its
+    ``grow``/``shrink`` operators apply unchanged; ``latency`` carries
+    the bus-ingested client-side measurement onto the model.
+    """
+    fam = Family("LivePoolFam")
+    (
+        fam.component_type("WorkerPoolT")
+        .declare_property("backlog", "float", 0.0)
+        .declare_property("size", "int", 1)
+        .declare_property("minSize", "int", 1)
+        .declare_property("utilization", "float", 1.0)
+        .declare_property("latency", "float", 0.0)
+    )
+    fam.add_invariant("queueBound", "backlog <= maxBacklog")
+    fam.add_invariant("idlePool", "size <= minSize or utilization >= minUtilization")
+    return fam
+
+
+def build_live_pool_model(
+    name: str, pool_size: int, min_size: int, family: Optional[Family] = None
+) -> ArchSystem:
+    fam = family if family is not None else build_live_pool_family()
+    system = ArchSystem(name, family=fam.name)
+    pool = system.new_component("pool", ["WorkerPoolT"])
+    fam.initialize(pool)
+    pool.set_property("size", int(pool_size))
+    pool.set_property("minSize", int(min_size))
+    return system
+
+
+LIVE_POOL_DSL = """
+invariant q : backlog <= maxBacklog ! -> growPool(q);
+invariant u : size <= minSize or utilization >= minUtilization
+    ! -> shrinkPool(u);
+
+strategy growPool(busyPool : WorkerPoolT) = {
+    if (addWorkers(busyPool)) {
+        commit repair;
+    } else {
+        abort NoWorkersLeft;
+    }
+}
+
+// Grow two workers per committed repair: wall-clock bursts move faster
+// than the simulated farm's, so single steps would spend the burst
+// still provisioning.
+tactic addWorkers(pool : WorkerPoolT) : boolean = {
+    if (pool.backlog <= maxBacklog) {
+        return false;
+    }
+    pool.grow(2);
+    return true;
+}
+
+strategy shrinkPool(idlePool : WorkerPoolT) = {
+    if (removeWorker(idlePool)) {
+        commit repair;
+    } else {
+        abort ModelError;
+    }
+}
+
+tactic removeWorker(pool : WorkerPoolT) : boolean = {
+    if (pool.size <= pool.minSize) {
+        return false;
+    }
+    if (pool.utilization >= minUtilization) {
+        return false;
+    }
+    if (pool.backlog >= lowWater) {
+        return false;
+    }
+    pool.shrink(1);
+    return true;
+}
+"""
+
+
+class LivePoolTranslator(IntentExecutor):
+    """Actuates committed resize intents into the running asyncio app.
+
+    The translator runs on the scheduler thread; the application's
+    :meth:`~repro.app.async_pool_app.AsyncWorkerPoolApp.request_resize`
+    hops onto the asyncio loop itself, so the cross-thread boundary is
+    crossed exactly once, inside the app's sanctioned seam.
+    """
+
+    INTENT_OPS = frozenset({"addWorkers", "removeWorkers"})
+
+    def __init__(self, app: AsyncWorkerPoolApp, sim, actuation_delay: float = 0.05):
+        self.app = app
+        self.sim = sim
+        self.actuation_delay = float(actuation_delay)
+        self.executed: List[Any] = []
+
+    def execute(self, intents, on_done=None) -> Process:
+        return Process(
+            self.sim,
+            self._run(list(intents), on_done),
+            name="live-pool-translator",
+        )
+
+    def _run(self, intents, on_done):
+        for intent in intents:
+            if intent.op not in ("addWorkers", "removeWorkers"):
+                raise TranslationError(
+                    f"no live-pool mapping for intent {intent.op!r}"
+                )
+            if self.actuation_delay > 0:
+                yield self.sim.timeout(self.actuation_delay)
+            self.app.request_resize(int(intent.args["size"]))
+            self.executed.append(intent)
+        if on_done is not None:
+            on_done()
+
+
+class LivePoolManagedApplication(ManagedApplication):
+    """The asyncio worker pool wrapped for the adaptation runtime."""
+
+    name = "live-worker-pool"
+
+    def __init__(self, app: AsyncWorkerPoolApp, min_workers: int):
+        self.app = app
+        self.min_workers = int(min_workers)
+
+    def architecture(self) -> ArchSystem:
+        return build_live_pool_model(
+            "LivePoolModel",
+            pool_size=self.app.pool_size,
+            min_size=self.min_workers,
+        )
+
+    def intent_executor(self, runtime: AdaptationRuntime) -> LivePoolTranslator:
+        return LivePoolTranslator(self.app, runtime.sim)
+
+
+def build_live_pool_spec(
+    app: AsyncWorkerPoolApp,
+    max_workers: int = 12,
+    max_backlog: float = 10.0,
+    min_utilization: float = 0.75,
+    low_water: float = 2.0,
+    probe_period: float = 0.1,
+    gauge_period: float = 0.25,
+    backlog_horizon: float = 1.0,
+    settle_time: float = 0.4,
+) -> AdaptationSpec:
+    """The live demo's control plane, tuned for wall-clock timescales.
+
+    Same shape as the simulated task farm's spec, with three deltas:
+    sub-second monitoring/settle periods (a wall-clock burst lasts
+    seconds, not simulated minutes), a near-zero gauge deployment
+    delay, and a bus-ingested ``latency`` probe fed by the load
+    generator from outside the process.
+    """
+    instruments: List[Any] = [
+        ProbeBinding(
+            lambda rt: CallbackProbe(
+                rt.sim, rt.probe_bus, "backlog", "pool",
+                lambda: float(app.queue_depth), period=probe_period,
+            ),
+            periodic=True,
+        ),
+        GaugeBinding(
+            lambda rt: WindowedMeanGauge(
+                rt.sim, rt.probe_bus, rt.gauge_bus, "backlog", "pool",
+                period=gauge_period, horizon=backlog_horizon,
+            ),
+            entities=["pool"],
+        ),
+        ProbeBinding(
+            lambda rt: CallbackProbe(
+                rt.sim, rt.probe_bus, "utilization", "pool",
+                app.utilization, period=probe_period,
+            ),
+            periodic=True,
+        ),
+        GaugeBinding(
+            lambda rt: EwmaGauge(
+                rt.sim, rt.probe_bus, rt.gauge_bus, "utilization", "pool",
+                period=gauge_period, tau=4 * gauge_period,
+            ),
+            entities=["pool"],
+        ),
+        # the push path: client-side latency enters over the bus via
+        # RealtimeDriver.ingest -> IngestProbe, nothing polls for it
+        ProbeBinding(
+            lambda rt: IngestProbe(rt.sim, rt.probe_bus, "latency", "pool"),
+            periodic=False,
+        ),
+        GaugeBinding(
+            lambda rt: WindowedMeanGauge(
+                rt.sim, rt.probe_bus, rt.gauge_bus, "latency", "pool",
+                period=gauge_period, horizon=backlog_horizon,
+            ),
+            entities=["pool"],
+        ),
+    ]
+
+    def _operators(rt: AdaptationRuntime) -> Dict[str, Any]:
+        ops = master_worker_operators(max_workers=max_workers)
+        return {"grow": ops["grow"], "shrink": ops["shrink"]}
+
+    return AdaptationSpec(
+        style="LivePoolFam",
+        dsl_source=LIVE_POOL_DSL,
+        invariant_scopes={"q": "WorkerPoolT", "u": "WorkerPoolT"},
+        bindings={
+            "maxBacklog": max_backlog,
+            "minUtilization": min_utilization,
+            "lowWater": low_water,
+        },
+        operators=_operators,
+        instruments=instruments,
+        gauge_property_map={
+            "backlog": "backlog",
+            "utilization": "utilization",
+            "latency": "latency",
+        },
+        delivery=FixedDelay(0.01),
+        gauge_create_delay=0.05,
+        settle_time=settle_time,
+        failed_repair_cost=0.1,
+        violation_policy="first",
+    )
+
+
+def default_phases(
+    warmup: float = 2.0, burst: float = 10.0, cooldown: float = 3.5
+) -> List[Phase]:
+    return [
+        ("warmup", 8, float(warmup)),
+        ("burst", 64, float(burst)),
+        ("cooldown", 4, float(cooldown)),
+    ]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = int(round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_live_demo(
+    adapted: bool = True,
+    service_time: float = 0.05,
+    pool_size: int = 2,
+    max_workers: int = 12,
+    phases: Optional[List[Phase]] = None,
+    clock: Optional[Clock] = None,
+) -> Dict[str, Any]:
+    """One live episode: start the app, drive the load, tear down.
+
+    With ``adapted=True`` a :class:`RealtimeDriver` runs the control
+    plane against the live app and every client-measured latency is
+    pushed into its ingest probe; with ``adapted=False`` the identical
+    app takes the identical load with no plane attached.
+    """
+    phases = phases if phases is not None else default_phases()
+    clock = clock if clock is not None else WallClock()
+    app = AsyncWorkerPoolApp(service_time=service_time, pool_size=pool_size)
+    app.start()
+    driver: Optional[RealtimeDriver] = None
+    try:
+        on_latency = None
+        if adapted:
+            driver = RealtimeDriver(
+                LivePoolManagedApplication(app, min_workers=pool_size),
+                build_live_pool_spec(app, max_workers=max_workers),
+                clock=clock,
+            )
+            driver.start()
+
+            def on_latency(phase: str, seconds: float) -> None:
+                driver.ingest("latency", "pool", seconds)
+
+        load = LoadGenerator(app.host, app.port, clock, on_latency=on_latency)
+        load.run(phases)
+    finally:
+        if driver is not None:
+            driver.stop()
+        app.stop()
+
+    result: Dict[str, Any] = {
+        "adapted": bool(adapted),
+        "requests": len(load.samples),
+        "connection_errors": load.errors,
+        "pool_initial": pool_size,
+        "pool_peak": app.peak_pool_size,
+        "pool_final": app.pool_size,
+        "phases": {
+            name: {
+                "requests": len(load.latencies(name)),
+                "p50": _percentile(load.latencies(name), 0.50),
+                "p95": _percentile(load.latencies(name), 0.95),
+            }
+            for name, _, _ in phases
+        },
+        "p95_overall": _percentile(load.latencies(), 0.95),
+    }
+    if driver is not None:
+        history = driver.history
+        committed = history.committed
+        ops = [intent.op for record in committed for intent in record.intents]
+        result["repairs"] = {
+            "committed": len(history.committed),
+            "aborted": len(history.aborted),
+            "grew": ops.count("addWorkers"),
+            "shrank": ops.count("removeWorkers"),
+        }
+        result["ingested"] = driver.ingested
+        result["scheduler"] = {
+            "executed": driver.scheduler.executed,
+            "max_lag": round(driver.scheduler.max_lag, 4),
+        }
+    return result
+
+
+def run_comparison(
+    factor: float = 0.75,
+    service_time: float = 0.05,
+    pool_size: int = 2,
+    max_workers: int = 12,
+    phases: Optional[List[Phase]] = None,
+) -> Dict[str, Any]:
+    """Control vs adapted under identical load; gate on burst p95.
+
+    The gates CI enforces: the adapted run grew the pool during the
+    burst, shrank it again afterwards, and its burst-phase p95 beat the
+    control run's by at least ``factor``.
+    """
+    control = run_live_demo(
+        adapted=False,
+        service_time=service_time,
+        pool_size=pool_size,
+        max_workers=max_workers,
+        phases=phases,
+    )
+    adapted = run_live_demo(
+        adapted=True,
+        service_time=service_time,
+        pool_size=pool_size,
+        max_workers=max_workers,
+        phases=phases,
+    )
+    control_p95 = control["phases"]["burst"]["p95"]
+    adapted_p95 = adapted["phases"]["burst"]["p95"]
+    checks = {
+        "p95_improved": adapted_p95 < factor * control_p95,
+        "grew_during_burst": adapted["repairs"]["grew"] > 0,
+        "shrank_after_burst": adapted["repairs"]["shrank"] > 0,
+        "pool_scaled_back": adapted["pool_final"] < adapted["pool_peak"],
+    }
+    return {
+        "factor": factor,
+        "control": control,
+        "adapted": adapted,
+        "burst_p95_control": control_p95,
+        "burst_p95_adapted": adapted_p95,
+        "speedup": (control_p95 / adapted_p95) if adapted_p95 > 0 else 0.0,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """``python -m repro.realtime.demo`` / ``repro live-demo``."""
+    import argparse
+    import sys
+
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro live-demo",
+        description="adapt a live asyncio worker pool under burst load",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the adapted run beats control on burst p95",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full comparison as JSON"
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=0.75,
+        help="required adapted/control burst-p95 ratio (default 0.75)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shorter phases (for local smoke runs; gates get noisier)",
+    )
+    args = parser.parse_args(argv)
+    phases = default_phases(1.0, 5.0, 2.0) if args.fast else None
+    report = run_comparison(factor=args.factor, phases=phases)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        control, adapted = report["control"], report["adapted"]
+        print(
+            "control: burst p95 "
+            f"{report['burst_p95_control'] * 1000:.0f} ms "
+            f"(pool stays {control['pool_initial']})",
+            file=out,
+        )
+        print(
+            "adapted: burst p95 "
+            f"{report['burst_p95_adapted'] * 1000:.0f} ms "
+            f"(pool {adapted['pool_initial']} -> {adapted['pool_peak']} "
+            f"-> {adapted['pool_final']}, "
+            f"{adapted['repairs']['committed']} repairs committed)",
+            file=out,
+        )
+        print(f"speedup: {report['speedup']:.2f}x", file=out)
+        for name, passed in report["checks"].items():
+            print(f"  [{'ok' if passed else 'FAIL'}] {name}", file=out)
+    if args.check and not report["ok"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""A wall-clock pacemaker behind the simulator's scheduling interface.
+
+:class:`RealtimeScheduler` is a :class:`~repro.sim.kernel.Simulator`
+whose run loop *paces* the event heap against a
+:class:`~repro.realtime.clock.Clock` instead of draining it: an event
+scheduled for logical time ``t`` executes once ``clock.elapsed() >= t``.
+Everything built on the simulator interface — processes, the event bus,
+gauges, the repair engine, the whole
+:class:`~repro.runtime.core.AdaptationRuntime` — runs unmodified on
+either plane; the logical timeline (``now``, timeout delays, trace
+timestamps) is identical in kind, it just advances in step with the
+clock.
+
+Two additions over the simulated kernel:
+
+* :meth:`call_soon_threadsafe` — the *only* sanctioned way to hand work
+  to the scheduler from another thread (an HTTP handler, an asyncio
+  loop).  Injected callbacks are stamped at the clock's current elapsed
+  time and run in injection order; the sleeping loop wakes immediately.
+* :meth:`stop` — ends :meth:`run` from any thread.  A realtime run with
+  no horizon is a service: an empty heap means *idle*, not *done*.
+
+Determinism: with a :class:`~repro.realtime.clock.FakeClock` the waits
+advance logical time instantly, so a scripted schedule executes the
+exact event sequence a wall clock would — repeatably.  The realtime
+test suite pins this (same seed + same injected telemetry => identical
+repair history).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.realtime.clock import Clock, WallClock
+from repro.sim.kernel import Simulator
+
+__all__ = ["RealtimeScheduler"]
+
+#: longest idle wait between wakeup checks when no event is pending
+_IDLE_WAIT = 0.5
+
+
+class RealtimeScheduler(Simulator):
+    """Drop-in simulator that executes events in step with a clock."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        super().__init__()
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self._wakeup = threading.Event()
+        self._stop_requested = False
+        self._injected: List[Tuple[Callable[..., Any], Tuple[Any, ...]]] = []
+        self._inject_lock = threading.Lock()
+        #: events executed / worst observed lateness behind the clock
+        self.executed = 0
+        self.max_lag = 0.0
+
+    # -- cross-thread seam -------------------------------------------------
+    def call_soon_threadsafe(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` on the scheduler thread, stamped at "now".
+
+        Safe from any thread; injection order is execution order.  This
+        is how external telemetry enters the plane: an ingest endpoint
+        or asyncio callback pushes ``probe.ingest`` work here instead of
+        touching the (single-threaded) bus directly.
+        """
+        with self._inject_lock:
+            self._injected.append((fn, args))
+        self._wakeup.set()
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return (thread-safe)."""
+        self._stop_requested = True
+        self._wakeup.set()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop_requested
+
+    # -- paced execution ---------------------------------------------------
+    def _drain_injected(self) -> int:
+        with self._inject_lock:
+            pending, self._injected = self._injected, []
+        arrival = max(self._now, self.clock.elapsed())
+        for fn, args in pending:
+            self.schedule_at(arrival, fn, *args)
+        return len(pending)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Pace the heap against the clock until ``until`` or :meth:`stop`.
+
+        With ``until`` given, the loop returns once logical time reaches
+        it (events scheduled at exactly ``until`` still execute) and
+        leaves ``now == until``, mirroring the simulated kernel.  With
+        ``until=None`` the loop runs as a service until :meth:`stop`.
+        """
+        if self._running:
+            raise RuntimeError("RealtimeScheduler.run is not reentrant")
+        self._running = True
+        try:
+            while not self._stop_requested:
+                self._wakeup.clear()
+                if self._drain_injected():
+                    continue  # re-evaluate the head with injections queued
+                due = self.peek()
+                if until is not None and (due is None or due > until):
+                    if self.clock.elapsed() >= until:
+                        break
+                    self.clock.wait(
+                        min(_IDLE_WAIT, until - self.clock.elapsed()),
+                        self._wakeup,
+                    )
+                    continue
+                if due is None:
+                    self.clock.wait(_IDLE_WAIT, self._wakeup)
+                    continue
+                wait = due - self.clock.elapsed()
+                if wait > 0:
+                    self.clock.wait(wait, self._wakeup)
+                    continue  # re-check: an injection may precede the head
+                self.step()
+                self.executed += 1
+                lag = self.clock.elapsed() - self._now
+                if lag > self.max_lag:
+                    self.max_lag = lag
+            if until is not None and not self._stop_requested:
+                self._now = float(until)
+        finally:
+            self._running = False

@@ -49,6 +49,37 @@ class RepairRecord:
             return None
         return self.ended - self.started
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready view (the ``/repair-history`` endpoint's shape).
+
+        Footprints are summarized as sorted element names; intents as
+        ``{op, args}``.  Every value is strict-JSON serializable.
+        """
+        return {
+            "started": self.started,
+            "ended": self.ended,
+            "duration": self.duration,
+            "strategy": self.strategy,
+            "invariant": self.invariant,
+            "scope": self.scope,
+            "committed": self.committed,
+            "tactic_applied": self.tactic_applied,
+            "tactics_tried": list(self.tactics_tried),
+            "abort_reason": self.abort_reason,
+            "intents": [
+                {"op": intent.op, "args": dict(intent.args)}
+                for intent in self.intents
+            ],
+            "footprint": (
+                sorted(self.footprint.elements)
+                if self.footprint is not None
+                else None
+            ),
+            "attempt": self.attempt,
+            "retry_backoff": self.retry_backoff,
+            "timed_out": self.timed_out,
+        }
+
     def __str__(self) -> str:
         state = (
             f"committed via {self.tactic_applied}"

@@ -40,7 +40,9 @@ class Process(Event):
 
     __slots__ = ("name", "_gen", "_waiting_on", "_started", "_finished")
 
-    def __init__(self, sim: Simulator, body: Generator[Event, Any, Any], name: str = "proc"):
+    def __init__(
+        self, sim: Simulator, body: Generator[Event, Any, Any], name: str = "proc"
+    ):
         if not hasattr(body, "send"):
             raise TypeError(
                 f"Process body must be a generator, got {type(body).__name__}; "
@@ -60,7 +62,9 @@ class Process(Event):
         return not self._finished
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "done" if self._finished else ("waiting" if self._waiting_on else "ready")
+        state = (
+            "done" if self._finished else ("waiting" if self._waiting_on else "ready")
+        )
         return f"<Process {self.name} {state}>"
 
     # -- control -----------------------------------------------------------
@@ -79,7 +83,9 @@ class Process(Event):
             return
         waiting, self._waiting_on = self._waiting_on, None
         if waiting is None:
-            raise SimulationError("cannot interrupt a process that is currently running")
+            raise SimulationError(
+                "cannot interrupt a process that is currently running"
+            )
         self.sim.schedule(0.0, self._throw, Interrupted(cause))
 
     def kill(self) -> None:

@@ -98,6 +98,7 @@ class TestFixtureCorpus:
         [
             ("wir401_gauge_no_probe", "WIR401"),
             ("wir402_probe_no_subscriber", "WIR402"),
+            ("wir402_ingest_probe_no_subscriber", "WIR402"),
             ("wir403_intent_no_effector", "WIR403"),
             ("wir404_threshold_no_gauge", "WIR404"),
         ],

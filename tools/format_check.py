@@ -15,7 +15,12 @@ files onto the CI format gate when ruff cannot be installed locally:
 False negatives are expected (this is a net, not the formatter); false
 positives are possible around comments inside brackets — eyeball those.
 
-Usage: python tools/format_check.py FILE_OR_DIR [...]
+Usage: python tools/format_check.py [FILE_OR_DIR ...]
+
+With no arguments it checks RATCHETED — the same file list ci.yml's
+format gate runs ruff over.  Keep the two lists identical: when you
+ratchet a module in CI, add it here too, so `python tools/format_check.py`
+approximates the gate locally without ruff.
 """
 
 from __future__ import annotations
@@ -24,6 +29,48 @@ import io
 import sys
 import tokenize
 from pathlib import Path
+
+#: mirror of the `ruff format --check` file list in .github/workflows/ci.yml
+RATCHETED = [
+    "src/repro/bus/",
+    "src/repro/constraints/",
+    "src/repro/faults/",
+    "src/repro/lint/",
+    "src/repro/monitoring/",
+    "src/repro/realtime/",
+    "src/repro/serve/",
+    "src/repro/sim/",
+    "src/repro/acme/sharding.py",
+    "src/repro/repair/footprint.py",
+    "src/repro/repair/history.py",
+    "src/repro/repair/resilience.py",
+    "src/repro/repair/sharding.py",
+    "src/repro/runtime/sharding.py",
+    "src/repro/runtime/stats.py",
+    "src/repro/styles/map_reduce.py",
+    "src/repro/styles/grid_site.py",
+    "src/repro/app/async_pool_app.py",
+    "src/repro/app/map_reduce_app.py",
+    "src/repro/app/grid_site_app.py",
+    "src/repro/experiment/map_reduce_scenario.py",
+    "src/repro/experiment/grid_site_scenario.py",
+    "src/repro/util/windows.py",
+    "benchmarks/bench_x6_bus_batching.py",
+    "benchmarks/bench_x8_telemetry.py",
+    "benchmarks/bench_x9_fault_resilience.py",
+    "benchmarks/compare_bench.py",
+    "tests/test_bus_batching.py",
+    "tests/test_map_reduce_scenario.py",
+    "tests/test_columnar_telemetry.py",
+    "tests/test_telemetry_gate.py",
+    "tests/test_faults.py",
+    "tests/test_realtime.py",
+    "tests/test_repair_resilience.py",
+    "tests/test_serve.py",
+    "tests/test_grid_site_scenario.py",
+    "tests/test_transaction_crash_safety.py",
+    "tests/test_probe_flush_on_abort.py",
+]
 
 OPEN = {"(": ")", "[": "]", "{": "}"}
 CLOSE = {")": "(", "]": "[", "}": "{"}
@@ -176,7 +223,7 @@ def check_file(path: Path) -> list:
 
 def main(argv):
     paths = []
-    for arg in argv:
+    for arg in argv or RATCHETED:
         p = Path(arg)
         if p.is_dir():
             paths += sorted(p.rglob("*.py"))
